@@ -1,0 +1,214 @@
+// Command ntgdctl is the command-line interface to the library:
+//
+//	ntgdctl classify file.ntgd          # WA / sticky / guarded report
+//	ntgdctl solve [-sem so|lp|op] [-n N] file.ntgd
+//	ntgdctl query [-sem so|lp|op] [-mode cautious|brave] file.ntgd
+//	ntgdctl chase file.ntgd             # restricted chase (positive TGDs)
+//	ntgdctl ground file.ntgd            # Skolemize + ground, print program
+//	ntgdctl formula [-mm] file.ntgd     # print SM[D,Σ] (or MM[D,Σ])
+//
+// Programs use the surface syntax documented in the README; queries
+// (“?- …”) inside the file are answered by the query subcommand.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ntgd"
+	"ntgd/internal/chase"
+	"ntgd/internal/ground"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: ntgdctl <command> [flags] <file>
+
+commands:
+  classify   syntactic classification (weak-acyclicity, stickiness, guardedness)
+  solve      enumerate stable models
+  query      answer the queries in the file
+  chase      run the restricted chase (positive TGDs only)
+  ground     Skolemize and ground, print the ground program
+  formula    print the second-order formula SM[D,Σ] (-mm for MM[D,Σ])
+`)
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "classify":
+		cmdClassify(args)
+	case "solve":
+		cmdSolve(args)
+	case "query":
+		cmdQuery(args)
+	case "chase":
+		cmdChase(args)
+	case "ground":
+		cmdGround(args)
+	case "formula":
+		cmdFormula(args)
+	default:
+		usage()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ntgdctl:", err)
+	os.Exit(1)
+}
+
+func loadProgram(fs *flag.FlagSet) *ntgd.Program {
+	if fs.NArg() != 1 {
+		usage()
+	}
+	prog, err := ntgd.ParseFile(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	return prog
+}
+
+func semFromFlag(s string) ntgd.Semantics {
+	switch s {
+	case "so":
+		return ntgd.SO
+	case "lp":
+		return ntgd.LP
+	case "op", "operational", "baget":
+		return ntgd.Operational
+	default:
+		fatal(fmt.Errorf("unknown semantics %q (want so, lp, or op)", s))
+		panic("unreachable")
+	}
+}
+
+func cmdClassify(args []string) {
+	fs := flag.NewFlagSet("classify", flag.ExitOnError)
+	marking := fs.Bool("marking", false, "print the stickiness marking")
+	_ = fs.Parse(args)
+	prog := loadProgram(fs)
+	rep := ntgd.Classify(prog)
+	fmt.Print(rep.String())
+	if *marking {
+		fmt.Println("\nstickiness marking:")
+		fmt.Print(rep.Marking.String())
+	}
+}
+
+func cmdSolve(args []string) {
+	fs := flag.NewFlagSet("solve", flag.ExitOnError)
+	sem := fs.String("sem", "so", "semantics: so, lp, or op")
+	n := fs.Int("n", 0, "stop after N models (0 = all)")
+	maxAtoms := fs.Int("max-atoms", 0, "atom budget (0 = auto)")
+	_ = fs.Parse(args)
+	prog := loadProgram(fs)
+	res, err := ntgd.StableModelsUnder(prog, semFromFlag(*sem), ntgd.Options{
+		MaxModels: *n,
+		MaxAtoms:  *maxAtoms,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	for i, m := range res.Models {
+		fmt.Printf("model %d: { %s }\n", i+1, m.CanonicalString())
+	}
+	fmt.Printf("%d stable model(s)", len(res.Models))
+	if res.Exhausted {
+		fmt.Printf(" (budget exhausted: enumeration may be incomplete)")
+	}
+	fmt.Println()
+}
+
+func cmdQuery(args []string) {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	sem := fs.String("sem", "so", "semantics: so, lp, or op")
+	mode := fs.String("mode", "cautious", "cautious or brave")
+	_ = fs.Parse(args)
+	prog := loadProgram(fs)
+	if len(prog.Queries) == 0 {
+		fatal(fmt.Errorf("no queries (\"?- ...\") in the file"))
+	}
+	m := ntgd.Cautious
+	if *mode == "brave" {
+		m = ntgd.Brave
+	}
+	for _, q := range prog.Queries {
+		if q.IsBoolean() {
+			v, err := ntgd.EntailsUnder(prog, q, m, semFromFlag(*sem), ntgd.Options{})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%s  %s: %v\n", q, m, v.Entailed)
+			if v.Witness != nil {
+				fmt.Printf("  witness model: { %s }\n", v.Witness.CanonicalString())
+			}
+			continue
+		}
+		if semFromFlag(*sem) != ntgd.SO {
+			fatal(fmt.Errorf("n-ary answers are implemented for the SO semantics"))
+		}
+		tuples, complete, err := ntgd.Answers(prog, q, m, ntgd.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s  %s answers:", q, m)
+		for _, t := range tuples {
+			fmt.Printf(" %s", t)
+		}
+		if !complete {
+			fmt.Printf("  (incomplete)")
+		}
+		fmt.Println()
+	}
+}
+
+func cmdChase(args []string) {
+	fs := flag.NewFlagSet("chase", flag.ExitOnError)
+	oblivious := fs.Bool("oblivious", false, "use the oblivious chase")
+	_ = fs.Parse(args)
+	prog := loadProgram(fs)
+	opt := chase.Options{}
+	if *oblivious {
+		opt.Variant = chase.Oblivious
+	}
+	res, err := chase.Run(prog.Database(), prog.Rules, opt)
+	if err != nil {
+		fatal(err)
+	}
+	for _, a := range res.Instance.Sorted() {
+		fmt.Println(a)
+	}
+	fmt.Printf("%% %d atoms, %d applications, %d nulls, %d rounds\n",
+		res.Instance.Len(), res.Applications, res.NullsInvented, res.Rounds)
+}
+
+func cmdGround(args []string) {
+	fs := flag.NewFlagSet("ground", flag.ExitOnError)
+	_ = fs.Parse(args)
+	prog := loadProgram(fs)
+	sk := ground.Skolemize(prog.Rules)
+	g, err := ground.Ground(prog.Database(), sk, ground.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(g.Prog.String())
+	fmt.Printf("%% %d atoms, %d ground rules\n", len(g.Atoms), len(g.Prog.Rules))
+}
+
+func cmdFormula(args []string) {
+	fs := flag.NewFlagSet("formula", flag.ExitOnError)
+	mm := fs.Bool("mm", false, "print MM[D,Σ] (circumscription) instead of SM[D,Σ]")
+	_ = fs.Parse(args)
+	prog := loadProgram(fs)
+	if *mm {
+		fmt.Println(ntgd.MMFormula(prog))
+	} else {
+		fmt.Println(ntgd.SMFormula(prog))
+	}
+}

@@ -1,0 +1,507 @@
+// Command smsbench regenerates every experiment of EXPERIMENTS.md
+// (E1–E15): the verdict matrices of the paper's worked examples, the
+// Figure 1 marking, the complexity-shape measurements, and the
+// encoding validations. Run all experiments or a comma-separated
+// subset:
+//
+//	smsbench            # all
+//	smsbench -run E1,E5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"ntgd"
+	"ntgd/internal/baget"
+	"ntgd/internal/chase"
+	"ntgd/internal/classify"
+	"ntgd/internal/core"
+	"ntgd/internal/efwfs"
+	"ntgd/internal/encodings"
+	"ntgd/internal/lp"
+	"ntgd/internal/qbf"
+	"ntgd/internal/soformula"
+	"ntgd/internal/transform"
+)
+
+const fatherSrc = `
+person(alice).
+person(X) -> hasFather(X,Y).
+hasFather(X,Y) -> sameAs(Y,Y).
+hasFather(X,Y), hasFather(X,Z), not sameAs(Y,Z) -> abnormal(X).
+`
+
+var experiments = map[string]func(){
+	"E1":  runE1,
+	"E2":  runE2,
+	"E3":  runE3,
+	"E4":  runE4,
+	"E5":  runE5,
+	"E6":  runE6,
+	"E7":  runE7,
+	"E8":  runE8,
+	"E9":  runE9,
+	"E10": runE10,
+	"E11": runE11,
+	"E12": runE12,
+	"E13": runE13,
+	"E14": runE14,
+	"E15": runE15,
+}
+
+func main() {
+	runFlag := flag.String("run", "all", "comma-separated experiment ids (E1..E15) or 'all'")
+	flag.Parse()
+	var ids []string
+	if *runFlag == "all" {
+		for id := range experiments {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool {
+			return len(ids[i]) < len(ids[j]) || (len(ids[i]) == len(ids[j]) && ids[i] < ids[j])
+		})
+	} else {
+		ids = strings.Split(*runFlag, ",")
+	}
+	for _, id := range ids {
+		fn, ok := experiments[strings.TrimSpace(id)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
+			os.Exit(2)
+		}
+		fn()
+		fmt.Println()
+	}
+}
+
+func header(id, title string) {
+	fmt.Printf("== %s: %s ==\n", id, title)
+}
+
+func verdict(v bool) string {
+	if v {
+		return "entailed"
+	}
+	return "not entailed"
+}
+
+func must(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+// E1 — Examples 1, 2, 4: the verdict matrix for the father program
+// under SO vs LP.
+func runE1() {
+	header("E1", "Examples 1/2/4 — father program, SO vs LP verdicts")
+	prog := ntgd.MustParse(fatherSrc + `
+?- person(alice), not hasFather(alice,bob).
+?- person(X), not abnormal(X).
+?- person(X), abnormal(X).
+`)
+	names := []string{
+		"q1 = ¬hasFather(alice,bob)",
+		"q2 = ∃X person ∧ ¬abnormal",
+		"q3 = ∃X person ∧ abnormal",
+	}
+	paper := [][2]string{
+		{"not entailed", "entailed"}, // q1: SO refutes, LP wrongly entails
+		{"entailed", "entailed"},
+		{"not entailed", "not entailed"},
+	}
+	fmt.Printf("%-32s | %-14s | %-14s | paper(SO/LP)\n", "query", "SO", "LP")
+	for i, q := range prog.Queries {
+		so, err := core.CautiousEntails(prog.Database(), prog.Rules, q, core.Options{})
+		must(err)
+		lpv, err := lp.CautiousEntails(prog.Database(), prog.Rules, q, lp.Options{})
+		must(err)
+		fmt.Printf("%-32s | %-14s | %-14s | %s/%s\n", names[i], verdict(so.Entailed), verdict(lpv), paper[i][0], paper[i][1])
+	}
+	res, err := ntgd.StableModels(prog, ntgd.Options{})
+	must(err)
+	fmt.Printf("SO stable models (no query constants): %d\n", len(res.Models))
+	for _, m := range res.Models {
+		fmt.Printf("  %s\n", m.CanonicalString())
+	}
+}
+
+// E2 — the operational semantics of Baget et al. [3] on Example 2.
+func runE2() {
+	header("E2", "Example 2 under the operational semantics of [3]")
+	prog := ntgd.MustParse(fatherSrc + "?- person(alice), not hasFather(alice,bob).")
+	res, err := baget.CautiousEntails(prog.Database(), prog.Rules, prog.Queries[0], core.Options{})
+	must(err)
+	fmt.Printf("q = ¬hasFather(alice,bob): %s   (paper: unexpectedly entailed — fresh nulls only)\n", verdict(res.Entailed))
+	ms, err := baget.StableModels(prog.Database(), prog.Rules, core.Options{})
+	must(err)
+	for _, m := range ms.Models {
+		fmt.Printf("  operational model: %s\n", m.CanonicalString())
+	}
+}
+
+// E3 — EFWFS on Examples 2 and 3.
+func runE3() {
+	header("E3", "EFWFS (bounded family) on Examples 2 and 3")
+	prog := ntgd.MustParse(fatherSrc)
+	q2 := ntgd.MustParse(fatherSrc + "?- person(alice), not hasFather(alice,bob).").Queries[0]
+	q3 := ntgd.MustParse(fatherSrc + "?- person(alice), not abnormal(alice).").Queries[0]
+	v2, err := efwfs.Entails(prog.Database(), prog.Rules, q2, efwfs.Options{FreshConstants: 1, MaxInstancesPerAssignment: 1})
+	must(err)
+	fmt.Printf("Example 2, q = ¬hasFather(alice,bob): %s (paper: not entailed — the intended answer)\n", verdict(v2.Entailed))
+	v3, err := efwfs.Entails(prog.Database(), prog.Rules, q3, efwfs.Options{FreshConstants: 2, MaxInstancesPerAssignment: 2})
+	must(err)
+	fmt.Printf("Example 3, q = ¬abnormal(alice):      %s (paper: unexpectedly NOT entailed)\n", verdict(v3.Entailed))
+	if v3.CounterTrue != nil {
+		fmt.Printf("  counterexample WFS model: %s\n", v3.CounterTrue.CanonicalString())
+	}
+}
+
+// E4 — MM[D,Σ] vs SM[D,Σ] on the Section 3.2 program.
+func runE4() {
+	header("E4", "Section 3.2/3.3 — minimal models vs stable models")
+	prog := ntgd.MustParse(`
+p(0).
+p(X), not t(X) -> r(X).
+r(X) -> t(X).
+`)
+	db := prog.Database()
+	j := ntgd.StoreOf(ntgd.A("p", ntgd.C("0")), ntgd.A("t", ntgd.C("0")))
+	fmt.Printf("J = {p(0), t(0)}: minimal model: %v, stable model: %v (paper: true / false)\n",
+		core.IsMinimalModel(db, prog.Rules, j), core.IsStableModel(db, prog.Rules, j))
+	res, err := core.StableModels(db, prog.Rules, core.Options{})
+	must(err)
+	fmt.Printf("stable models of (D,Σ): %d (paper: none)\n", len(res.Models))
+	fmt.Println("SM[D,Σ]:")
+	fmt.Println(indent(soformula.SM(db, prog.Rules)))
+}
+
+// E5 — Figure 1: the stickiness marking procedure.
+func runE5() {
+	header("E5", "Figure 1 — stickiness marking")
+	sets := []struct {
+		name string
+		src  string
+	}{
+		{"set (a): sticky", "t(X,Y,Z) -> s(Y,W).\nr(X,Y), p(Y,Z) -> t(X,Y,W).\n"},
+		{"set (b): not sticky", "t(X,Y,Z) -> s(X,W).\nr(X,Y), p(Y,Z) -> t(X,Y,W).\n"},
+	}
+	for _, s := range sets {
+		rules := ntgd.MustParse(s.src).Rules
+		m := classify.MarkVariables(rules)
+		fmt.Printf("%s\n%s", s.name, indent(m.String()))
+		fmt.Printf("  sticky: %v, violations: %v\n", classify.IsSticky(rules), m.Violations())
+	}
+}
+
+// E6 — Theorem 1: SMS_LP = SMS_SO on Skolemized programs.
+func runE6() {
+	header("E6", "Theorem 1 — LP and SO coincide on Skolemized programs")
+	rng := rand.New(rand.NewSource(23))
+	agree, total := 0, 30
+	for i := 0; i < total; i++ {
+		src := randomNormalProgram(rng)
+		prog := ntgd.MustParse(src)
+		db := prog.Database()
+		lpRes, err := lp.StableModels(db, prog.Rules, lp.Options{})
+		must(err)
+		soRes, err := core.StableModels(db, prog.Rules, core.Options{})
+		must(err)
+		if sameModelSets(lpRes.Models, soRes.Models) {
+			agree++
+		} else {
+			fmt.Printf("  DISAGREEMENT on:\n%s\n", src)
+		}
+	}
+	fmt.Printf("random existential-free programs with identical model sets: %d/%d (paper: all)\n", agree, total)
+}
+
+// E7 — Theorems 3/6: decidable, but exponential guess-and-check vs
+// the PTIME positive chase.
+func runE7() {
+	header("E7", "Theorems 3/6 — WATGD¬ scaling vs positive chase")
+	fmt.Printf("%-10s %-14s %-14s\n", "n", "ntgd(ms)", "models")
+	for _, n := range []int{1, 2, 3, 4, 5} {
+		src := ""
+		for i := 0; i < n; i++ {
+			src += fmt.Sprintf("item(i%d).\n", i)
+		}
+		src += "item(X), not out(X) -> in(X).\nitem(X), not in(X) -> out(X).\n"
+		prog := ntgd.MustParse(src)
+		start := time.Now()
+		res, err := core.StableModels(prog.Database(), prog.Rules, core.Options{})
+		must(err)
+		fmt.Printf("%-10d %-14.2f %-14d\n", n, float64(time.Since(start).Microseconds())/1000, len(res.Models))
+	}
+	fmt.Printf("%-10s %-14s %-14s\n", "n", "chase(ms)", "atoms")
+	for _, n := range []int{8, 32, 128, 512} {
+		src := ""
+		for i := 0; i < n; i++ {
+			src += fmt.Sprintf("item(i%d).\n", i)
+		}
+		src += "item(X) -> tagged(X,Y).\n"
+		prog := ntgd.MustParse(src)
+		start := time.Now()
+		res, err := chase.Run(prog.Database(), prog.Rules, chase.Options{})
+		must(err)
+		fmt.Printf("%-10d %-14.2f %-14d\n", n, float64(time.Since(start).Microseconds())/1000, res.Instance.Len())
+	}
+}
+
+// E8 — the 2-QBF∃ reduction of Section 5.3 vs the direct evaluators.
+func runE8() {
+	header("E8", "Section 5.3 — 2-QBF∃ reduction vs direct evaluation")
+	rng := rand.New(rand.NewSource(7))
+	lit := func(v string) qbf.Lit { return qbf.Lit{Var: v} }
+	nlit := func(v string) qbf.Lit { return qbf.Lit{Var: v, Neg: true} }
+	instances := []qbf.Formula{
+		// ∃x∀y: (x∧y) ∨ (x∧¬y) — satisfiable.
+		{Exists: []string{"x"}, Forall: []string{"y"},
+			Terms: []qbf.Term{{lit("x"), lit("y"), lit("y")}, {lit("x"), nlit("y"), nlit("y")}}},
+	}
+	for i := 0; i < 4; i++ {
+		instances = append(instances, qbf.Random(rng, 1, 1, 2))
+	}
+	fmt.Printf("%-34s %-8s %-10s %-10s %s\n", "formula", "brute", "sat-oracle", "encoding", "time")
+	for _, f := range instances {
+		inst, err := encodings.EncodeQBF(f)
+		must(err)
+		start := time.Now()
+		res, err := core.CautiousEntails(inst.DB, inst.Rules, inst.Query, core.Options{})
+		must(err)
+		enc := !res.Entailed
+		fmt.Printf("%-34s %-8v %-10v %-10v %s\n", f, f.EvalBrute(), f.EvalSAT(), enc, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// E9 — the undecidability gadgets of Theorems 4 and 5: sticky (resp.
+// guarded) sets outside WATGD¬ whose fresh-null chase grows without
+// bound (the infinite-grid machinery of the proofs). Under the SO
+// semantics finite stable models may still exist via constant reuse;
+// the divergence is exhibited under the fresh-only witness policy.
+func runE9() {
+	header("E9", "Theorems 4/5 — sticky and guarded gadgets diverge")
+	sticky := ntgd.MustParse(`
+p(a). s(b).
+p(X), s(Y) -> t(X,Y).
+t(X,Y) -> u(Y,Z).
+u(Y,Z) -> s(Z).
+`)
+	rep := classify.Classify(sticky.Rules)
+	fmt.Printf("cartesian gadget: sticky=%v weaklyAcyclic=%v (paper: sticky, not WA)\n", rep.Sticky, rep.WeaklyAcyclic)
+	for _, budget := range []int{16, 32, 64} {
+		res, _ := core.StableModels(sticky.Database(), sticky.Rules, core.Options{
+			MaxAtoms: budget, MaxNodes: 1 << 20, MaxModels: 1,
+			WitnessPolicy: core.WitnessFreshOnly,
+		})
+		fmt.Printf("  fresh-only, atom budget %2d: exhausted=%v nodes=%d\n", budget, res.Exhausted, res.Stats.Nodes)
+	}
+	guarded := ntgd.MustParse(`g(a,b). g(X,Y), not stop(Y) -> g(Y,Z).`)
+	grep := classify.Classify(guarded.Rules)
+	fmt.Printf("growing-guard gadget: guarded=%v weaklyAcyclic=%v (paper: guarded, not WA)\n", grep.Guarded, grep.WeaklyAcyclic)
+	for _, budget := range []int{16, 32, 64} {
+		res, _ := core.StableModels(guarded.Database(), guarded.Rules, core.Options{
+			MaxAtoms: budget, MaxNodes: 1 << 20, MaxModels: 1,
+			WitnessPolicy: core.WitnessFreshOnly,
+		})
+		fmt.Printf("  fresh-only, atom budget %2d: exhausted=%v nodes=%d models=%d\n",
+			budget, res.Exhausted, res.Stats.Nodes, len(res.Models))
+	}
+}
+
+// E10 — Lemma 13 / Theorem 12: disjunction elimination.
+func runE10() {
+	header("E10", "Lemma 13 — disjunction elimination preserves answers")
+	src := `
+node(a). node(b). edge(a,b).
+node(X) -> red(X) | green(X).
+edge(X,Y), red(X), red(Y) -> clash.
+edge(X,Y), green(X), green(Y) -> clash.
+`
+	prog := ntgd.MustParse(src)
+	elim, err := transform.EliminateDisjunction(prog.Database(), prog.Rules)
+	must(err)
+	fmt.Printf("rules: %d disjunctive -> %d normal\n", len(prog.Rules), len(elim.Rules))
+	for _, qs := range []string{"?- clash.", "?- red(a).", "?- node(a), not clash."} {
+		q := ntgd.MustParse(qs).Queries[0]
+		a, err := core.CautiousEntails(prog.Database(), prog.Rules, q, core.Options{})
+		must(err)
+		b, err := core.CautiousEntails(elim.DB, elim.Rules, q, core.Options{})
+		must(err)
+		fmt.Printf("  %-28s native=%-12s eliminated=%-12s agree=%v\n", qs, verdict(a.Entailed), verdict(b.Entailed), a.Entailed == b.Entailed)
+	}
+}
+
+// E11 — Theorems 15/16: DATALOG¬,∨ = WATGD¬.
+func runE11() {
+	header("E11", "Theorem 15 — DATALOG∨ vs WATGD¬ on 2-coloring saturation")
+	for _, tc := range []struct {
+		name string
+		src  string
+		want bool // brave bad
+	}{
+		{"path a-b (2-colorable)", `
+node(a). node(b). edge(a,b).
+node(X) -> r(X) | g(X).
+edge(X,Y), r(X), r(Y) -> w.
+edge(X,Y), g(X), g(Y) -> w.
+w, node(X) -> r(X).
+w, node(X) -> g(X).
+w -> bad.
+`, false},
+		{"triangle (not 2-colorable)", `
+node(a). node(b). node(c). edge(a,b). edge(b,c). edge(a,c).
+node(X) -> r(X) | g(X).
+edge(X,Y), r(X), r(Y) -> w.
+edge(X,Y), g(X), g(Y) -> w.
+w, node(X) -> r(X).
+w, node(X) -> g(X).
+w -> bad.
+`, true},
+	} {
+		prog := ntgd.MustParse(tc.src)
+		db := prog.Database()
+		q := ntgd.Query{Pos: []ntgd.Atom{ntgd.A("bad")}}
+		native, err := core.BraveEntails(db, prog.Rules, q, core.Options{})
+		must(err)
+		w, err := transform.DatalogToWATGD(transform.DatalogQuery{Rules: prog.Rules, QueryPred: "bad"}, 0)
+		must(err)
+		qT := ntgd.Query{Pos: []ntgd.Atom{ntgd.A(w.QueryPred)}}
+		trans, err := core.BraveEntails(db, w.Rules, qT, core.Options{})
+		must(err)
+		fmt.Printf("  %-28s native=%v watgd=%v expected=%v weaklyAcyclic(translation)=%v\n",
+			tc.name, native.Entailed, trans.Entailed, tc.want, classify.IsWeaklyAcyclic(w.Rules))
+	}
+}
+
+// E12 — Section 7.1: 2-QBF via the brave query language WATGD¬_b.
+func runE12() {
+	header("E12", "Section 7.1 — 2-QBF∃ via WATGD¬ under brave semantics")
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 4; i++ {
+		f := qbf.Random(rng, 1, 1, 2)
+		db, err := encodings.QBFDatabase(f)
+		must(err)
+		rules, q := encodings.QBFBraveQuery()
+		res, err := core.BraveEntails(db, rules, q, core.Options{})
+		must(err)
+		fmt.Printf("  %-34s brave ans=%v brute=%v\n", f, res.Entailed, f.EvalBrute())
+	}
+}
+
+// E13 — Section 7.1: certain k-colorability.
+func runE13() {
+	header("E13", "Section 7.1 — certain k-colorability (CERT3COL-style)")
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 4; i++ {
+		g := encodings.CertColGraph{K: 2}
+		for v := 0; v < 3; v++ {
+			g.Vertices = append(g.Vertices, fmt.Sprintf("v%d", v))
+		}
+		g.Vars = []string{"p"}
+		for e := 0; e < 2; e++ {
+			u, w := rng.Intn(3), rng.Intn(3)
+			for w == u {
+				w = rng.Intn(3)
+			}
+			g.Edges = append(g.Edges, encodings.LabeledEdge{
+				U: g.Vertices[u], W: g.Vertices[w], Var: "p", Neg: rng.Intn(2) == 1})
+		}
+		res, err := core.BraveEntails(g.Database(), g.DatalogProgram(), g.BadQuery(), core.Options{})
+		must(err)
+		fmt.Printf("  instance %d: encoding certain=%v brute=%v\n", i, !res.Entailed, g.BruteForce())
+	}
+}
+
+// E14 — Section 7.1: consistent query answering.
+func runE14() {
+	header("E14", "Section 7.1 — consistent query answering (⊆-repairs)")
+	prog := ntgd.MustParse(`
+mgr(sales, ann).
+mgr(sales, bob).
+mgr(hr, eve).
+neq(ann,bob). neq(bob,ann).
+:- mgr(D, X), mgr(D, Y), neq(X, Y).
+mgr(D, X) -> emp(X).
+`)
+	inst := &encodings.CQAInstance{DB: prog.Database()}
+	for _, r := range prog.Rules {
+		if r.IsConstraint() {
+			inst.Denials = append(inst.Denials, r)
+		} else {
+			inst.TGDs = append(inst.TGDs, r)
+		}
+	}
+	repairs, err := inst.BruteForceRepairs()
+	must(err)
+	fmt.Printf("repairs: %d\n", len(repairs))
+	for _, qs := range []string{"?- emp(eve).", "?- emp(ann).", "?- mgr(sales,X), emp(X)."} {
+		q := ntgd.MustParse(qs).Queries[0]
+		enc, err := inst.CertainEncoded(q, core.Options{})
+		must(err)
+		brute, err := inst.CertainBrute(q, core.Options{})
+		must(err)
+		fmt.Printf("  %-28s encoding=%v brute=%v agree=%v\n", qs, enc, brute, enc == brute)
+	}
+}
+
+// E15 — Theorems 19/20: the expressiveness gap between LP and SO.
+func runE15() {
+	header("E15", "Theorems 19/20 — LP vs SO model spaces")
+	prog := ntgd.MustParse(fatherSrc)
+	db := prog.Database()
+	so, err := core.StableModels(db, prog.Rules, core.Options{ExtraConstants: []ntgd.Term{ntgd.C("bob")}})
+	must(err)
+	lpRes, err := lp.StableModels(db, prog.Rules, lp.Options{})
+	must(err)
+	fmt.Printf("SO stable models (witness pool incl. bob): %d\n", len(so.Models))
+	fmt.Printf("LP stable models:                          %d (Skolemization collapses the witness space)\n", len(lpRes.Models))
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = "  " + lines[i]
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+func sameModelSets(a, b []*ntgd.FactStore) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	set := map[string]bool{}
+	for _, m := range a {
+		set[m.CanonicalString()] = true
+	}
+	for _, m := range b {
+		if !set[m.CanonicalString()] {
+			return false
+		}
+	}
+	return true
+}
+
+func randomNormalProgram(rng *rand.Rand) string {
+	preds := []string{"p0", "p1", "p2", "p3"}
+	consts := []string{"c0", "c1", "c2"}
+	var out string
+	for i := 0; i < 1+rng.Intn(3); i++ {
+		out += fmt.Sprintf("%s(%s).\n", preds[rng.Intn(len(preds))], consts[rng.Intn(len(consts))])
+	}
+	for i := 0; i < 1+rng.Intn(4); i++ {
+		body := fmt.Sprintf("%s(X)", preds[rng.Intn(len(preds))])
+		if rng.Intn(2) == 0 {
+			body += fmt.Sprintf(", not %s(X)", preds[rng.Intn(len(preds))])
+		}
+		out += fmt.Sprintf("%s -> %s(X).\n", body, preds[rng.Intn(len(preds))])
+	}
+	return out
+}

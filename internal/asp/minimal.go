@@ -1,0 +1,88 @@
+package asp
+
+import (
+	"ntgd/internal/sat"
+)
+
+// IsMinimalReductModel reports whether m (already known to be a
+// classical model of the program) is a ⊆-minimal model of the reduct
+// P^m. This is the disjunctive stable model condition; the check is
+// coNP-complete in general, so it is delegated to the SAT solver: we
+// ask for a model J ⊊ m of the reduct and report minimality iff none
+// exists.
+func IsMinimalReductModel(p *Program, m Model) bool {
+	in := make([]bool, p.NAtoms)
+	for _, a := range m {
+		in[a] = true
+	}
+	if len(m) == 0 {
+		return true
+	}
+	s := sat.New()
+	// One SAT variable per true atom; atoms outside m are false in J.
+	varOf := make([]int, p.NAtoms)
+	for _, a := range m {
+		varOf[a] = s.NewVar()
+	}
+	for _, r := range p.Rules {
+		// Reduct: drop rules blocked by a negative literal in m.
+		blocked := false
+		for _, n := range r.Neg {
+			if in[n] {
+				blocked = true
+				break
+			}
+		}
+		if blocked {
+			continue
+		}
+		// If a positive body atom is outside m, the body is false in
+		// every J ⊆ m.
+		bodyPossible := true
+		for _, b := range r.Pos {
+			if !in[b] {
+				bodyPossible = false
+				break
+			}
+		}
+		if !bodyPossible {
+			continue
+		}
+		// Clause: (∧ body) → (∨ viable disjuncts), with one auxiliary
+		// variable per viable disjunct (aux → every atom of the
+		// disjunct).
+		clause := make([]int, 0, len(r.Pos)+len(r.Disjuncts))
+		for _, b := range r.Pos {
+			clause = append(clause, -varOf[b])
+		}
+		for _, d := range r.Disjuncts {
+			viable := true
+			for _, a := range d {
+				if !in[a] {
+					viable = false
+					break
+				}
+			}
+			if !viable {
+				continue
+			}
+			if len(d) == 1 {
+				clause = append(clause, varOf[d[0]])
+				continue
+			}
+			aux := s.NewVar()
+			clause = append(clause, aux)
+			for _, a := range d {
+				s.AddClause(-aux, varOf[a])
+			}
+		}
+		s.AddClause(clause...)
+	}
+	// Proper subset: at least one atom of m is dropped.
+	drop := make([]int, 0, len(m))
+	for _, a := range m {
+		drop = append(drop, -varOf[a])
+	}
+	s.AddClause(drop...)
+	return !s.Solve()
+}

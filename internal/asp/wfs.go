@@ -1,0 +1,107 @@
+package asp
+
+import "fmt"
+
+// WFSResult is the well-founded model of a normal program: the sets of
+// well-founded true and false atoms; everything else is undefined.
+type WFSResult struct {
+	True      []int
+	False     []int
+	Undefined []int
+	trueSet   []bool
+	falseSet  []bool
+}
+
+// IsTrue reports whether the atom is well-founded true.
+func (w *WFSResult) IsTrue(id int) bool { return w.trueSet[id] }
+
+// IsFalse reports whether the atom is well-founded false.
+func (w *WFSResult) IsFalse(id int) bool { return w.falseSet[id] }
+
+// WellFounded computes the well-founded model of a normal program via
+// the alternating fixpoint of Van Gelder: with Γ(S) the least model of
+// the reduct P^S, the sequence U₀=∅, Vᵢ=Γ(Uᵢ), Uᵢ₊₁=Γ(Vᵢ) converges;
+// lfp(Γ²) is the set of well-founded true atoms and the complement of
+// gfp(Γ²) the well-founded false ones. Constraints and disjunctions
+// are rejected.
+func WellFounded(p *Program) (*WFSResult, error) {
+	for i, r := range p.Rules {
+		if len(r.Disjuncts) > 1 {
+			return nil, fmt.Errorf("asp: well-founded semantics is defined for normal programs (rule %d is disjunctive)", i)
+		}
+		if r.IsConstraint() {
+			return nil, fmt.Errorf("asp: well-founded semantics does not support constraints (rule %d)", i)
+		}
+	}
+	u := make([]bool, p.NAtoms) // under-approximation of true atoms
+	v := gamma(p, u)            // over-approximation
+	for {
+		u2 := gamma(p, v)
+		v2 := gamma(p, u2)
+		if boolsEqual(u, u2) && boolsEqual(v, v2) {
+			break
+		}
+		u, v = u2, v2
+	}
+	res := &WFSResult{trueSet: u, falseSet: make([]bool, p.NAtoms)}
+	for a := 0; a < p.NAtoms; a++ {
+		switch {
+		case u[a]:
+			res.True = append(res.True, a)
+		case !v[a]:
+			res.falseSet[a] = true
+			res.False = append(res.False, a)
+		default:
+			res.Undefined = append(res.Undefined, a)
+		}
+	}
+	return res, nil
+}
+
+// gamma computes the least model of the reduct P^S: drop rules with a
+// negative literal whose atom is in S, strip negative literals, and
+// forward-chain.
+func gamma(p *Program, s []bool) []bool {
+	out := make([]bool, p.NAtoms)
+	for changed := true; changed; {
+		changed = false
+		for _, r := range p.Rules {
+			blocked := false
+			for _, n := range r.Neg {
+				if s[n] {
+					blocked = true
+					break
+				}
+			}
+			if blocked {
+				continue
+			}
+			fire := true
+			for _, b := range r.Pos {
+				if !out[b] {
+					fire = false
+					break
+				}
+			}
+			if !fire {
+				continue
+			}
+			for _, h := range r.Disjuncts[0] {
+				if !out[h] {
+					out[h] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+func boolsEqual(a, b []bool) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

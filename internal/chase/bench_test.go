@@ -1,0 +1,52 @@
+package chase_test
+
+import (
+	"fmt"
+	"testing"
+
+	"ntgd/internal/chase"
+	"ntgd/internal/parser"
+)
+
+func BenchmarkRestrictedChaseLinear(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		src := ""
+		for i := 0; i < n; i++ {
+			src += fmt.Sprintf("emp(e%d).\n", i)
+		}
+		src += "emp(X) -> dept(X,D).\ndept(X,D) -> org(D).\n"
+		prog := parser.MustParse(src)
+		db := prog.Database()
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := chase.Run(db, prog.Rules, chase.Options{})
+				if err != nil || res.Instance.Len() != 3*n {
+					b.Fatalf("size=%d err=%v", res.Instance.Len(), err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkObliviousVsRestricted(b *testing.B) {
+	src := `
+person(p1). person(p2). person(p3). person(p4).
+knows(p1,p2). knows(p2,p3). knows(p3,p4).
+person(X) -> hasID(X,I).
+knows(X,Y) -> knows(Y,X).
+`
+	prog := parser.MustParse(src)
+	db := prog.Database()
+	for _, variant := range []chase.Variant{chase.Restricted, chase.Oblivious} {
+		variant := variant
+		b.Run(variant.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := chase.Run(db, prog.Rules, chase.Options{Variant: variant}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,227 @@
+// Package chase implements the chase procedure for (negation-free,
+// non-disjunctive) TGDs: the restricted (standard) chase, which applies
+// a trigger only when its head is not already satisfied, and the
+// oblivious chase, which applies every trigger once. The chase is the
+// classical tool the paper builds on: Lemma 8 bounds the immediate
+// consequence operator by the size of an induced chase sequence, the
+// weakly-acyclic termination argument of Fagin et al. underlies
+// Theorem 3, and the operational stable model semantics of Baget et al.
+// (discussed in the introduction) is a chase whose TGD applications are
+// blocked by negative literals.
+package chase
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+
+	"ntgd/internal/logic"
+)
+
+// Variant selects the chase flavour.
+type Variant int
+
+const (
+	// Restricted applies a trigger only if no extension of the body
+	// homomorphism satisfies the head (the paper's footnote 4: "the
+	// standard (a.k.a. the restricted) version of the chase, where a
+	// TGD is being applied only if it is necessary").
+	Restricted Variant = iota
+	// Oblivious applies every trigger exactly once, inventing fresh
+	// nulls regardless of head satisfaction. It terminates on weakly
+	// acyclic sets and its result size upper-bounds every restricted
+	// chase sequence, which is how the stable model engine derives its
+	// default search budget.
+	Oblivious
+)
+
+func (v Variant) String() string {
+	if v == Oblivious {
+		return "oblivious"
+	}
+	return "restricted"
+}
+
+// ErrBudget is returned when the chase exceeds its atom or round
+// budget before reaching a fixpoint (e.g. on non-terminating inputs).
+var ErrBudget = errors.New("chase: atom/round budget exhausted before fixpoint")
+
+// Options configures a chase run. The zero value uses the restricted
+// chase with generous defaults.
+type Options struct {
+	Variant Variant
+	// MaxAtoms aborts the chase when the instance grows beyond this
+	// many atoms (0 = 1<<20).
+	MaxAtoms int
+	// MaxRounds aborts after this many breadth-first rounds (0 = 1<<20).
+	MaxRounds int
+	// NullPrefix names invented nulls ("<prefix><counter>"); default "n".
+	NullPrefix string
+}
+
+// Result is the outcome of a chase run.
+type Result struct {
+	// Instance is the chased instance (database plus derived atoms).
+	Instance *logic.FactStore
+	// Rounds is the number of breadth-first rounds executed.
+	Rounds int
+	// Applications is the number of trigger applications.
+	Applications int
+	// NullsInvented is the number of fresh labeled nulls created.
+	NullsInvented int
+}
+
+// Run chases the database with the given TGDs. Rules must be
+// negation-free and non-disjunctive; constraints are rejected too.
+// ErrBudget is returned (with the partial instance) when the budget is
+// exhausted.
+func Run(db *logic.FactStore, rules []*logic.Rule, opt Options) (*Result, error) {
+	for _, r := range rules {
+		if !r.IsTGD() {
+			return nil, fmt.Errorf("chase: rule %s is not a plain TGD (negation or disjunction present)", r.Label)
+		}
+	}
+	if opt.MaxAtoms <= 0 {
+		opt.MaxAtoms = 1 << 20
+	}
+	if opt.MaxRounds <= 0 {
+		opt.MaxRounds = 1 << 20
+	}
+	if opt.NullPrefix == "" {
+		opt.NullPrefix = "n"
+	}
+
+	res := &Result{Instance: db.Clone()}
+	inst := res.Instance
+	nullCtr := 0
+	applied := make(map[string]bool) // oblivious: trigger keys already fired
+
+	for res.Rounds = 0; res.Rounds < opt.MaxRounds; res.Rounds++ {
+		type trigger struct {
+			rule *logic.Rule
+			hom  logic.Subst
+		}
+		var triggers []trigger
+		for _, r := range rules {
+			rule := r
+			logic.FindHoms(rule.PosBody(), nil, inst, logic.Subst{}, func(h logic.Subst) bool {
+				switch opt.Variant {
+				case Restricted:
+					if logic.ExistsHom(rule.Heads[0], nil, inst, h) {
+						return true // head satisfied: not a (restricted) trigger
+					}
+				case Oblivious:
+					if applied[triggerKey(rule, h)] {
+						return true
+					}
+				}
+				triggers = append(triggers, trigger{rule, h.Clone()})
+				return true
+			})
+		}
+		if len(triggers) == 0 {
+			return res, nil
+		}
+		for _, t := range triggers {
+			if opt.Variant == Restricted {
+				// Another application this round may have satisfied it.
+				if logic.ExistsHom(t.rule.Heads[0], nil, inst, t.hom) {
+					continue
+				}
+			} else {
+				key := triggerKey(t.rule, t.hom)
+				if applied[key] {
+					continue
+				}
+				applied[key] = true
+			}
+			mu := t.hom.Clone()
+			for _, z := range t.rule.ExistVars(0) {
+				nullCtr++
+				res.NullsInvented++
+				mu[z] = logic.N(opt.NullPrefix + strconv.Itoa(nullCtr))
+			}
+			for _, a := range t.rule.Heads[0] {
+				inst.Add(mu.ApplyAtom(a))
+			}
+			res.Applications++
+			if inst.Len() > opt.MaxAtoms {
+				return res, ErrBudget
+			}
+		}
+	}
+	return res, ErrBudget
+}
+
+func triggerKey(r *logic.Rule, h logic.Subst) string {
+	return r.Label + "|" + h.String()
+}
+
+// CertainBCQ answers a Boolean conjunctive query under (positive) TGDs
+// by chasing and evaluating the query over the (universal) result:
+// (D,Σ) |= q iff q maps homomorphically into the chase. The query must
+// be negation-free (certain answers under TGDs are defined for CQs).
+func CertainBCQ(db *logic.FactStore, rules []*logic.Rule, q logic.Query, opt Options) (bool, error) {
+	if len(q.Neg) != 0 {
+		return false, fmt.Errorf("chase: CertainBCQ requires a negation-free query")
+	}
+	res, err := Run(db, rules, opt)
+	if err != nil {
+		return false, err
+	}
+	return logic.ExistsHom(q.Pos, nil, res.Instance, logic.Subst{}), nil
+}
+
+// BudgetForStableSearch returns the default atom budget the stable
+// model engine uses for a weakly-acyclic set Σ: the size of the
+// oblivious chase of Σ⁺ over the database extended with the query
+// constants, doubled, with a floor of 64. Proposition 9 guarantees that
+// every stable model's positive part is bounded by the size of an
+// induced chase sequence of Σ⁺, which the oblivious chase dominates.
+// For non-weakly-acyclic inputs the oblivious chase itself may not
+// terminate; the internal budget then caps it and the returned bound is
+// that cap.
+func BudgetForStableSearch(db *logic.FactStore, rules []*logic.Rule, extraConsts []logic.Term, cap int) int {
+	if cap <= 0 {
+		cap = 1 << 14
+	}
+	positive := make([]*logic.Rule, 0, len(rules))
+	for _, r := range rules {
+		if r.IsConstraint() {
+			continue
+		}
+		// Strip negation; merge disjuncts into one head (Σ⁺,∧), which
+		// over-approximates every disjunct choice.
+		pr := &logic.Rule{Label: r.Label + "+"}
+		for _, l := range r.Body {
+			if !l.Neg {
+				pr.Body = append(pr.Body, l)
+			}
+		}
+		var head []logic.Atom
+		for _, d := range r.Heads {
+			head = append(head, d...)
+		}
+		pr.Heads = [][]logic.Atom{head}
+		positive = append(positive, pr)
+	}
+	ext := db.Clone()
+	for i, c := range extraConsts {
+		// Seed the domain with query constants via a throwaway
+		// predicate so body homomorphisms cannot pick them up, but the
+		// instance size accounting sees them.
+		ext.Add(logic.A(fmt.Sprintf("$qconst%d", i), c))
+	}
+	res, err := Run(ext, positive, Options{Variant: Oblivious, MaxAtoms: cap, NullPrefix: "b"})
+	if err != nil {
+		return cap
+	}
+	n := 2 * res.Instance.Len()
+	if n < 64 {
+		n = 64
+	}
+	if n > cap {
+		n = cap
+	}
+	return n
+}

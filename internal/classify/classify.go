@@ -1,0 +1,123 @@
+package classify
+
+import (
+	"fmt"
+	"strings"
+
+	"ntgd/internal/logic"
+)
+
+// Report summarizes the syntactic classification of a rule set along
+// the three decidability paradigms the paper studies, plus derived
+// data (position ranks, marking) used by the engines and benchmarks.
+type Report struct {
+	WeaklyAcyclic bool
+	Sticky        bool
+	Guarded       bool
+	// Disjunctive reports whether some rule has a disjunctive head
+	// (TGD¬,∨ vs TGD¬).
+	Disjunctive bool
+	// HasNegation reports whether some rule uses default negation.
+	HasNegation bool
+	// HasExistentials reports whether some rule has an existentially
+	// quantified head variable.
+	HasExistentials bool
+	// MaxRank is the maximum position rank (meaningful only when
+	// WeaklyAcyclic).
+	MaxRank int
+	// Ranks maps positions to ranks (nil unless WeaklyAcyclic).
+	Ranks map[Position]int
+	// Marking is the stickiness marking.
+	Marking *Marking
+	// StickyViolations lists the (rule, variable) pairs violating
+	// stickiness (empty iff Sticky).
+	StickyViolations []StickyViolation
+	// UnguardedRules lists labels of rules without a guard.
+	UnguardedRules []string
+}
+
+// Classify computes the full classification report for a rule set.
+func Classify(rules []*logic.Rule) *Report {
+	rep := &Report{}
+	g := BuildPositionGraph(rules)
+	if ranks, ok := g.Ranks(); ok {
+		rep.WeaklyAcyclic = true
+		rep.Ranks = ranks
+		for _, r := range ranks {
+			if r > rep.MaxRank {
+				rep.MaxRank = r
+			}
+		}
+	}
+	rep.Marking = MarkVariables(rules)
+	rep.StickyViolations = rep.Marking.Violations()
+	rep.Sticky = len(rep.StickyViolations) == 0
+	rep.Guarded = true
+	for _, r := range rules {
+		if _, ok := GuardOf(r); !ok {
+			rep.Guarded = false
+			rep.UnguardedRules = append(rep.UnguardedRules, r.Label)
+		}
+		if r.IsDisjunctive() {
+			rep.Disjunctive = true
+		}
+		if r.HasNegation() {
+			rep.HasNegation = true
+		}
+		if r.HasExistentials() {
+			rep.HasExistentials = true
+		}
+	}
+	return rep
+}
+
+// Class returns the paper's name for the most specific class the rule
+// set provably belongs to under this report, e.g. "WATGD¬,∨" or
+// "STGD¬" or "TGD" (fallback).
+func (r *Report) Class() string {
+	suffix := ""
+	if r.HasNegation {
+		suffix += "¬"
+	}
+	if r.Disjunctive {
+		if suffix == "" {
+			suffix = ","
+		}
+		suffix += ",∨"
+		suffix = strings.Replace(suffix, ",,", ",", 1)
+	}
+	switch {
+	case r.WeaklyAcyclic:
+		return "WATGD" + suffix
+	case r.Sticky:
+		return "STGD" + suffix
+	case r.Guarded:
+		return "GTGD" + suffix
+	default:
+		return "TGD" + suffix
+	}
+}
+
+// String renders a multi-line report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "weakly acyclic: %v", r.WeaklyAcyclic)
+	if r.WeaklyAcyclic {
+		fmt.Fprintf(&b, " (max rank %d)", r.MaxRank)
+	}
+	fmt.Fprintf(&b, "\nsticky:         %v", r.Sticky)
+	if !r.Sticky {
+		parts := make([]string, len(r.StickyViolations))
+		for i, v := range r.StickyViolations {
+			parts[i] = fmt.Sprintf("%s/%s", v.Rule, v.Variable)
+		}
+		fmt.Fprintf(&b, " (violations: %s)", strings.Join(parts, ", "))
+	}
+	fmt.Fprintf(&b, "\nguarded:        %v", r.Guarded)
+	if !r.Guarded {
+		fmt.Fprintf(&b, " (unguarded: %s)", strings.Join(r.UnguardedRules, ", "))
+	}
+	fmt.Fprintf(&b, "\nnegation: %v, disjunction: %v, existentials: %v\nclass: %s\n",
+		r.HasNegation, r.Disjunctive, r.HasExistentials, r.Class())
+	return b.String()
+}

@@ -1,0 +1,189 @@
+package classify
+
+import (
+	"sort"
+	"strings"
+
+	"ntgd/internal/logic"
+)
+
+// Marking is the result of the stickiness marking procedure (Section
+// 4.2 and Figure 1). It records, for every rule, which body variables
+// are marked, and globally which body positions carry a marked
+// variable occurrence.
+type Marking struct {
+	// MarkedVars maps rule label -> set of marked body variables.
+	MarkedVars map[string]map[string]bool
+	// MarkedPositions is the set of positions at which some rule's
+	// marked variable occurs in a body.
+	MarkedPositions map[Position]bool
+	rules           []*logic.Rule
+}
+
+// MarkVariables runs the inductive marking procedure on Σ⁺,∧ (negative
+// literals converted to atoms, disjunction to conjunction, as
+// prescribed for NTGDs in Section 4.2 / [1]):
+//
+//   - Base step: a variable occurring in the body of a rule σ but not in
+//     every head atom of σ is marked in σ.
+//   - Propagation: if a variable v occurs in the head of σ at a position
+//     where some rule has a marked body occurrence, then v is marked
+//     in σ.
+func MarkVariables(rules []*logic.Rule) *Marking {
+	m := &Marking{
+		MarkedVars:      make(map[string]map[string]bool),
+		MarkedPositions: make(map[Position]bool),
+		rules:           rules,
+	}
+	for _, r := range rules {
+		m.MarkedVars[r.Label] = make(map[string]bool)
+	}
+
+	bodyAtoms := func(r *logic.Rule) []logic.Atom {
+		pos, neg := logic.SplitLiterals(r.Body)
+		return append(append([]logic.Atom(nil), pos...), neg...)
+	}
+
+	mark := func(r *logic.Rule, v string) bool {
+		if m.MarkedVars[r.Label][v] {
+			return false
+		}
+		m.MarkedVars[r.Label][v] = true
+		for _, a := range bodyAtoms(r) {
+			for i, t := range a.Args {
+				if t.Kind == logic.Var && t.Name == v {
+					m.MarkedPositions[Position{a.Pred, i + 1}] = true
+				}
+			}
+		}
+		return true
+	}
+
+	// Base step.
+	for _, r := range rules {
+		head := mergedHead(r)
+		var bodyVars []string
+		seen := map[string]bool{}
+		var buf []string
+		for _, a := range bodyAtoms(r) {
+			buf = a.Vars(buf[:0])
+			for _, v := range buf {
+				if !seen[v] {
+					seen[v] = true
+					bodyVars = append(bodyVars, v)
+				}
+			}
+		}
+		for _, v := range bodyVars {
+			inEvery := len(head) > 0
+			for _, ha := range head {
+				found := false
+				buf = ha.Vars(buf[:0])
+				for _, hv := range buf {
+					if hv == v {
+						found = true
+						break
+					}
+				}
+				if !found {
+					inEvery = false
+					break
+				}
+			}
+			if !inEvery {
+				mark(r, v)
+			}
+		}
+	}
+
+	// Propagation to fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for _, r := range rules {
+			head := mergedHead(r)
+			for _, ha := range head {
+				for i, t := range ha.Args {
+					if t.Kind != logic.Var {
+						continue
+					}
+					if m.MarkedPositions[Position{ha.Pred, i + 1}] {
+						if mark(r, t.Name) {
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return m
+}
+
+// StickyViolation names a rule and a marked variable with two or more
+// body occurrences, i.e. a violation of stickiness.
+type StickyViolation struct {
+	Rule     string
+	Variable string
+}
+
+// Violations returns the stickiness violations under the marking: for
+// each rule, marked variables occurring at least twice in the body.
+func (m *Marking) Violations() []StickyViolation {
+	var out []StickyViolation
+	for _, r := range m.rules {
+		pos, neg := logic.SplitLiterals(r.Body)
+		count := make(map[string]int)
+		var buf []string
+		for _, a := range append(append([]logic.Atom(nil), pos...), neg...) {
+			buf = a.Vars(buf[:0])
+			for _, v := range buf {
+				count[v]++
+			}
+		}
+		var vars []string
+		for v := range count {
+			vars = append(vars, v)
+		}
+		sort.Strings(vars)
+		for _, v := range vars {
+			if count[v] >= 2 && m.MarkedVars[r.Label][v] {
+				out = append(out, StickyViolation{Rule: r.Label, Variable: v})
+			}
+		}
+	}
+	return out
+}
+
+// IsSticky reports whether the rule set is sticky (STGD¬ membership):
+// no rule contains two occurrences of a marked variable.
+func IsSticky(rules []*logic.Rule) bool {
+	return len(MarkVariables(rules).Violations()) == 0
+}
+
+// String renders the marking as a human-readable report mirroring
+// Figure 1: for each rule its marked variables, then the marked
+// positions.
+func (m *Marking) String() string {
+	var b strings.Builder
+	for _, r := range m.rules {
+		b.WriteString(r.Label)
+		b.WriteString(": ")
+		b.WriteString(r.String())
+		vars := make([]string, 0, len(m.MarkedVars[r.Label]))
+		for v := range m.MarkedVars[r.Label] {
+			vars = append(vars, v)
+		}
+		sort.Strings(vars)
+		b.WriteString("   marked: {")
+		b.WriteString(strings.Join(vars, ","))
+		b.WriteString("}\n")
+	}
+	poss := make([]string, 0, len(m.MarkedPositions))
+	for p := range m.MarkedPositions {
+		poss = append(poss, p.String())
+	}
+	sort.Strings(poss)
+	b.WriteString("marked positions: {")
+	b.WriteString(strings.Join(poss, ", "))
+	b.WriteString("}\n")
+	return b.String()
+}

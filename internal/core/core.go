@@ -1,0 +1,535 @@
+// Package core implements the paper's primary contribution: the new
+// approach to stable model semantics for normal (possibly disjunctive)
+// tuple-generating dependencies, defined via the second-order formula
+// SM[D,Σ] (Definition 1) rather than via Skolemization. It provides:
+//
+//   - enumeration of the stable models SMS(D,Σ) by a chase-with-choices
+//     search justified by Lemma 7 (M⁺ = T∞_{Σ,M}(D): every stable model
+//     is obtained by "executing" Σ from D using M as an oracle for the
+//     negative literals);
+//   - the stability check of Proposition 11 (no J with D ⊆ J ⊊ M⁺
+//     models the τ_{p▷s}-transformed program), encoded in CNF and
+//     decided by internal/sat;
+//   - the immediate consequence operator T_{Σ,I} of Section 5.1;
+//   - cautious and brave query answering for normal (Boolean)
+//     conjunctive queries (SMS-QAns, Sections 3.4 and 7.1).
+//
+// The key semantic point (Examples 2 and 4) is that an existential head
+// variable may be witnessed by any domain element — including a
+// constant such as Bob — not only by a fresh null as under
+// Skolemization or the operational semantics of Baget et al. The engine
+// therefore draws witnesses from the current domain plus the query's
+// constants plus fresh nulls (Options.WitnessPolicy = WitnessAnyDomain);
+// since NTGDs are constant-free and query answers are invariant under
+// isomorphisms fixing the query constants, this restricted pool is
+// complete for certain-answer computation. Setting WitnessFreshOnly
+// reproduces the operational semantics of Baget et al. [3].
+package core
+
+import (
+	"errors"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ntgd/internal/chase"
+	"ntgd/internal/logic"
+)
+
+// WitnessPolicy selects how existential head variables are witnessed
+// during the stable model search.
+type WitnessPolicy int
+
+const (
+	// WitnessAnyDomain draws witnesses from the current domain, the
+	// extra constants, and fresh nulls — the paper's SO semantics.
+	WitnessAnyDomain WitnessPolicy = iota
+	// WitnessFreshOnly always invents fresh nulls — the operational
+	// chase-based semantics of Baget et al. [3], provided for
+	// comparison (Example 2 shows it yields unintended answers).
+	WitnessFreshOnly
+)
+
+func (w WitnessPolicy) String() string {
+	if w == WitnessFreshOnly {
+		return "fresh-only"
+	}
+	return "any-domain"
+}
+
+// Options configures the stable model search.
+type Options struct {
+	// MaxAtoms bounds the candidate model size. 0 derives a budget
+	// from the oblivious chase of Σ⁺ (sound for weakly-acyclic sets by
+	// Proposition 9).
+	MaxAtoms int
+	// MaxNodes bounds the number of search nodes (0 = 8M).
+	MaxNodes int64
+	// WitnessPolicy selects the witness pool (see the type).
+	WitnessPolicy WitnessPolicy
+	// ExtraConstants extends the witness pool, typically with the
+	// constants of the query being answered.
+	ExtraConstants []logic.Term
+	// MaxModels stops enumeration after this many models (0 = all).
+	MaxModels int
+}
+
+// Stats reports search effort.
+type Stats struct {
+	Nodes           int64
+	Branches        int64
+	Deterministic   int64
+	Completed       int64
+	StabilityChecks int64
+	StabilityFailed int64
+	ModelsEmitted   int64
+}
+
+// Result holds an enumeration outcome.
+type Result struct {
+	Models []*logic.FactStore
+	Stats  Stats
+	// Exhausted is true when a budget was hit, in which case the
+	// enumeration may be incomplete (additional stable models may
+	// exist).
+	Exhausted bool
+}
+
+// ErrBudget is reported (alongside partial results) when a budget was
+// hit.
+var ErrBudget = errors.New("core: search budget exhausted; enumeration may be incomplete")
+
+// StableModels enumerates SMS(D,Σ).
+func StableModels(db *logic.FactStore, rules []*logic.Rule, opt Options) (*Result, error) {
+	res := &Result{}
+	stats, exhausted, err := EnumStableModels(db, rules, opt, func(m *logic.FactStore) bool {
+		res.Models = append(res.Models, m)
+		return opt.MaxModels == 0 || len(res.Models) < opt.MaxModels
+	})
+	res.Stats = stats
+	res.Exhausted = exhausted
+	return res, err
+}
+
+// EnumStableModels streams stable models to visit (return false to
+// stop). The bool result reports budget exhaustion (the enumeration may
+// then be incomplete).
+func EnumStableModels(db *logic.FactStore, rules []*logic.Rule, opt Options, visit func(*logic.FactStore) bool) (Stats, bool, error) {
+	for _, r := range rules {
+		if err := r.Validate(); err != nil {
+			return Stats{}, false, err
+		}
+	}
+	if opt.MaxAtoms <= 0 {
+		opt.MaxAtoms = chase.BudgetForStableSearch(db, rules, opt.ExtraConstants, 0)
+	}
+	if opt.MaxNodes <= 0 {
+		opt.MaxNodes = 8 << 20
+	}
+	s := &searcher{
+		rules: rules,
+		db:    db,
+		opt:   opt,
+		visit: visit,
+		seen:  make(map[string]bool),
+	}
+	st := &state{
+		A:        db.Clone(),
+		mustIn:   map[string]logic.Atom{},
+		mustOut:  map[string]logic.Atom{},
+		deferred: map[string]bool{},
+	}
+	s.dfs(st)
+	var err error
+	if s.exhausted {
+		err = ErrBudget
+	}
+	return s.stats, s.exhausted, err
+}
+
+// state is one node of the search: the derived atoms A, the negative
+// assumptions made when firing rules through their negative literals
+// (mustOut: atoms that must never be derived), the positive promises
+// made when deferring a trigger (mustIn: atoms that must eventually be
+// derived), and the set of deferred trigger keys.
+type state struct {
+	A        *logic.FactStore
+	mustIn   map[string]logic.Atom
+	mustOut  map[string]logic.Atom
+	deferred map[string]bool
+	nullCtr  int
+}
+
+func (st *state) clone() *state {
+	c := &state{
+		A:        st.A.Clone(),
+		mustIn:   make(map[string]logic.Atom, len(st.mustIn)),
+		mustOut:  make(map[string]logic.Atom, len(st.mustOut)),
+		deferred: make(map[string]bool, len(st.deferred)),
+		nullCtr:  st.nullCtr,
+	}
+	for k, v := range st.mustIn {
+		c.mustIn[k] = v
+	}
+	for k, v := range st.mustOut {
+		c.mustOut[k] = v
+	}
+	for k := range st.deferred {
+		c.deferred[k] = true
+	}
+	return c
+}
+
+type searcher struct {
+	rules     []*logic.Rule
+	db        *logic.FactStore
+	opt       Options
+	visit     func(*logic.FactStore) bool
+	stats     Stats
+	seen      map[string]bool
+	stopped   bool
+	exhausted bool
+}
+
+// trigger is an active trigger: a rule, a homomorphism of its positive
+// body into A whose negative body instances are absent from A, such
+// that no head disjunct is satisfied and the trigger has not been
+// deferred.
+type trigger struct {
+	rule *logic.Rule
+	hom  logic.Subst
+}
+
+func (t *trigger) key() string { return t.rule.Label + "|" + t.hom.String() }
+
+// deterministic reports whether handling the trigger requires no
+// branching: single disjunct, no negative body literals, no
+// existential head variables.
+func (t *trigger) deterministic() bool {
+	return len(t.rule.Heads) == 1 && !t.rule.HasNegation() && len(t.rule.ExistVars(0)) == 0
+}
+
+// findTrigger returns an active trigger, preferring deterministic ones.
+func (s *searcher) findTrigger(st *state) *trigger {
+	var firstAny *trigger
+	for _, r := range s.rules {
+		rule := r
+		var found *trigger
+		logic.FindHoms(rule.PosBody(), rule.NegBody(), st.A, logic.Subst{}, func(h logic.Subst) bool {
+			// Satisfied heads need no action.
+			for i := range rule.Heads {
+				if logic.ExistsHom(rule.Heads[i], nil, st.A, h) {
+					return true
+				}
+			}
+			t := &trigger{rule: rule, hom: h.Clone()}
+			if st.deferred[t.key()] {
+				return true
+			}
+			found = t
+			return false
+		})
+		if found == nil {
+			continue
+		}
+		if found.deterministic() {
+			return found
+		}
+		if firstAny == nil {
+			firstAny = found
+		}
+	}
+	return firstAny
+}
+
+// dfs explores the state; returns false if the search should stop
+// globally (visitor stop or budget).
+func (s *searcher) dfs(st *state) bool {
+	s.stats.Nodes++
+	if s.stats.Nodes > s.opt.MaxNodes {
+		s.exhausted = true
+		return false
+	}
+	// Deterministic closure: fire forced triggers without branching.
+	for {
+		t := s.findTrigger(st)
+		if t == nil {
+			return s.complete(st)
+		}
+		if !t.deterministic() {
+			return s.branch(st, t)
+		}
+		s.stats.Deterministic++
+		if !s.apply(st, t, 0, t.hom) {
+			return true // dead branch
+		}
+	}
+}
+
+// branch handles a non-deterministic trigger: one child per
+// (disjunct, witness tuple) plus one deferral child per negative body
+// literal instance.
+func (s *searcher) branch(st *state, t *trigger) bool {
+	s.stats.Branches++
+	for i := range t.rule.Heads {
+		exist := t.rule.ExistVars(i)
+		for _, mu := range s.witnessTuples(st, t, exist) {
+			child := st.clone()
+			full := t.hom.Clone()
+			// Materialize witness terms, turning fresh placeholders
+			// into sequentially numbered nulls.
+			fresh := make(map[string]logic.Term)
+			for _, z := range exist {
+				w := mu[z]
+				if w.Kind == logic.Var { // fresh placeholder
+					n, ok := fresh[w.Name]
+					if !ok {
+						child.nullCtr++
+						n = logic.N("n" + strconv.Itoa(child.nullCtr))
+						fresh[w.Name] = n
+					}
+					full[z] = n
+				} else {
+					full[z] = w
+				}
+			}
+			if s.applyTo(child, t, i, full) {
+				if !s.dfs(child) {
+					return false
+				}
+			}
+		}
+	}
+	// Deferral branches: assume one negative body instance will be in
+	// the final model, blocking the trigger.
+	seenNeg := map[string]bool{}
+	for _, n := range t.rule.NegBody() {
+		g := t.hom.ApplyAtom(n)
+		k := g.Key()
+		if seenNeg[k] {
+			continue
+		}
+		seenNeg[k] = true
+		child := st.clone()
+		if _, conflict := child.mustOut[k]; conflict {
+			continue
+		}
+		child.mustIn[k] = g
+		child.deferred[t.key()] = true
+		if !s.dfs(child) {
+			return false
+		}
+	}
+	return true
+}
+
+// witnessTuples enumerates the witness assignments for the existential
+// variables: every tuple over the current domain ∪ extra constants ∪
+// fresh placeholders (canonically ordered: placeholder j+1 may appear
+// only if placeholder j appears earlier), or a single all-fresh tuple
+// under WitnessFreshOnly. The returned substitutions map existential
+// variables to terms; fresh placeholders are variables named $f<i>.
+func (s *searcher) witnessTuples(st *state, t *trigger, exist []string) []logic.Subst {
+	if len(exist) == 0 {
+		return []logic.Subst{{}}
+	}
+	if s.opt.WitnessPolicy == WitnessFreshOnly {
+		mu := logic.Subst{}
+		for i, z := range exist {
+			mu[z] = logic.V("$f" + strconv.Itoa(i))
+		}
+		return []logic.Subst{mu}
+	}
+	pool := st.A.Domain()
+	for _, c := range s.opt.ExtraConstants {
+		dup := false
+		for _, p := range pool {
+			if p.Equal(c) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			pool = append(pool, c)
+		}
+	}
+	var out []logic.Subst
+	mu := logic.Subst{}
+	var rec func(i, freshUsed int)
+	rec = func(i, freshUsed int) {
+		if i == len(exist) {
+			out = append(out, mu.Clone())
+			return
+		}
+		for _, v := range pool {
+			mu[exist[i]] = v
+			rec(i+1, freshUsed)
+		}
+		// Reuse an already-introduced fresh placeholder…
+		for f := 0; f < freshUsed; f++ {
+			mu[exist[i]] = logic.V("$f" + strconv.Itoa(f))
+			rec(i+1, freshUsed)
+		}
+		// …or introduce the next one (canonical order).
+		if freshUsed < len(exist) {
+			mu[exist[i]] = logic.V("$f" + strconv.Itoa(freshUsed))
+			rec(i+1, freshUsed+1)
+		}
+		delete(mu, exist[i])
+	}
+	rec(0, 0)
+	return out
+}
+
+// apply clones nothing: it fires the trigger on st in place (used for
+// deterministic triggers). Reports false if the branch died.
+func (s *searcher) apply(st *state, t *trigger, disjunct int, full logic.Subst) bool {
+	return s.applyTo(st, t, disjunct, full)
+}
+
+// applyTo fires (rule, hom) choosing the given disjunct under the fully
+// extended substitution: head atoms are added to A and the negative
+// body instances recorded as permanent negative assumptions. It reports
+// false when the state became inconsistent (or a budget was hit).
+func (s *searcher) applyTo(st *state, t *trigger, disjunct int, full logic.Subst) bool {
+	if t.rule.IsConstraint() {
+		return false
+	}
+	for _, n := range t.rule.NegBody() {
+		g := t.hom.ApplyAtom(n)
+		k := g.Key()
+		if st.A.HasKey(k) {
+			return false
+		}
+		if _, promised := st.mustIn[k]; promised {
+			return false
+		}
+		st.mustOut[k] = g
+	}
+	for _, a := range t.rule.Heads[disjunct] {
+		g := full.ApplyAtom(a)
+		if _, banned := st.mustOut[g.Key()]; banned {
+			return false
+		}
+		st.A.Add(g)
+	}
+	if st.A.Len() > s.opt.MaxAtoms {
+		s.exhausted = true
+		return false
+	}
+	return true
+}
+
+// complete validates a fixpoint state and, if it passes the paper's
+// stability condition, emits the model.
+func (s *searcher) complete(st *state) bool {
+	s.stats.Completed++
+	for k := range st.mustIn {
+		if !st.A.HasKey(k) {
+			return true // a deferral promise was never fulfilled
+		}
+	}
+	for k := range st.mustOut {
+		if st.A.HasKey(k) {
+			return true // a negative assumption was violated
+		}
+	}
+	if !logic.IsModel(s.rules, st.A) {
+		return true
+	}
+	key := canonicalModelKey(st.A)
+	if s.seen[key] {
+		return true
+	}
+	s.stats.StabilityChecks++
+	if !stableAgainstSubsets(s.db, s.rules, st.A) {
+		s.stats.StabilityFailed++
+		return true
+	}
+	s.seen[key] = true
+	s.stats.ModelsEmitted++
+	return s.visit(st.A.Clone())
+}
+
+// canonicalModelKey renders the model with nulls renamed by first
+// occurrence in a null-masked atom ordering, so that models differing
+// only in null invention order collapse. (This is a practical
+// canonicalization, not a full graph canonization; see DESIGN.md.)
+func canonicalModelKey(m *logic.FactStore) string {
+	atoms := append([]logic.Atom(nil), m.Atoms()...)
+	masked := make([]string, len(atoms))
+	for i, a := range atoms {
+		masked[i] = maskNulls(a)
+	}
+	idx := make([]int, len(atoms))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool {
+		if masked[idx[i]] != masked[idx[j]] {
+			return masked[idx[i]] < masked[idx[j]]
+		}
+		return atoms[idx[i]].Key() < atoms[idx[j]].Key()
+	})
+	ren := map[string]string{}
+	var parts []string
+	for _, i := range idx {
+		a := atoms[i]
+		renamed := renameCanonical(a, ren)
+		parts = append(parts, renamed.String())
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ";")
+}
+
+func maskNulls(a logic.Atom) string {
+	var b strings.Builder
+	b.WriteString(a.Pred)
+	b.WriteByte('(')
+	for i, t := range a.Args {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if t.Kind == logic.Null {
+			b.WriteByte('*')
+		} else {
+			b.WriteString(t.String())
+		}
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+func renameCanonical(a logic.Atom, ren map[string]string) logic.Atom {
+	args := make([]logic.Term, len(a.Args))
+	for i, t := range a.Args {
+		if t.Kind == logic.Null {
+			n, ok := ren[t.Name]
+			if !ok {
+				n = "c" + strconv.Itoa(len(ren)+1)
+				ren[t.Name] = n
+			}
+			args[i] = logic.N(n)
+		} else {
+			args[i] = t
+		}
+	}
+	return logic.Atom{Pred: a.Pred, Args: args}
+}
+
+// IsStableModel checks Definition 1 directly for a candidate
+// interpretation (given by its positive part): M must contain D, be a
+// model of Σ, and admit no J with D ⊆ J ⊊ M⁺ satisfying the
+// τ_{p▷s}-transform (checked via SAT; Proposition 11).
+func IsStableModel(db *logic.FactStore, rules []*logic.Rule, m *logic.FactStore) bool {
+	if !db.SubsetOf(m) {
+		return false
+	}
+	if !logic.IsModel(rules, m) {
+		return false
+	}
+	return stableAgainstSubsets(db, rules, m)
+}
+
+// Describe renders a model deterministically for tests and tools.
+func Describe(m *logic.FactStore) string { return m.CanonicalString() }

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"ntgd/internal/logic"
+)
+
+// IsMinimalModel checks the circumscription condition MM[D,Σ] of
+// Section 3.2: M contains D, M is a model of Σ, and no proper subset J
+// with D ⊆ J ⊊ M⁺ is a model of D and Σ. Unlike the stability check,
+// the negative literals are re-evaluated in J itself (all predicates
+// are starred in MM[D,Σ]); the contrast between the two conditions on
+// J = {p(0), t(0)} is exactly the paper's motivation for SM[D,Σ].
+//
+// The subset search is a straightforward enumeration over M⁺ \ D and
+// is intended for small models (tests, teaching tools, the E4
+// experiment); it returns false early when a smaller model is found.
+func IsMinimalModel(db *logic.FactStore, rules []*logic.Rule, m *logic.FactStore) bool {
+	if !db.SubsetOf(m) || !logic.IsModel(rules, m) {
+		return false
+	}
+	var extra []logic.Atom
+	inDB := make(map[string]bool, db.Len())
+	for _, a := range db.Atoms() {
+		inDB[a.Key()] = true
+	}
+	for _, a := range m.Atoms() {
+		if !inDB[a.Key()] {
+			extra = append(extra, a)
+		}
+	}
+	n := len(extra)
+	if n == 0 {
+		return true
+	}
+	if n > 24 {
+		// 2^n subsets would be prohibitive; callers should not use the
+		// brute-force circumscription check at this size.
+		panic("core: IsMinimalModel is limited to 24 non-database atoms")
+	}
+	// Enumerate proper subsets.
+	for mask := 0; mask < 1<<n-1; mask++ {
+		j := db.Clone()
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				j.Add(extra[i])
+			}
+		}
+		if logic.IsModel(rules, j) {
+			return false
+		}
+	}
+	return true
+}
+
+// MinimalModels enumerates the minimal models of (D, Σ) over candidate
+// atom sets drawn from the universe store (typically a chase result or
+// a stable-model search space); used by the E4 experiment to contrast
+// MM[D,Σ] with SM[D,Σ] on small instances.
+func MinimalModels(db *logic.FactStore, rules []*logic.Rule, universe *logic.FactStore) []*logic.FactStore {
+	var extra []logic.Atom
+	inDB := make(map[string]bool, db.Len())
+	for _, a := range db.Atoms() {
+		inDB[a.Key()] = true
+	}
+	for _, a := range universe.Atoms() {
+		if !inDB[a.Key()] {
+			extra = append(extra, a)
+		}
+	}
+	n := len(extra)
+	if n > 20 {
+		panic("core: MinimalModels is limited to 20 non-database atoms")
+	}
+	var out []*logic.FactStore
+	for mask := 0; mask < 1<<n; mask++ {
+		j := db.Clone()
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				j.Add(extra[i])
+			}
+		}
+		if !logic.IsModel(rules, j) {
+			continue
+		}
+		minimal := true
+		for _, prev := range out {
+			if prev.SubsetOf(j) {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			out = append(out, j)
+		}
+	}
+	// A second pass removes non-minimal entries discovered later
+	// (masks are not enumerated in subset order).
+	var filtered []*logic.FactStore
+	for i, mi := range out {
+		minimal := true
+		for k, mk := range out {
+			if i != k && mk.SubsetOf(mi) && !mk.Equal(mi) {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			filtered = append(filtered, mi)
+		}
+	}
+	return filtered
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"ntgd/internal/logic"
+	"ntgd/internal/sat"
+)
+
+// stableAgainstSubsets decides the second conjunct of SM[D,Σ]
+// (Section 3.3): M is stable iff there is no tuple of predicate
+// extensions s < p — equivalently, no set of atoms J with
+// D ⊆ J ⊊ M⁺ — such that J satisfies τ_{p▷s}(D) ∧ τ_{p▷s}(Σ), where
+// positive literals are evaluated in J and negative literals are
+// evaluated in M (that is the essential difference from plain
+// circumscription/minimal models: the negative predicates are fixed to
+// their value in M, cf. Section 3.3's discussion of MM vs SM).
+//
+// Following Proposition 11, the check is encoded propositionally: one
+// variable per atom of M⁺ \ D, one clause per body homomorphism of a
+// τ-rule into M⁺ (the head alternatives are the witness extensions of
+// Definition 4, materialized over M⁺), plus a clause requiring J to be
+// a proper subset. The formula is handed to the DPLL solver; UNSAT
+// means M is stable.
+func stableAgainstSubsets(db *logic.FactStore, rules []*logic.Rule, m *logic.FactStore) bool {
+	if m.Len() == db.Len() {
+		// J must satisfy D ⊆ J ⊊ M⁺; no such J exists.
+		return true
+	}
+	s := sat.New()
+	varOf := make(map[string]int, m.Len())
+	inDB := make(map[string]bool, db.Len())
+	for _, a := range db.Atoms() {
+		inDB[a.Key()] = true
+	}
+	var subsetVars []int
+	for _, a := range m.Atoms() {
+		k := a.Key()
+		if inDB[k] {
+			continue
+		}
+		v := s.NewVar()
+		varOf[k] = v
+		subsetVars = append(subsetVars, v)
+	}
+	// litOf returns (satLiteral, alwaysTrue): database atoms are fixed
+	// true in J.
+	litOf := func(a logic.Atom) (int, bool) {
+		k := a.Key()
+		if inDB[k] {
+			return 0, true
+		}
+		return varOf[k], false
+	}
+
+	for _, r := range rules {
+		rule := r
+		pos, neg := logic.SplitLiterals(rule.Body)
+		// Enumerate body homomorphisms into M⁺ whose negative
+		// instances are absent from M (negatives are fixed to M).
+		logic.FindHoms(pos, neg, m, logic.Subst{}, func(h logic.Subst) bool {
+			clause := make([]int, 0, 8)
+			for _, b := range pos {
+				lit, fixed := litOf(h.ApplyAtom(b))
+				if !fixed {
+					clause = append(clause, -lit)
+				}
+			}
+			trivially := false
+			for i := range rule.Heads {
+				logic.FindHoms(rule.Heads[i], nil, m, h, func(mu logic.Subst) bool {
+					conj := make([]int, 0, len(rule.Heads[i]))
+					for _, a := range rule.Heads[i] {
+						lit, fixed := litOf(mu.ApplyAtom(a))
+						if fixed {
+							continue
+						}
+						dup := false
+						for _, c := range conj {
+							if c == lit {
+								dup = true
+								break
+							}
+						}
+						if !dup {
+							conj = append(conj, lit)
+						}
+					}
+					switch len(conj) {
+					case 0:
+						// The extension lands entirely in D: the rule
+						// instance is satisfied in every J ⊇ D.
+						trivially = true
+						return false
+					case 1:
+						clause = append(clause, conj[0])
+					default:
+						aux := s.NewVar()
+						clause = append(clause, aux)
+						for _, lit := range conj {
+							s.AddClause(-aux, lit)
+						}
+					}
+					return true
+				})
+				if trivially {
+					break
+				}
+			}
+			if !trivially {
+				s.AddClause(clause...)
+			}
+			return true
+		})
+	}
+	// Proper subset: at least one non-database atom of M is dropped.
+	drop := make([]int, len(subsetVars))
+	for i, v := range subsetVars {
+		drop[i] = -v
+	}
+	s.AddClause(drop...)
+	return !s.Solve()
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"ntgd/internal/logic"
+)
+
+// ImmediateConsequences computes T_{Σ,I}(S), the immediate consequence
+// operator of Section 5.1 relative to the oracle interpretation I
+// (given by its positive part): an atom p(t̄) ∈ I⁺ is an immediate
+// consequence for S and Σ relative to I if some rule σ and
+// homomorphism h satisfy h(B⁺(σ)) ⊆ S, h(B⁻(σ)) ∩ I⁺ = ∅ (the negative
+// literals are answered by the oracle), and p(t̄) ∈ h(H(σ)) for an
+// extension of h mapping some head disjunct into I⁺.
+func ImmediateConsequences(s *logic.FactStore, rules []*logic.Rule, oracle *logic.FactStore) []logic.Atom {
+	var out []logic.Atom
+	seen := make(map[string]bool)
+	for _, r := range rules {
+		rule := r
+		pos, neg := logic.SplitLiterals(rule.Body)
+		logic.FindHoms(pos, nil, s, logic.Subst{}, func(h logic.Subst) bool {
+			for _, n := range neg {
+				if oracle.Has(h.ApplyAtom(n)) {
+					return true
+				}
+			}
+			for i := range rule.Heads {
+				logic.FindHoms(rule.Heads[i], nil, oracle, h, func(mu logic.Subst) bool {
+					for _, a := range rule.Heads[i] {
+						g := mu.ApplyAtom(a)
+						if k := g.Key(); !seen[k] {
+							seen[k] = true
+							out = append(out, g)
+						}
+					}
+					return true
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// TInfinity computes T∞_{Σ,I}(D): the least fixpoint of the immediate
+// consequence operator starting from the database. Lemma 7 states that
+// M⁺ = T∞_{Σ,M}(D) for every stable model M, which both justifies the
+// search strategy of this package and provides an independent
+// validation oracle used by the test suite.
+func TInfinity(db *logic.FactStore, rules []*logic.Rule, oracle *logic.FactStore) *logic.FactStore {
+	s := db.Clone()
+	for {
+		added := 0
+		for _, a := range ImmediateConsequences(s, rules, oracle) {
+			if s.Add(a) {
+				added++
+			}
+		}
+		if added == 0 {
+			return s
+		}
+	}
+}

@@ -1,0 +1,304 @@
+// Package efwfs implements (a bounded variant of) the equality-friendly
+// well-founded semantics of Gottlob, Hernich, Kupke and Lukasiewicz
+// (AAAI 2012), reference [21] of the paper. Given (D, Σ), the paper
+// describes the semantics as the set of well-founded models of all
+// normal programs Π ∈ I(D,Σ) obtained by (i) optionally unifying
+// constants of D (no unique name assumption) and (ii) replacing every
+// NTGD by arbitrary ground instances over constants — at least one per
+// body assignment.
+//
+// I(D,Σ) is infinite (instances range over the whole constant
+// universe); this implementation bounds it by a finite fresh-constant
+// pool and a maximum number of head instances per body assignment.
+// That bounded family is sufficient to reproduce both observations the
+// paper makes about EFWFS: Example 2 is answered as intended (there is
+// an equality-friendly well-founded model with hasFather(alice, bob)),
+// while Example 3 is not (some model makes abnormal(alice) true
+// because two distinct fresh fathers can be chosen). See DESIGN.md,
+// substitution #2.
+package efwfs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"ntgd/internal/asp"
+	"ntgd/internal/logic"
+)
+
+// Options bounds the instance family.
+type Options struct {
+	// FreshConstants is the number of fresh constants added to the
+	// instantiation pool (default 2).
+	FreshConstants int
+	// MaxInstancesPerAssignment bounds how many head instantiations a
+	// single (rule, body assignment) pair may receive (default 2;
+	// Example 3 needs 2).
+	MaxInstancesPerAssignment int
+	// MaxPrograms bounds the number of programs examined (default
+	// 200000).
+	MaxPrograms int
+	// ExtraConstants extends the pool (typically query constants).
+	ExtraConstants []logic.Term
+}
+
+func (o *Options) fill() {
+	if o.FreshConstants <= 0 {
+		o.FreshConstants = 2
+	}
+	if o.MaxInstancesPerAssignment <= 0 {
+		o.MaxInstancesPerAssignment = 2
+	}
+	if o.MaxPrograms <= 0 {
+		o.MaxPrograms = 200000
+	}
+}
+
+// Verdict is the outcome of an entailment check over the bounded
+// family.
+type Verdict struct {
+	// Entailed reports whether q held in the well-founded model of
+	// every examined program.
+	Entailed bool
+	// CounterTrue/CounterUndefined describe the well-founded model of
+	// the first counterexample program (nil when Entailed).
+	CounterTrue *logic.FactStore
+	// ProgramsChecked counts examined instance programs.
+	ProgramsChecked int
+	// Complete is false when MaxPrograms truncated the family; an
+	// Entailed verdict is then only "no counterexample found within
+	// the bounded family".
+	Complete bool
+}
+
+// Entails checks q against the well-founded model of every program in
+// the bounded instance family: q is EFWFS-entailed when its positive
+// atoms are well-founded true and its negated atoms well-founded false
+// in every model.
+func Entails(db *logic.FactStore, rules []*logic.Rule, q logic.Query, opt Options) (Verdict, error) {
+	if err := q.Validate(); err != nil {
+		return Verdict{}, err
+	}
+	opt.fill()
+	pool := buildPool(db, q, opt)
+
+	// Enumerate per-(rule, body assignment) head-instantiation choices.
+	var sites []site
+	for _, r := range rules {
+		if r.IsDisjunctive() || r.IsConstraint() {
+			return Verdict{}, fmt.Errorf("efwfs: rule %s: EFWFS is defined for normal TGDs", r.Label)
+		}
+		bodyVars := sortedVars(r.BodyVars())
+		exist := r.ExistVars(0)
+		for _, bodyAsg := range allAssignments(bodyVars, pool) {
+			st := site{rule: r, body: bodyAsg}
+			if len(exist) == 0 {
+				st.headChoices = []logic.Subst{{}}
+			} else {
+				st.headChoices = allAssignments(exist, pool)
+			}
+			sites = append(sites, st)
+		}
+	}
+
+	v := Verdict{Entailed: true, Complete: true}
+	// DFS over choice combinations: each site picks a non-empty subset
+	// of headChoices with size ≤ MaxInstancesPerAssignment.
+	var chosen [][]logic.Subst
+	var dfs func(i int) bool // returns false to stop (counterexample or budget)
+	dfs = func(i int) bool {
+		if i == len(sites) {
+			v.ProgramsChecked++
+			if v.ProgramsChecked > opt.MaxPrograms {
+				v.Complete = false
+				return false
+			}
+			trueStore, ok := wfsOf(db, sites2instances(sites, chosen))
+			if !ok {
+				return true
+			}
+			if !holdsWFS(q, trueStore) {
+				v.Entailed = false
+				v.CounterTrue = trueStore
+				return false
+			}
+			return true
+		}
+		subsets := nonEmptySubsets(len(sites[i].headChoices), opt.MaxInstancesPerAssignment)
+		for _, sel := range subsets {
+			var picks []logic.Subst
+			for _, idx := range sel {
+				picks = append(picks, sites[i].headChoices[idx])
+			}
+			chosen = append(chosen, picks)
+			ok := dfs(i + 1)
+			chosen = chosen[:len(chosen)-1]
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	dfs(0)
+	return v, nil
+}
+
+// site is one (rule, body assignment) pair of the instance family: the
+// paper requires at least one instance per body assignment; headChoices
+// lists the candidate existential-variable assignments.
+type site struct {
+	rule        *logic.Rule
+	body        logic.Subst
+	headChoices []logic.Subst
+}
+
+// instance is one ground normal rule of an instance program.
+type instance struct {
+	pos, neg []logic.Atom
+	head     []logic.Atom
+}
+
+func sites2instances(sites []site, chosen [][]logic.Subst) []instance {
+	var out []instance
+	for i, st := range sites {
+		pos, neg := logic.SplitLiterals(st.rule.Body)
+		for _, headAsg := range chosen[i] {
+			full := st.body.Clone()
+			for k, t := range headAsg {
+				full[k] = t
+			}
+			out = append(out, instance{
+				pos:  full.ApplyAtoms(pos),
+				neg:  full.ApplyAtoms(neg),
+				head: full.ApplyAtoms(st.rule.Heads[0]),
+			})
+		}
+	}
+	return out
+}
+
+// wfsOf computes the well-founded model of the ground instance
+// program; it returns the store of well-founded-true atoms. ok=false
+// signals an (unexpected) WFS failure.
+func wfsOf(db *logic.FactStore, insts []instance) (*logic.FactStore, bool) {
+	ids := map[string]int{}
+	var atoms []logic.Atom
+	intern := func(a logic.Atom) int {
+		k := a.Key()
+		if id, ok := ids[k]; ok {
+			return id
+		}
+		ids[k] = len(atoms)
+		atoms = append(atoms, a)
+		return len(atoms) - 1
+	}
+	prog := &asp.Program{}
+	for _, f := range db.Atoms() {
+		prog.Rules = append(prog.Rules, asp.Rule{Disjuncts: [][]int{{intern(f)}}})
+	}
+	for _, in := range insts {
+		r := asp.Rule{}
+		for _, a := range in.pos {
+			r.Pos = append(r.Pos, intern(a))
+		}
+		for _, a := range in.neg {
+			r.Neg = append(r.Neg, intern(a))
+		}
+		var d []int
+		for _, a := range in.head {
+			d = append(d, intern(a))
+		}
+		r.Disjuncts = [][]int{d}
+		prog.Rules = append(prog.Rules, r)
+	}
+	prog.NAtoms = len(atoms)
+	w, err := asp.WellFounded(prog)
+	if err != nil {
+		return nil, false
+	}
+	trueStore := logic.NewFactStore()
+	for _, id := range w.True {
+		trueStore.Add(atoms[id])
+	}
+	return trueStore, true
+}
+
+// holdsWFS evaluates the NBCQ over a well-founded model: positive
+// atoms must be well-founded true; negated instances must not be.
+// (Atoms outside the program's vocabulary are well-founded false, so
+// checking membership in the true-store is exact for safe queries.)
+func holdsWFS(q logic.Query, trueStore *logic.FactStore) bool {
+	return logic.ExistsHom(q.Pos, q.Neg, trueStore, logic.Subst{})
+}
+
+func buildPool(db *logic.FactStore, q logic.Query, opt Options) []logic.Term {
+	seen := map[string]logic.Term{}
+	for _, t := range db.Domain() {
+		seen[t.Key()] = t
+	}
+	for _, t := range q.Constants() {
+		seen[t.Key()] = t
+	}
+	for _, t := range opt.ExtraConstants {
+		seen[t.Key()] = t
+	}
+	for i := 1; i <= opt.FreshConstants; i++ {
+		t := logic.C("fresh" + strconv.Itoa(i))
+		seen[t.Key()] = t
+	}
+	out := make([]logic.Term, 0, len(seen))
+	for _, t := range seen {
+		out = append(out, t)
+	}
+	logic.SortTerms(out)
+	return out
+}
+
+func sortedVars(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func allAssignments(vars []string, pool []logic.Term) []logic.Subst {
+	out := []logic.Subst{{}}
+	for _, v := range vars {
+		var next []logic.Subst
+		for _, s := range out {
+			for _, t := range pool {
+				c := s.Clone()
+				c[v] = t
+				next = append(next, c)
+			}
+		}
+		out = next
+	}
+	return out
+}
+
+// nonEmptySubsets returns index subsets of {0..n-1} of size 1..max, in
+// deterministic order (singletons first).
+func nonEmptySubsets(n, max int) [][]int {
+	var out [][]int
+	var cur []int
+	var rec func(start, size int)
+	rec = func(start, size int) {
+		if size == 0 {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for i := start; i < n; i++ {
+			cur = append(cur, i)
+			rec(i+1, size-1)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	for size := 1; size <= max && size <= n; size++ {
+		rec(0, size)
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package efwfs_test
+
+import (
+	"testing"
+
+	"ntgd/internal/efwfs"
+	"ntgd/internal/parser"
+)
+
+const fatherProgram = `
+person(alice).
+person(X) -> hasFather(X,Y).
+hasFather(X,Y) -> sameAs(Y,Y).
+hasFather(X,Y), hasFather(X,Z), not sameAs(Y,Z) -> abnormal(X).
+`
+
+// TestEFWFSExample2IntendedAnswer: under EFWFS the query
+// ¬hasFather(alice, bob) is not entailed — the intended answer, as the
+// paper notes ("if we apply the EFWFS to Example 2, then we get the
+// expected answer").
+func TestEFWFSExample2IntendedAnswer(t *testing.T) {
+	prog := parser.MustParse(fatherProgram + "?- person(alice), not hasFather(alice,bob).")
+	v, err := efwfs.Entails(prog.Database(), prog.Rules, prog.Queries[0], efwfs.Options{
+		FreshConstants:            1,
+		MaxInstancesPerAssignment: 1,
+	})
+	if err != nil {
+		t.Fatalf("Entails: %v", err)
+	}
+	if v.Entailed {
+		t.Fatalf("EFWFS should NOT entail ¬hasFather(alice,bob) (checked %d programs)", v.ProgramsChecked)
+	}
+	if v.CounterTrue == nil {
+		t.Fatalf("expected a counterexample well-founded model")
+	}
+}
+
+// TestEFWFSExample3UnintendedAnswer reproduces Example 3: one expects
+// ¬abnormal(alice) to be entailed (there is no evidence alice has two
+// fathers), but EFWFS fails to entail it because some instance program
+// gives alice two distinct fathers — e.g. the program containing
+// person(alice) → hasFather(alice, bob) and person(alice) →
+// hasFather(alice, john).
+func TestEFWFSExample3UnintendedAnswer(t *testing.T) {
+	prog := parser.MustParse(fatherProgram + "?- person(alice), not abnormal(alice).")
+	v, err := efwfs.Entails(prog.Database(), prog.Rules, prog.Queries[0], efwfs.Options{
+		FreshConstants:            2, // bob and john, in effect
+		MaxInstancesPerAssignment: 2, // a body assignment may get two instances
+	})
+	if err != nil {
+		t.Fatalf("Entails: %v", err)
+	}
+	if v.Entailed {
+		t.Fatalf("Example 3: EFWFS should NOT entail ¬abnormal(alice) (checked %d programs)", v.ProgramsChecked)
+	}
+	if v.CounterTrue == nil || v.CounterTrue.CountPred("abnormal") == 0 {
+		t.Fatalf("the counterexample model should make abnormal(alice) true; got %v", v.CounterTrue)
+	}
+	if v.CounterTrue.CountPred("hasFather") < 2 {
+		t.Fatalf("the counterexample should give alice two fathers: %s", v.CounterTrue.CanonicalString())
+	}
+}
+
+// TestEFWFSEntailsPositiveFacts: database facts are entailed in every
+// instance program.
+func TestEFWFSEntailsPositiveFacts(t *testing.T) {
+	prog := parser.MustParse(fatherProgram + "?- person(alice).")
+	v, err := efwfs.Entails(prog.Database(), prog.Rules, prog.Queries[0], efwfs.Options{
+		FreshConstants:            1,
+		MaxInstancesPerAssignment: 1,
+		MaxPrograms:               5000,
+	})
+	if err != nil {
+		t.Fatalf("Entails: %v", err)
+	}
+	if !v.Entailed {
+		t.Fatalf("person(alice) must be EFWFS-entailed")
+	}
+}

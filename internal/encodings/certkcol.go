@@ -1,0 +1,205 @@
+package encodings
+
+import (
+	"fmt"
+	"strconv"
+
+	"ntgd/internal/logic"
+	"ntgd/internal/transform"
+)
+
+// CertColGraph is an instance of the certain k-colorability problem
+// that Section 7.1 describes as "an interesting variation of graph
+// k-colorability, which generalizes the well-known problem CERT3COL":
+// every edge is labeled with a Boolean literal over Vars; the instance
+// is a YES instance iff for every truth assignment the subgraph of
+// edges whose label is true is k-colorable. For k = 3 this is
+// Stewart's ΠP2-complete CERT3COL.
+type CertColGraph struct {
+	Vertices []string
+	Edges    []LabeledEdge
+	Vars     []string
+	K        int
+}
+
+// LabeledEdge is an edge active when its label literal is true.
+type LabeledEdge struct {
+	U, W string
+	Var  string
+	Neg  bool
+}
+
+func colPred(c int) string { return "col" + strconv.Itoa(c) }
+
+// Database builds the database facts for the instance.
+func (g CertColGraph) Database() *logic.FactStore {
+	db := logic.NewFactStore()
+	for _, v := range g.Vertices {
+		db.Add(logic.A("vtx", logic.C(v)))
+	}
+	for _, v := range g.Vars {
+		db.Add(logic.A("bvar", logic.C(v)))
+	}
+	for _, e := range g.Edges {
+		pred := "edgp"
+		if e.Neg {
+			pred = "edgn"
+		}
+		db.Add(logic.A(pred, logic.C(e.U), logic.C(e.W), logic.C(e.Var)))
+	}
+	return db
+}
+
+// DatalogProgram builds the DATALOG∨ saturation encoding: guess an
+// assignment and a coloring disjunctively; derive w on a monochromatic
+// active edge; saturate the coloring under w. A stable model contains
+// w iff its assignment admits no proper k-coloring, so the instance is
+// a YES instance iff w is not bravely entailed. The program is
+// negation-free and existential-free (hence trivially weakly acyclic),
+// making it a valid input both for the native NDTGD engine
+// (WATGD¬,∨, Theorem 12) and for the Theorem 15 translation to WATGD¬.
+func (g CertColGraph) DatalogProgram() []*logic.Rule {
+	var rules []*logic.Rule
+	x, y, v := logic.V("X"), logic.V("Y"), logic.V("V")
+	// Coloring guess: col1(X) | … | colk(X) :- vtx(X).
+	var colDisj [][]logic.Atom
+	for c := 1; c <= g.K; c++ {
+		colDisj = append(colDisj, []logic.Atom{logic.A(colPred(c), x)})
+	}
+	rules = append(rules, &logic.Rule{
+		Label: "guesscol",
+		Body:  []logic.Literal{logic.Pos(logic.A("vtx", x))},
+		Heads: colDisj,
+	})
+	// Assignment guess: tt(V) | ff(V) :- bvar(V).
+	rules = append(rules, &logic.Rule{
+		Label: "guessasg",
+		Body:  []logic.Literal{logic.Pos(logic.A("bvar", v))},
+		Heads: [][]logic.Atom{{logic.A("tt", v)}, {logic.A("ff", v)}},
+	})
+	// Clash detection per color and per label polarity.
+	for c := 1; c <= g.K; c++ {
+		rules = append(rules, &logic.Rule{
+			Label: fmt.Sprintf("clashp%d", c),
+			Body: []logic.Literal{
+				logic.Pos(logic.A("edgp", x, y, v)),
+				logic.Pos(logic.A("tt", v)),
+				logic.Pos(logic.A(colPred(c), x)),
+				logic.Pos(logic.A(colPred(c), y)),
+			},
+			Heads: [][]logic.Atom{{logic.A("w")}},
+		})
+		rules = append(rules, &logic.Rule{
+			Label: fmt.Sprintf("clashn%d", c),
+			Body: []logic.Literal{
+				logic.Pos(logic.A("edgn", x, y, v)),
+				logic.Pos(logic.A("ff", v)),
+				logic.Pos(logic.A(colPred(c), x)),
+				logic.Pos(logic.A(colPred(c), y)),
+			},
+			Heads: [][]logic.Atom{{logic.A("w")}},
+		})
+	}
+	// Saturation: w forces every color on every vertex.
+	for c := 1; c <= g.K; c++ {
+		rules = append(rules, &logic.Rule{
+			Label: fmt.Sprintf("sat%d", c),
+			Body: []logic.Literal{
+				logic.Pos(logic.A("w")),
+				logic.Pos(logic.A("vtx", x)),
+			},
+			Heads: [][]logic.Atom{{logic.A(colPred(c), x)}},
+		})
+	}
+	// Answer copy so the query predicate does not occur in bodies.
+	rules = append(rules, &logic.Rule{
+		Label: "anscp",
+		Body:  []logic.Literal{logic.Pos(logic.A("w"))},
+		Heads: [][]logic.Atom{{logic.A("bad")}},
+	})
+	return rules
+}
+
+// BadQuery is the Boolean query asked under the brave semantics: the
+// instance is certainly colorable iff bad is NOT bravely entailed.
+func (g CertColGraph) BadQuery() logic.Query {
+	return logic.Query{Pos: []logic.Atom{logic.A("bad")}}
+}
+
+// WATGDProgram translates the DATALOG∨ encoding into a WATGD¬ query
+// via the construction of Theorem 15/16.
+func (g CertColGraph) WATGDProgram() (*transform.WATGDQuery, error) {
+	return transform.DatalogToWATGD(transform.DatalogQuery{
+		Rules:     g.DatalogProgram(),
+		QueryPred: "bad",
+	}, 0)
+}
+
+// BruteForce decides the instance by enumerating assignments and, for
+// each, k-colorings of the active subgraph by backtracking.
+func (g CertColGraph) BruteForce() bool {
+	n := len(g.Vars)
+	if n > 20 {
+		panic("encodings: CertColGraph.BruteForce limited to 20 variables")
+	}
+	idx := make(map[string]int, n)
+	for i, v := range g.Vars {
+		idx[v] = i
+	}
+	for mask := 0; mask < 1<<n; mask++ {
+		// Active edges under this assignment.
+		var active [][2]string
+		for _, e := range g.Edges {
+			val := mask&(1<<idx[e.Var]) != 0
+			if val != e.Neg {
+				active = append(active, [2]string{e.U, e.W})
+			}
+		}
+		if !kColorable(g.Vertices, active, g.K) {
+			return false
+		}
+	}
+	return true
+}
+
+func kColorable(vertices []string, edges [][2]string, k int) bool {
+	color := make(map[string]int, len(vertices))
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(vertices) {
+			return true
+		}
+		v := vertices[i]
+		for c := 1; c <= k; c++ {
+			ok := true
+			for _, e := range edges {
+				var other string
+				switch v {
+				case e[0]:
+					other = e[1]
+				case e[1]:
+					other = e[0]
+				default:
+					continue
+				}
+				if oc, set := color[other]; set && oc == c {
+					ok = false
+					break
+				}
+				if other == v {
+					ok = false // self-loop is never colorable
+					break
+				}
+			}
+			if ok {
+				color[v] = c
+				if rec(i + 1) {
+					return true
+				}
+				delete(color, v)
+			}
+		}
+		return false
+	}
+	return rec(0)
+}

@@ -1,0 +1,84 @@
+package encodings_test
+
+import (
+	"testing"
+
+	"ntgd/internal/core"
+	"ntgd/internal/encodings"
+	"ntgd/internal/parser"
+)
+
+// cqaKeyConflict is a classic CQA instance: two conflicting manager
+// records; each repair keeps exactly one.
+func cqaKeyConflict(t *testing.T) *encodings.CQAInstance {
+	t.Helper()
+	prog := parser.MustParse(`
+mgr(sales, ann).
+mgr(sales, bob).
+mgr(hr, eve).
+:- mgr(D, X), mgr(D, Y), neq(X, Y).
+neq(ann,bob). neq(bob,ann).
+mgr(D, X) -> emp(X).
+`)
+	var inst encodings.CQAInstance
+	inst.DB = prog.Database()
+	for _, r := range prog.Rules {
+		if r.IsConstraint() {
+			inst.Denials = append(inst.Denials, r)
+		} else {
+			inst.TGDs = append(inst.TGDs, r)
+		}
+	}
+	return &inst
+}
+
+func TestCQARepairsKeyConflict(t *testing.T) {
+	inst := cqaKeyConflict(t)
+	repairs, err := inst.BruteForceRepairs()
+	if err != nil {
+		t.Fatalf("repairs: %v", err)
+	}
+	// Three maximal consistent subsets: keep ann (drop bob), keep bob
+	// (drop ann), or drop both neq facts (the inequality facts are
+	// ordinary, repairable database facts too).
+	if len(repairs) != 3 {
+		for _, r := range repairs {
+			t.Logf("repair: %s", r.CanonicalString())
+		}
+		t.Fatalf("expected 3 repairs, got %d", len(repairs))
+	}
+}
+
+func TestCQAEncodingAgreesWithBrute(t *testing.T) {
+	inst := cqaKeyConflict(t)
+	cases := []struct {
+		query string
+		want  bool
+	}{
+		// eve's record is in no conflict: certain.
+		{"?- emp(eve).", true},
+		// ann survives in only one repair: not certain.
+		{"?- emp(ann).", false},
+		// some sales manager employee exists in every repair.
+		{"?- mgr(sales, X), emp(X).", true},
+		// ann and bob never coexist.
+		{"?- emp(ann), emp(bob).", false},
+	}
+	for _, tc := range cases {
+		q := parser.MustParse(tc.query).Queries[0]
+		brute, err := inst.CertainBrute(q, core.Options{})
+		if err != nil {
+			t.Fatalf("%s: brute: %v", tc.query, err)
+		}
+		if brute != tc.want {
+			t.Fatalf("%s: brute force gives %v, hand analysis says %v", tc.query, brute, tc.want)
+		}
+		enc, err := inst.CertainEncoded(q, core.Options{})
+		if err != nil {
+			t.Fatalf("%s: encoded: %v", tc.query, err)
+		}
+		if enc != tc.want {
+			t.Fatalf("%s: encoding gives %v, want %v", tc.query, enc, tc.want)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Package encodings implements the paper's declarative encodings of
+// second-level problems (Sections 5.3 and 7.1): satisfiability of
+// 2-QBF formulas, the CERT3COL-style certain k-colorability problem,
+// and consistent query answering over subset repairs. Each encoding is
+// validated in the test suite against an independent brute-force
+// solver.
+package encodings
+
+import (
+	"fmt"
+
+	"ntgd/internal/logic"
+	"ntgd/internal/parser"
+	"ntgd/internal/qbf"
+)
+
+// Star is the special constant ⋆ of the 2-QBF reduction.
+const Star = "star"
+
+// qbfSigma is the fixed rule set Σ of Section 5.3 (it does not depend
+// on the formula): guess a truth value object for zero and one, guess
+// an assignment for every variable, and perform the universal check by
+// saturation. ϕ = ∃X∀Yψ is satisfiable iff (Dϕ, Σ) ⊭SMS error.
+const qbfSigma = `
+-> zero(X).
+-> one(X).
+zero(X), one(X) -> error.
+zero(X) -> truthVal(X).
+one(X) -> truthVal(X).
+exists(X) -> assign(X,Y).
+forall(X) -> assign(X,Y).
+assign(X,Y), not truthVal(Y) -> error.
+not saturate -> saturate.
+forall(X), truthVal(Y), saturate -> assign(X,Y).
+nil(X), truthVal(Y) -> assign(X,Y).
+cl(P1,P2,P3,N1,N2,N3),
+  assign(P1,O), assign(P2,O), assign(P3,O), one(O),
+  assign(N1,Z), assign(N2,Z), assign(N3,Z), zero(Z) -> saturate.
+`
+
+// QBFRules returns the fixed weakly-acyclic NTGD set Σ of the
+// reduction. The set is independent of the input formula — that is
+// what makes the reduction a data-complexity lower bound.
+func QBFRules() []*logic.Rule {
+	return parser.MustParse(qbfSigma).Rules
+}
+
+// QBFDatabase builds Dϕ for a 2-QBF∃ formula: exists/forall facts for
+// the quantifier blocks, one cl fact per 3DNF term storing the
+// positively occurring variables in the first three positions (⋆
+// elsewhere) and the negatively occurring ones in the last three, and
+// nil(⋆).
+func QBFDatabase(f qbf.Formula) (*logic.FactStore, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	db := logic.NewFactStore()
+	for _, x := range f.Exists {
+		db.Add(logic.A("exists", logic.C(qvar(x))))
+	}
+	for _, y := range f.Forall {
+		db.Add(logic.A("forall", logic.C(qvar(y))))
+	}
+	star := logic.C(Star)
+	pi := func(l qbf.Lit) logic.Term {
+		if l.Neg {
+			return star
+		}
+		return logic.C(qvar(l.Var))
+	}
+	nu := func(l qbf.Lit) logic.Term {
+		if l.Neg {
+			return logic.C(qvar(l.Var))
+		}
+		return star
+	}
+	for _, t := range f.Terms {
+		db.Add(logic.A("cl",
+			pi(t[0]), pi(t[1]), pi(t[2]),
+			nu(t[0]), nu(t[1]), nu(t[2])))
+	}
+	db.Add(logic.A("nil", star))
+	return db, nil
+}
+
+// qvar maps a QBF variable name to a database constant (lower-cased
+// prefix keeps it parseable and distinct from ⋆).
+func qvar(v string) string { return "v_" + v }
+
+// QBFErrorQuery is the 0-ary query of the reduction.
+func QBFErrorQuery() logic.Query {
+	return logic.Query{Pos: []logic.Atom{logic.A("error")}}
+}
+
+// QBFBraveQuery returns the brave-semantics variant of Section 7.1:
+// the query program Σ ∪ {¬error → ans} with answer predicate ans.
+// ϕ is satisfiable iff ans is bravely entailed.
+func QBFBraveQuery() ([]*logic.Rule, logic.Query) {
+	rules := QBFRules()
+	rules = append(rules, parser.MustParse("not error -> ans.").Rules...)
+	return rules, logic.Query{Pos: []logic.Atom{logic.A("ans")}}
+}
+
+// QBFInstance bundles a reduction instance.
+type QBFInstance struct {
+	Formula qbf.Formula
+	DB      *logic.FactStore
+	Rules   []*logic.Rule
+	Query   logic.Query
+}
+
+// EncodeQBF builds the full reduction for a formula.
+func EncodeQBF(f qbf.Formula) (*QBFInstance, error) {
+	db, err := QBFDatabase(f)
+	if err != nil {
+		return nil, err
+	}
+	return &QBFInstance{Formula: f, DB: db, Rules: QBFRules(), Query: QBFErrorQuery()}, nil
+}
+
+// String summarizes the instance.
+func (i *QBFInstance) String() string {
+	return fmt.Sprintf("2-QBF∃ %s over %d facts", i.Formula.String(), i.DB.Len())
+}

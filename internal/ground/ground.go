@@ -1,0 +1,181 @@
+package ground
+
+import (
+	"errors"
+	"fmt"
+
+	"ntgd/internal/asp"
+	"ntgd/internal/logic"
+)
+
+// ErrBudget is returned when grounding exceeds its budget, e.g. for a
+// non-weakly-acyclic Skolemized program whose Herbrand expansion is
+// infinite.
+var ErrBudget = errors.New("ground: atom/instance budget exhausted")
+
+// Options bounds the grounding.
+type Options struct {
+	// MaxAtoms bounds the derivable Herbrand base (0 = 1<<18).
+	MaxAtoms int
+	// MaxInstances bounds the number of ground rules (0 = 1<<20).
+	MaxInstances int
+}
+
+// Grounding is a ground program together with its atom table.
+type Grounding struct {
+	// Atoms maps atom id -> ground atom.
+	Atoms []logic.Atom
+	// Prog is the propositional program (facts included as rules with
+	// empty bodies).
+	Prog *asp.Program
+
+	ids map[string]int
+}
+
+// AtomID returns the id of a ground atom and whether it is part of the
+// derivable base.
+func (g *Grounding) AtomID(a logic.Atom) (int, bool) {
+	id, ok := g.ids[a.Key()]
+	return id, ok
+}
+
+// ModelStore converts a propositional model back to a fact store over
+// the original vocabulary.
+func (g *Grounding) ModelStore(m asp.Model) *logic.FactStore {
+	st := logic.NewFactStore()
+	for _, id := range m {
+		st.Add(g.Atoms[id])
+	}
+	return st
+}
+
+// Ground instantiates a Skolemized (existential-free) program over its
+// derivable Herbrand base: the base is the least fixpoint obtained by
+// treating every rule as positive (negative literals ignored, all head
+// disjuncts derived), which over-approximates every stable model;
+// ground rules are then emitted for every homomorphism of the positive
+// body into the base. Negative literals whose instance is outside the
+// base are vacuously true and dropped. This "relevant grounding" has
+// the same stable models as the full Herbrand instantiation.
+func Ground(db *logic.FactStore, rules []*logic.Rule, opt Options) (*Grounding, error) {
+	if !IsSkolemized(rules) {
+		return nil, fmt.Errorf("ground: rules must be Skolemized first (existential head variables present)")
+	}
+	if opt.MaxAtoms <= 0 {
+		opt.MaxAtoms = 1 << 18
+	}
+	if opt.MaxInstances <= 0 {
+		opt.MaxInstances = 1 << 20
+	}
+
+	// Phase 1: derivable base.
+	base := db.Clone()
+	for changed := true; changed; {
+		changed = false
+		for _, r := range rules {
+			rule := r
+			var additions []logic.Atom
+			logic.FindHoms(rule.PosBody(), nil, base, logic.Subst{}, func(h logic.Subst) bool {
+				for _, d := range rule.Heads {
+					for _, a := range d {
+						g := h.ApplyAtom(a)
+						if !base.Has(g) {
+							additions = append(additions, g)
+						}
+					}
+				}
+				return true
+			})
+			for _, a := range additions {
+				if base.Add(a) {
+					changed = true
+				}
+			}
+			if base.Len() > opt.MaxAtoms {
+				return nil, ErrBudget
+			}
+		}
+	}
+
+	g := &Grounding{ids: make(map[string]int, base.Len())}
+	for _, a := range base.Atoms() {
+		g.ids[a.Key()] = len(g.Atoms)
+		g.Atoms = append(g.Atoms, a)
+	}
+	prog := &asp.Program{NAtoms: len(g.Atoms)}
+	prog.Names = make([]string, len(g.Atoms))
+	for i, a := range g.Atoms {
+		prog.Names[i] = a.String()
+	}
+
+	// Facts.
+	for _, a := range db.Atoms() {
+		id := g.ids[a.Key()]
+		prog.Rules = append(prog.Rules, asp.Rule{Disjuncts: [][]int{{id}}})
+	}
+
+	// Phase 2: rule instances.
+	seen := make(map[string]bool)
+	for _, r := range rules {
+		rule := r
+		var overflow error
+		logic.FindHoms(rule.PosBody(), nil, base, logic.Subst{}, func(h logic.Subst) bool {
+			gr := asp.Rule{}
+			for _, b := range rule.PosBody() {
+				gr.Pos = append(gr.Pos, g.ids[h.ApplyAtom(b).Key()])
+			}
+			for _, n := range rule.NegBody() {
+				inst := h.ApplyAtom(n)
+				if id, ok := g.ids[inst.Key()]; ok {
+					gr.Neg = append(gr.Neg, id)
+				}
+				// else: the negative literal is vacuously true.
+			}
+			for _, d := range rule.Heads {
+				var disj []int
+				for _, a := range d {
+					disj = append(disj, g.ids[h.ApplyAtom(a).Key()])
+				}
+				gr.Disjuncts = append(gr.Disjuncts, disj)
+			}
+			key := ruleKey(gr)
+			if !seen[key] {
+				seen[key] = true
+				prog.Rules = append(prog.Rules, gr)
+				if len(prog.Rules) > opt.MaxInstances {
+					overflow = ErrBudget
+					return false
+				}
+			}
+			return true
+		})
+		if overflow != nil {
+			return nil, overflow
+		}
+	}
+	g.Prog = prog
+	return g, nil
+}
+
+func ruleKey(r asp.Rule) string {
+	var b []byte
+	for _, d := range r.Disjuncts {
+		b = append(b, 'd')
+		for _, a := range d {
+			b = appendInt(b, a)
+		}
+	}
+	b = append(b, 'p')
+	for _, a := range r.Pos {
+		b = appendInt(b, a)
+	}
+	b = append(b, 'n')
+	for _, a := range r.Neg {
+		b = appendInt(b, a)
+	}
+	return string(b)
+}
+
+func appendInt(b []byte, v int) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24), ',')
+}

@@ -1,0 +1,77 @@
+// Package ground implements the front half of the paper's LP approach
+// to stable model semantics (Section 3.1): Skolemization of NTGDs
+// (existentially quantified head variables are replaced by Skolem
+// function terms over the rule's universally quantified variables) and
+// a bottom-up "relevant" grounder that instantiates the resulting
+// normal program over its derivable Herbrand base, producing a ground
+// program for internal/asp.
+package ground
+
+import (
+	"fmt"
+
+	"ntgd/internal/logic"
+)
+
+// Skolemize returns the Skolemization sk(Σ) of the rule set: every
+// existentially quantified variable Z of (disjunct i of) rule σ is
+// replaced by the function term f_σ[_i]_Z(X,Y) over all universally
+// quantified variables of σ, following the paper's
+// "ψ(X, f_σ(X,Y)) ← ϕ(X,Y)". Rules without existentials are returned
+// unchanged (shared). The input is not modified.
+func Skolemize(rules []*logic.Rule) []*logic.Rule {
+	out := make([]*logic.Rule, len(rules))
+	for ri, r := range rules {
+		if !r.HasExistentials() {
+			out[ri] = r
+			continue
+		}
+		// Universal variables in first-occurrence order over the body.
+		var univ []string
+		seen := make(map[string]bool)
+		var buf []string
+		for _, l := range r.Body {
+			buf = l.Atom.Vars(buf[:0])
+			for _, v := range buf {
+				if !seen[v] {
+					seen[v] = true
+					univ = append(univ, v)
+				}
+			}
+		}
+		args := make([]logic.Term, len(univ))
+		for i, v := range univ {
+			args[i] = logic.V(v)
+		}
+		sk := &logic.Rule{Label: r.Label, Body: r.Body}
+		for i := range r.Heads {
+			sub := make(logic.Subst)
+			for _, z := range r.ExistVars(i) {
+				name := skolemName(r.Label, len(r.Heads) > 1, i, z)
+				sub[z] = logic.F(name, args...)
+			}
+			sk.Heads = append(sk.Heads, sub.ApplyAtoms(r.Heads[i]))
+		}
+		out[ri] = sk
+	}
+	return out
+}
+
+func skolemName(label string, disjunctive bool, disjunct int, z string) string {
+	if disjunctive {
+		return fmt.Sprintf("sk_%s_%d_%s", label, disjunct, z)
+	}
+	return fmt.Sprintf("sk_%s_%s", label, z)
+}
+
+// IsSkolemized reports whether no rule has existential head variables
+// (i.e. the set is a normal — possibly disjunctive — logic program with
+// function symbols).
+func IsSkolemized(rules []*logic.Rule) bool {
+	for _, r := range rules {
+		if r.HasExistentials() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,69 @@
+package logic
+
+import (
+	"testing"
+)
+
+func TestAtomBasics(t *testing.T) {
+	a := A("p", C("a"), V("X"))
+	if a.Arity() != 2 {
+		t.Errorf("arity = %d", a.Arity())
+	}
+	if a.IsGround() {
+		t.Errorf("p(a,X) is not ground")
+	}
+	if got := a.String(); got != "p(a,X)" {
+		t.Errorf("String = %q", got)
+	}
+	zero := A("q")
+	if zero.String() != "q" || zero.Arity() != 0 || !zero.IsGround() {
+		t.Errorf("0-ary atom misbehaves: %v", zero)
+	}
+}
+
+func TestAtomEqualKey(t *testing.T) {
+	if !A("p", C("a")).Equal(A("p", C("a"))) {
+		t.Errorf("equal atoms not equal")
+	}
+	if A("p", C("a")).Equal(A("p", C("b"))) || A("p", C("a")).Equal(A("q", C("a"))) {
+		t.Errorf("unequal atoms equal")
+	}
+	// Keys must separate predicate/arity/arguments unambiguously.
+	distinct := []Atom{
+		A("p"), A("p", C("a")), A("p", C("a"), C("b")),
+		A("p", C("ab")), A("pa", C("b")), A("p", V("a")), A("p", N("a")),
+	}
+	seen := map[string]Atom{}
+	for _, a := range distinct {
+		if prev, dup := seen[a.Key()]; dup {
+			t.Errorf("key collision: %v vs %v", prev, a)
+		}
+		seen[a.Key()] = a
+	}
+}
+
+func TestLiteralStringAndSplit(t *testing.T) {
+	lits := []Literal{Pos(A("p", C("a"))), Neg(A("q")), Pos(A("r"))}
+	if lits[1].String() != "not q" {
+		t.Errorf("negative literal renders %q", lits[1].String())
+	}
+	pos, neg := SplitLiterals(lits)
+	if len(pos) != 2 || len(neg) != 1 || neg[0].Pred != "q" {
+		t.Errorf("SplitLiterals wrong: pos=%v neg=%v", pos, neg)
+	}
+}
+
+func TestVarSet(t *testing.T) {
+	set := VarSet(A("p", V("X"), C("a")), A("q", F("f", V("Y"))))
+	if !set["X"] || !set["Y"] || len(set) != 2 {
+		t.Errorf("VarSet = %v", set)
+	}
+}
+
+func TestSortAtomsCanonical(t *testing.T) {
+	a := []Atom{A("q"), A("p", C("b")), A("p", C("a"))}
+	SortAtoms(a)
+	if a[0].Pred != "p" || a[0].Args[0].Name != "a" || a[2].Pred != "q" {
+		t.Errorf("sorted order wrong: %v", a)
+	}
+}

@@ -1,0 +1,67 @@
+package logic
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchStore builds a chain graph with n edges.
+func benchStore(n int) *FactStore {
+	s := NewFactStore()
+	for i := 0; i < n; i++ {
+		s.Add(A("edge", C(fmt.Sprintf("v%d", i)), C(fmt.Sprintf("v%d", i+1))))
+	}
+	return s
+}
+
+func BenchmarkHomSearchPath2(b *testing.B) {
+	for _, n := range []int{16, 128, 1024} {
+		s := benchStore(n)
+		pat := []Atom{A("edge", V("X"), V("Y")), A("edge", V("Y"), V("Z"))}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				count := 0
+				FindHoms(pat, nil, s, Subst{}, func(Subst) bool { count++; return true })
+				if count != n-1 {
+					b.Fatalf("count=%d", count)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkStoreAddHas(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := NewFactStore()
+		for j := 0; j < 256; j++ {
+			s.Add(A("p", C(fmt.Sprintf("c%d", j%64)), C(fmt.Sprintf("d%d", j))))
+		}
+		if s.Len() != 256 {
+			b.Fatal("bad store")
+		}
+	}
+}
+
+func BenchmarkAtomKey(b *testing.B) {
+	a := A("predicate", C("constant"), N("null1"), F("f", C("x"), V("Y")))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = a.Key()
+	}
+}
+
+func BenchmarkModelCheck(b *testing.B) {
+	s := benchStore(128)
+	// Closure rule unsatisfied: every trigger is a violation candidate.
+	r := NewRule("tc",
+		[]Literal{Pos(A("edge", V("X"), V("Y"))), Pos(A("edge", V("Y"), V("Z")))},
+		[]Atom{A("edge", V("X"), V("Z"))})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if SatisfiesRule(r, s) {
+			b.Fatal("chain is not transitively closed")
+		}
+	}
+}

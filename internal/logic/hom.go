@@ -1,0 +1,192 @@
+package logic
+
+// This file implements homomorphism search: finding substitutions h such
+// that h(pos) ⊆ store and, for the closed-world reading used throughout
+// the paper, h(neg) ∩ store = ∅. It is the workhorse behind trigger
+// detection in the chase and the stable model search, model checking,
+// and (normal) conjunctive query evaluation.
+
+// HomVisitor receives one homomorphism; returning false stops the
+// search.
+type HomVisitor func(Subst) bool
+
+// FindHoms enumerates every substitution h extending init such that
+// h(pos[i]) ∈ store for all i and h(neg[j]) ∉ store for all j, invoking
+// fn for each. Every variable of neg must occur in pos or be bound by
+// init (safety); otherwise negative literals with unbound variables are
+// evaluated only for their bound instances, which matches the safe
+// fragment used in the paper. The substitutions passed to fn are
+// reused between invocations: clone them if they escape. FindHoms
+// reports whether the enumeration ran to completion (i.e. fn never
+// returned false).
+func FindHoms(pos, neg []Atom, store *FactStore, init Subst, fn HomVisitor) bool {
+	h := init.Clone()
+	order := orderAtoms(pos, h)
+	return extendHom(order, 0, neg, store, h, fn)
+}
+
+// ExistsHom reports whether at least one homomorphism exists (see
+// FindHoms for the semantics of pos/neg/init).
+func ExistsHom(pos, neg []Atom, store *FactStore, init Subst) bool {
+	found := false
+	FindHoms(pos, neg, store, init, func(Subst) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+// orderAtoms returns the atoms in a join order chosen greedily: start
+// from the atom with the fewest candidate facts, then repeatedly pick
+// the atom sharing the most variables with those already placed
+// (breaking ties by candidate count). This is a standard lightweight
+// heuristic that keeps backtracking shallow on the rule bodies arising
+// in practice.
+func orderAtoms(pos []Atom, init Subst) []Atom {
+	if len(pos) <= 1 {
+		return pos
+	}
+	remaining := append([]Atom(nil), pos...)
+	bound := make(map[string]bool, len(init))
+	for v := range init {
+		bound[v] = true
+	}
+	ordered := make([]Atom, 0, len(pos))
+	var buf []string
+	for len(remaining) > 0 {
+		best, bestScore := 0, -1<<30
+		for i, a := range remaining {
+			buf = a.Vars(buf[:0])
+			sharing := 0
+			for _, v := range buf {
+				if bound[v] {
+					sharing++
+				}
+			}
+			// Prefer high sharing; among equal sharing prefer earlier
+			// (stable, deterministic).
+			score := sharing * 1000
+			if score > bestScore {
+				best, bestScore = i, score
+			}
+		}
+		a := remaining[best]
+		remaining = append(remaining[:best], remaining[best+1:]...)
+		ordered = append(ordered, a)
+		buf = a.Vars(buf[:0])
+		for _, v := range buf {
+			bound[v] = true
+		}
+	}
+	return ordered
+}
+
+func extendHom(pos []Atom, i int, neg []Atom, store *FactStore, h Subst, fn HomVisitor) bool {
+	if i == len(pos) {
+		for _, n := range neg {
+			g := h.ApplyAtom(n)
+			if store.Has(g) {
+				return true // blocked: this h is not a solution, keep searching
+			}
+		}
+		return fn(h)
+	}
+	pattern := pos[i]
+	for _, cand := range store.ByPred(pattern.Pred) {
+		trail := make([]string, 0, len(pattern.Args))
+		if matchAtomTrail(h, pattern, cand, &trail) {
+			if !extendHom(pos, i+1, neg, store, h, fn) {
+				undo(h, trail)
+				return false
+			}
+		}
+		undo(h, trail)
+	}
+	return true
+}
+
+// matchAtomTrail is MatchAtom with an undo trail: variables newly bound
+// are appended to *trail so the caller can roll back.
+func matchAtomTrail(h Subst, pattern, ground Atom, trail *[]string) bool {
+	if pattern.Pred != ground.Pred || len(pattern.Args) != len(ground.Args) {
+		return false
+	}
+	for i := range pattern.Args {
+		if !matchTermTrail(h, pattern.Args[i], ground.Args[i], trail) {
+			return false
+		}
+	}
+	return true
+}
+
+func matchTermTrail(h Subst, pattern, ground Term, trail *[]string) bool {
+	switch pattern.Kind {
+	case Var:
+		if bound, ok := h[pattern.Name]; ok {
+			return bound.Equal(ground)
+		}
+		h[pattern.Name] = ground
+		*trail = append(*trail, pattern.Name)
+		return true
+	case Func:
+		if ground.Kind != Func || ground.Name != pattern.Name || len(ground.Args) != len(pattern.Args) {
+			return false
+		}
+		for i := range pattern.Args {
+			if !matchTermTrail(h, pattern.Args[i], ground.Args[i], trail) {
+				return false
+			}
+		}
+		return true
+	default:
+		return pattern.Equal(ground)
+	}
+}
+
+func undo(h Subst, trail []string) {
+	for _, v := range trail {
+		delete(h, v)
+	}
+}
+
+// MapsTo reports whether there is a homomorphism from the atom set src
+// to the atom set dst (both possibly containing nulls; nulls in src are
+// treated as variables, per the standard "homomorphism between
+// instances" notion used for the restricted chase and BCQ evaluation
+// over instances with nulls). Constants are fixed.
+func MapsTo(src []Atom, dst *FactStore) bool {
+	vars := make(map[string]string) // null label -> fresh var name
+	pats := make([]Atom, len(src))
+	for i, a := range src {
+		pats[i] = nullsToVars(a, vars)
+	}
+	return ExistsHom(pats, nil, dst, Subst{})
+}
+
+func nullsToVars(a Atom, ren map[string]string) Atom {
+	args := make([]Term, len(a.Args))
+	for i, t := range a.Args {
+		args[i] = nullsToVarsTerm(t, ren)
+	}
+	return Atom{Pred: a.Pred, Args: args}
+}
+
+func nullsToVarsTerm(t Term, ren map[string]string) Term {
+	switch t.Kind {
+	case Null:
+		v, ok := ren[t.Name]
+		if !ok {
+			v = "$null_" + t.Name
+			ren[t.Name] = v
+		}
+		return Term{Kind: Var, Name: v}
+	case Func:
+		args := make([]Term, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = nullsToVarsTerm(a, ren)
+		}
+		return Term{Kind: Func, Name: t.Name, Args: args}
+	default:
+		return t
+	}
+}

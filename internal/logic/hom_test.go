@@ -1,0 +1,127 @@
+package logic
+
+import (
+	"testing"
+)
+
+func TestFindHomsSimpleJoin(t *testing.T) {
+	store := StoreOf(
+		A("edge", C("a"), C("b")),
+		A("edge", C("b"), C("c")),
+		A("edge", C("a"), C("c")),
+	)
+	// Paths of length 2.
+	var got []string
+	FindHoms(
+		[]Atom{A("edge", V("X"), V("Y")), A("edge", V("Y"), V("Z"))},
+		nil, store, Subst{},
+		func(h Subst) bool {
+			got = append(got, h["X"].Name+h["Y"].Name+h["Z"].Name)
+			return true
+		})
+	if len(got) != 1 || got[0] != "abc" {
+		t.Fatalf("paths = %v, want [abc]", got)
+	}
+}
+
+func TestFindHomsNegativeFilter(t *testing.T) {
+	store := StoreOf(
+		A("p", C("a")), A("p", C("b")), A("q", C("b")),
+	)
+	var got []string
+	FindHoms([]Atom{A("p", V("X"))}, []Atom{A("q", V("X"))}, store, Subst{}, func(h Subst) bool {
+		got = append(got, h["X"].Name)
+		return true
+	})
+	if len(got) != 1 || got[0] != "a" {
+		t.Fatalf("negation filter failed: %v", got)
+	}
+}
+
+func TestFindHomsInitialBinding(t *testing.T) {
+	store := StoreOf(A("p", C("a"), C("b")), A("p", C("a"), C("c")))
+	n := 0
+	FindHoms([]Atom{A("p", V("X"), V("Y"))}, nil, store, Subst{"Y": C("c")}, func(h Subst) bool {
+		n++
+		if h["X"].Name != "a" || h["Y"].Name != "c" {
+			t.Fatalf("wrong hom: %v", h)
+		}
+		return true
+	})
+	if n != 1 {
+		t.Fatalf("expected 1 hom, got %d", n)
+	}
+}
+
+func TestFindHomsEmptyBody(t *testing.T) {
+	store := NewFactStore()
+	n := 0
+	FindHoms(nil, nil, store, Subst{}, func(Subst) bool { n++; return true })
+	if n != 1 {
+		t.Fatalf("the empty body has exactly one homomorphism, got %d", n)
+	}
+}
+
+func TestFindHomsEarlyStop(t *testing.T) {
+	store := StoreOf(A("p", C("a")), A("p", C("b")), A("p", C("c")))
+	n := 0
+	completed := FindHoms([]Atom{A("p", V("X"))}, nil, store, Subst{}, func(Subst) bool {
+		n++
+		return n < 2
+	})
+	if completed || n != 2 {
+		t.Fatalf("early stop failed: completed=%v n=%d", completed, n)
+	}
+}
+
+func TestFindHomsRepeatedVariable(t *testing.T) {
+	store := StoreOf(A("e", C("a"), C("a")), A("e", C("a"), C("b")))
+	n := 0
+	FindHoms([]Atom{A("e", V("X"), V("X"))}, nil, store, Subst{}, func(h Subst) bool {
+		if h["X"].Name != "a" {
+			t.Fatalf("wrong diagonal match: %v", h)
+		}
+		n++
+		return true
+	})
+	if n != 1 {
+		t.Fatalf("diagonal matches = %d", n)
+	}
+}
+
+func TestFindHomsFunctionTerms(t *testing.T) {
+	store := StoreOf(A("p", F("f", C("a"))), A("p", C("a")))
+	n := 0
+	FindHoms([]Atom{A("p", F("f", V("X")))}, nil, store, Subst{}, func(h Subst) bool {
+		if h["X"].Name != "a" {
+			t.Fatalf("wrong function match")
+		}
+		n++
+		return true
+	})
+	if n != 1 {
+		t.Fatalf("function matches = %d", n)
+	}
+}
+
+func TestMapsToTreatsNullsAsVariables(t *testing.T) {
+	src := []Atom{A("p", N("x")), A("q", N("x"), C("a"))}
+	dst := StoreOf(A("p", C("c")), A("q", C("c"), C("a")))
+	if !MapsTo(src, dst) {
+		t.Fatalf("nulls should map onto constants")
+	}
+	dst2 := StoreOf(A("p", C("c")), A("q", C("d"), C("a")))
+	if MapsTo(src, dst2) {
+		t.Fatalf("shared null must map consistently")
+	}
+}
+
+func TestExistsHom(t *testing.T) {
+	store := StoreOf(A("p", C("a")))
+	if !ExistsHom([]Atom{A("p", V("X"))}, nil, store, Subst{}) {
+		t.Fatalf("hom should exist")
+	}
+	if ExistsHom([]Atom{A("q", V("X"))}, nil, store, Subst{}) {
+		t.Fatalf("hom should not exist")
+	}
+}

@@ -1,0 +1,186 @@
+package logic
+
+import (
+	"sort"
+	"strings"
+)
+
+// FactStore is a set of ground atoms with a per-predicate index, the
+// basic container for databases, chase results, and (the positive part
+// of) interpretations. Insertion order is preserved for deterministic
+// iteration. The zero value is not ready to use; call NewFactStore.
+type FactStore struct {
+	byKey  map[string]int // atom key -> index into atoms
+	byPred map[string][]int
+	atoms  []Atom
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{byKey: make(map[string]int), byPred: make(map[string][]int)}
+}
+
+// StoreOf returns a store containing the given atoms.
+func StoreOf(atoms ...Atom) *FactStore {
+	s := NewFactStore()
+	for _, a := range atoms {
+		s.Add(a)
+	}
+	return s
+}
+
+// Add inserts the atom, reporting whether it was new.
+func (s *FactStore) Add(a Atom) bool {
+	k := a.Key()
+	if _, ok := s.byKey[k]; ok {
+		return false
+	}
+	idx := len(s.atoms)
+	s.atoms = append(s.atoms, a)
+	s.byKey[k] = idx
+	s.byPred[a.Pred] = append(s.byPred[a.Pred], idx)
+	return true
+}
+
+// AddAll inserts every atom, returning the number that were new.
+func (s *FactStore) AddAll(atoms []Atom) int {
+	n := 0
+	for _, a := range atoms {
+		if s.Add(a) {
+			n++
+		}
+	}
+	return n
+}
+
+// Has reports whether the atom is in the store.
+func (s *FactStore) Has(a Atom) bool {
+	_, ok := s.byKey[a.Key()]
+	return ok
+}
+
+// HasKey reports whether an atom with the given canonical key is in the
+// store.
+func (s *FactStore) HasKey(key string) bool {
+	_, ok := s.byKey[key]
+	return ok
+}
+
+// Len returns the number of atoms.
+func (s *FactStore) Len() int { return len(s.atoms) }
+
+// Atoms returns the atoms in insertion order. The returned slice is
+// shared with the store and must not be modified.
+func (s *FactStore) Atoms() []Atom { return s.atoms }
+
+// ByPred returns the atoms with the given predicate, in insertion
+// order.
+func (s *FactStore) ByPred(pred string) []Atom {
+	idxs := s.byPred[pred]
+	out := make([]Atom, len(idxs))
+	for i, idx := range idxs {
+		out[i] = s.atoms[idx]
+	}
+	return out
+}
+
+// CountPred returns the number of atoms with the given predicate.
+func (s *FactStore) CountPred(pred string) int { return len(s.byPred[pred]) }
+
+// Preds returns the sorted list of predicates occurring in the store.
+func (s *FactStore) Preds() []string {
+	out := make([]string, 0, len(s.byPred))
+	for p := range s.byPred {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns a deep-enough copy (atoms are immutable and shared).
+func (s *FactStore) Clone() *FactStore {
+	c := &FactStore{
+		byKey:  make(map[string]int, len(s.byKey)),
+		byPred: make(map[string][]int, len(s.byPred)),
+		atoms:  make([]Atom, len(s.atoms)),
+	}
+	copy(c.atoms, s.atoms)
+	for k, v := range s.byKey {
+		c.byKey[k] = v
+	}
+	for p, idxs := range s.byPred {
+		c.byPred[p] = append([]int(nil), idxs...)
+	}
+	return c
+}
+
+// Domain returns the set of constants and nulls occurring in the store
+// (recursing into function terms), sorted by canonical key.
+func (s *FactStore) Domain() []Term {
+	seen := make(map[string]Term)
+	var walk func(t Term)
+	walk = func(t Term) {
+		switch t.Kind {
+		case Const, Null:
+			seen[t.Key()] = t
+		case Func:
+			for _, a := range t.Args {
+				walk(a)
+			}
+		}
+	}
+	for _, a := range s.atoms {
+		for _, t := range a.Args {
+			walk(t)
+		}
+	}
+	out := make([]Term, 0, len(seen))
+	for _, t := range seen {
+		out = append(out, t)
+	}
+	SortTerms(out)
+	return out
+}
+
+// CanonicalString renders the store as a sorted comma-separated list of
+// atoms; equal sets of atoms produce equal strings.
+func (s *FactStore) CanonicalString() string {
+	keys := make([]string, 0, len(s.atoms))
+	for _, a := range s.atoms {
+		keys = append(keys, a.String())
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ", ")
+}
+
+// Equal reports whether two stores contain exactly the same atoms.
+func (s *FactStore) Equal(o *FactStore) bool {
+	if s.Len() != o.Len() {
+		return false
+	}
+	for k := range s.byKey {
+		if !o.HasKey(k) {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every atom of s is in o.
+func (s *FactStore) SubsetOf(o *FactStore) bool {
+	if s.Len() > o.Len() {
+		return false
+	}
+	for k := range s.byKey {
+		if !o.HasKey(k) {
+			return false
+		}
+	}
+	return true
+}
+
+// Sorted returns the atoms sorted by canonical key (a fresh slice).
+func (s *FactStore) Sorted() []Atom {
+	out := append([]Atom(nil), s.atoms...)
+	return SortAtoms(out)
+}

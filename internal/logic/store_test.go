@@ -1,0 +1,68 @@
+package logic
+
+import (
+	"testing"
+)
+
+func TestFactStoreAddHasLen(t *testing.T) {
+	s := NewFactStore()
+	if !s.Add(A("p", C("a"))) {
+		t.Fatalf("first Add should be new")
+	}
+	if s.Add(A("p", C("a"))) {
+		t.Fatalf("duplicate Add should report false")
+	}
+	if s.Len() != 1 || !s.Has(A("p", C("a"))) || s.Has(A("p", C("b"))) {
+		t.Fatalf("store state wrong")
+	}
+	if n := s.AddAll([]Atom{A("p", C("a")), A("q"), A("r", N("n1"))}); n != 2 {
+		t.Fatalf("AddAll new count = %d", n)
+	}
+}
+
+func TestFactStoreByPredAndPreds(t *testing.T) {
+	s := StoreOf(A("p", C("a")), A("p", C("b")), A("q", C("c")))
+	if len(s.ByPred("p")) != 2 || s.CountPred("p") != 2 || s.CountPred("zzz") != 0 {
+		t.Fatalf("ByPred wrong")
+	}
+	preds := s.Preds()
+	if len(preds) != 2 || preds[0] != "p" || preds[1] != "q" {
+		t.Fatalf("Preds = %v", preds)
+	}
+}
+
+func TestFactStoreCloneIsolation(t *testing.T) {
+	s := StoreOf(A("p", C("a")))
+	c := s.Clone()
+	c.Add(A("p", C("b")))
+	if s.Len() != 1 || c.Len() != 2 {
+		t.Fatalf("clone not isolated: %d vs %d", s.Len(), c.Len())
+	}
+	if !s.SubsetOf(c) || c.SubsetOf(s) {
+		t.Fatalf("SubsetOf wrong")
+	}
+}
+
+func TestFactStoreDomain(t *testing.T) {
+	s := StoreOf(A("p", C("a"), N("n1")), A("q", F("f", C("b"))))
+	dom := s.Domain()
+	// a, b (inside the function term), n1.
+	if len(dom) != 3 {
+		t.Fatalf("Domain = %v", dom)
+	}
+}
+
+func TestFactStoreEqualAndCanonicalString(t *testing.T) {
+	a := StoreOf(A("p", C("a")), A("q"))
+	b := StoreOf(A("q"), A("p", C("a")))
+	if !a.Equal(b) {
+		t.Fatalf("order must not matter for Equal")
+	}
+	if a.CanonicalString() != b.CanonicalString() {
+		t.Fatalf("canonical strings differ: %q vs %q", a.CanonicalString(), b.CanonicalString())
+	}
+	b.Add(A("r"))
+	if a.Equal(b) {
+		t.Fatalf("different stores equal")
+	}
+}

@@ -1,0 +1,162 @@
+package logic
+
+import (
+	"sort"
+	"strings"
+)
+
+// Subst is a substitution: a finite mapping from variable names to
+// terms. Following the paper, homomorphisms are mappings
+// h : C ∪ N ∪ V → C ∪ N ∪ V that are the identity on constants; our
+// substitutions additionally fix nulls (a null is only remapped by the
+// dedicated null-renaming helpers), so a Subst is a homomorphism
+// determined by its action on variables.
+type Subst map[string]Term
+
+// Clone returns a copy of the substitution.
+func (s Subst) Clone() Subst {
+	c := make(Subst, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// ApplyTerm applies the substitution to a term. Variables not in the
+// domain of s are left unchanged.
+func (s Subst) ApplyTerm(t Term) Term {
+	switch t.Kind {
+	case Var:
+		if u, ok := s[t.Name]; ok {
+			return u
+		}
+		return t
+	case Func:
+		args := make([]Term, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = s.ApplyTerm(a)
+		}
+		return Term{Kind: Func, Name: t.Name, Args: args}
+	default:
+		return t
+	}
+}
+
+// ApplyAtom applies the substitution to every argument of the atom.
+func (s Subst) ApplyAtom(a Atom) Atom {
+	if len(a.Args) == 0 {
+		return a
+	}
+	args := make([]Term, len(a.Args))
+	for i, t := range a.Args {
+		args[i] = s.ApplyTerm(t)
+	}
+	return Atom{Pred: a.Pred, Args: args}
+}
+
+// ApplyAtoms applies the substitution to a list of atoms.
+func (s Subst) ApplyAtoms(atoms []Atom) []Atom {
+	out := make([]Atom, len(atoms))
+	for i, a := range atoms {
+		out[i] = s.ApplyAtom(a)
+	}
+	return out
+}
+
+// ApplyLiteral applies the substitution to a literal.
+func (s Subst) ApplyLiteral(l Literal) Literal {
+	return Literal{Neg: l.Neg, Atom: s.ApplyAtom(l.Atom)}
+}
+
+// String renders the substitution deterministically as {X->t, ...}.
+func (s Subst) String() string {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(k)
+		b.WriteString("->")
+		b.WriteString(s[k].String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// MatchTerm extends the substitution so that s(pattern) = ground. The
+// pattern may contain variables; ground must not (nulls and function
+// terms are allowed on both sides and match syntactically). It reports
+// whether matching succeeded; on failure s may have been partially
+// extended and must be discarded by the caller (use Clone beforehand or
+// the trail mechanism in the homomorphism searcher).
+func (s Subst) MatchTerm(pattern, ground Term) bool {
+	switch pattern.Kind {
+	case Var:
+		if bound, ok := s[pattern.Name]; ok {
+			return bound.Equal(ground)
+		}
+		s[pattern.Name] = ground
+		return true
+	case Func:
+		if ground.Kind != Func || ground.Name != pattern.Name || len(ground.Args) != len(pattern.Args) {
+			return false
+		}
+		for i := range pattern.Args {
+			if !s.MatchTerm(pattern.Args[i], ground.Args[i]) {
+				return false
+			}
+		}
+		return true
+	default:
+		return pattern.Equal(ground)
+	}
+}
+
+// MatchAtom extends the substitution so that s(pattern) = ground,
+// reporting success. On failure the substitution may be partially
+// extended.
+func (s Subst) MatchAtom(pattern, ground Atom) bool {
+	if pattern.Pred != ground.Pred || len(pattern.Args) != len(ground.Args) {
+		return false
+	}
+	for i := range pattern.Args {
+		if !s.MatchTerm(pattern.Args[i], ground.Args[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// RenameNulls returns a copy of the atom in which every null label is
+// replaced according to ren; labels missing from ren are kept.
+func RenameNulls(a Atom, ren map[string]string) Atom {
+	args := make([]Term, len(a.Args))
+	for i, t := range a.Args {
+		args[i] = renameNullsTerm(t, ren)
+	}
+	return Atom{Pred: a.Pred, Args: args}
+}
+
+func renameNullsTerm(t Term, ren map[string]string) Term {
+	switch t.Kind {
+	case Null:
+		if n, ok := ren[t.Name]; ok {
+			return Term{Kind: Null, Name: n}
+		}
+		return t
+	case Func:
+		args := make([]Term, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = renameNullsTerm(a, ren)
+		}
+		return Term{Kind: Func, Name: t.Name, Args: args}
+	default:
+		return t
+	}
+}

@@ -1,0 +1,178 @@
+package logic
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTermConstructorsAndKinds(t *testing.T) {
+	cases := []struct {
+		term Term
+		kind TermKind
+		str  string
+	}{
+		{C("alice"), Const, "alice"},
+		{N("n1"), Null, "_:n1"},
+		{V("X"), Var, "X"},
+		{F("f", C("a"), V("X")), Func, "f(a,X)"},
+		{F("g"), Func, "g()"},
+		{F("f", F("g", N("n"))), Func, "f(g(_:n))"},
+	}
+	for _, tc := range cases {
+		if tc.term.Kind != tc.kind {
+			t.Errorf("%v: kind = %v, want %v", tc.term, tc.term.Kind, tc.kind)
+		}
+		if got := tc.term.String(); got != tc.str {
+			t.Errorf("String() = %q, want %q", got, tc.str)
+		}
+	}
+}
+
+func TestTermGroundAndNulls(t *testing.T) {
+	if !C("a").IsGround() || !N("n").IsGround() {
+		t.Errorf("constants and nulls are ground")
+	}
+	if V("X").IsGround() {
+		t.Errorf("variables are not ground")
+	}
+	if F("f", V("X")).IsGround() {
+		t.Errorf("f(X) is not ground")
+	}
+	if !F("f", C("a")).IsGround() {
+		t.Errorf("f(a) is ground")
+	}
+	if !F("f", N("n")).HasNull() || C("a").HasNull() {
+		t.Errorf("HasNull misbehaves")
+	}
+}
+
+func TestTermEqualityAndKeys(t *testing.T) {
+	pairs := []struct {
+		a, b  Term
+		equal bool
+	}{
+		{C("a"), C("a"), true},
+		{C("a"), C("b"), false},
+		{C("a"), V("a"), false}, // same name, different kind
+		{C("a"), N("a"), false},
+		{F("f", C("a")), F("f", C("a")), true},
+		{F("f", C("a")), F("f", C("b")), false},
+		{F("f", C("a")), F("g", C("a")), false},
+		{F("f", C("a")), F("f", C("a"), C("a")), false},
+	}
+	for _, p := range pairs {
+		if got := p.a.Equal(p.b); got != p.equal {
+			t.Errorf("%v.Equal(%v) = %v, want %v", p.a, p.b, got, p.equal)
+		}
+		if (p.a.Key() == p.b.Key()) != p.equal {
+			t.Errorf("Key collision mismatch for %v vs %v", p.a, p.b)
+		}
+	}
+}
+
+func TestTermDepth(t *testing.T) {
+	if d := C("a").Depth(); d != 0 {
+		t.Errorf("const depth = %d", d)
+	}
+	if d := F("f", C("a")).Depth(); d != 1 {
+		t.Errorf("f(a) depth = %d", d)
+	}
+	if d := F("f", F("g", F("h", V("X")))).Depth(); d != 3 {
+		t.Errorf("f(g(h(X))) depth = %d", d)
+	}
+}
+
+func TestTermVars(t *testing.T) {
+	vs := F("f", V("X"), C("a"), F("g", V("Y"), V("X"))).Vars(nil)
+	want := []string{"X", "Y", "X"}
+	if !reflect.DeepEqual(vs, want) {
+		t.Errorf("Vars = %v, want %v", vs, want)
+	}
+}
+
+// genTerm builds a random term of bounded depth for property tests.
+func genTerm(rng *rand.Rand, depth int) Term {
+	switch k := rng.Intn(4); {
+	case k == 0:
+		return C(string(rune('a' + rng.Intn(4))))
+	case k == 1:
+		return N(string(rune('m' + rng.Intn(3))))
+	case k == 2:
+		return V(string(rune('X' + rng.Intn(3))))
+	default:
+		if depth <= 0 {
+			return C("leaf")
+		}
+		n := rng.Intn(3)
+		args := make([]Term, n)
+		for i := range args {
+			args[i] = genTerm(rng, depth-1)
+		}
+		return F(string(rune('f'+rng.Intn(2))), args...)
+	}
+}
+
+// TestTermKeyInjective (property): equal keys iff equal terms.
+func TestTermKeyInjective(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func() bool {
+		a := genTerm(rng, 3)
+		b := genTerm(rng, 3)
+		return (a.Key() == b.Key()) == a.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSubstIdentityOnGround (property): applying a substitution to a
+// ground term is the identity.
+func TestSubstIdentityOnGround(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := Subst{"X": C("q"), "Y": N("n9"), "Z": F("f", C("r"))}
+	f := func() bool {
+		tm := genTerm(rng, 3)
+		if !tm.IsGround() {
+			return true
+		}
+		return s.ApplyTerm(tm).Equal(tm)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMatchThenApply (property): if s.MatchTerm(p, g) succeeds on a
+// fresh substitution then s(p) = g.
+func TestMatchThenApply(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func() bool {
+		p := genTerm(rng, 3)
+		g := genTerm(rng, 3)
+		if !g.IsGround() {
+			return true
+		}
+		s := Subst{}
+		if !s.MatchTerm(p, g) {
+			return true
+		}
+		return s.ApplyTerm(p).Equal(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortTermsDeterminism(t *testing.T) {
+	ts := []Term{V("X"), C("b"), N("n"), C("a")}
+	SortTerms(ts)
+	ts2 := []Term{C("a"), N("n"), C("b"), V("X")}
+	SortTerms(ts2)
+	for i := range ts {
+		if !ts[i].Equal(ts2[i]) {
+			t.Fatalf("sorting is not canonical: %v vs %v", ts, ts2)
+		}
+	}
+}

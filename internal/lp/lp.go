@@ -1,0 +1,98 @@
+// Package lp implements the classical "LP approach" to stable model
+// semantics for NTGDs (Section 3.1): existential head variables are
+// eliminated by Skolemization, the resulting normal program is
+// grounded over its derivable Herbrand base, and the standard stable
+// model semantics for (ground) normal logic programs is applied.
+//
+// The paper's Theorem 1 shows that on Skolemized programs this
+// coincides with the new SO-based semantics of internal/core, while
+// Examples 2 and 4 show that applying it to NTGDs with genuine
+// existentials loses the intended models (the Skolem term f(alice) can
+// never equal bob). Both facts are exercised by the test suite.
+package lp
+
+import (
+	"ntgd/internal/asp"
+	"ntgd/internal/ground"
+	"ntgd/internal/logic"
+)
+
+// Options configures the pipeline.
+type Options struct {
+	// Ground bounds the grounding phase.
+	Ground ground.Options
+	// Solve configures stable model enumeration.
+	Solve asp.SolveOptions
+	// MaxModels limits enumeration (0 = all).
+	MaxModels int
+}
+
+// Result is the outcome of stable model computation under the LP
+// approach.
+type Result struct {
+	// Models holds the stable models over the original vocabulary
+	// (atoms may contain Skolem function terms).
+	Models []*logic.FactStore
+	// Grounding gives access to the intermediate ground program.
+	Grounding *ground.Grounding
+	Stats     asp.Stats
+}
+
+// StableModels computes the stable models of (D, Σ) under the LP
+// approach: SMS_LP(Π_{D,Σ}).
+func StableModels(db *logic.FactStore, rules []*logic.Rule, opt Options) (*Result, error) {
+	sk := ground.Skolemize(rules)
+	g, err := ground.Ground(db, sk, opt.Ground)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Grounding: g}
+	solveOpt := opt.Solve
+	if solveOpt.MaxModels == 0 {
+		solveOpt.MaxModels = opt.MaxModels
+	}
+	solveOpt.SeedWFS = true
+	stats, err := asp.Solve(g.Prog, solveOpt, func(m asp.Model) bool {
+		res.Models = append(res.Models, g.ModelStore(m))
+		return opt.MaxModels == 0 || len(res.Models) < opt.MaxModels
+	})
+	res.Stats = stats
+	if err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// CautiousEntails decides whether q holds in every LP-stable model.
+func CautiousEntails(db *logic.FactStore, rules []*logic.Rule, q logic.Query, opt Options) (bool, error) {
+	if err := q.Validate(); err != nil {
+		return false, err
+	}
+	res, err := StableModels(db, rules, opt)
+	if err != nil {
+		return false, err
+	}
+	for _, m := range res.Models {
+		if !q.Holds(m) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// BraveEntails decides whether q holds in some LP-stable model.
+func BraveEntails(db *logic.FactStore, rules []*logic.Rule, q logic.Query, opt Options) (bool, error) {
+	if err := q.Validate(); err != nil {
+		return false, err
+	}
+	res, err := StableModels(db, rules, opt)
+	if err != nil {
+		return false, err
+	}
+	for _, m := range res.Models {
+		if q.Holds(m) {
+			return true, nil
+		}
+	}
+	return false, nil
+}

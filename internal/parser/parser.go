@@ -1,0 +1,347 @@
+package parser
+
+import (
+	"fmt"
+	"os"
+
+	"ntgd/internal/logic"
+)
+
+// Parse parses a program in the surface syntax. Rules are labelled
+// r1, r2, ... in source order unless they carry explicit labels
+// (not supported in the syntax; labels are assigned automatically).
+func Parse(src string) (*logic.Program, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	prog := &logic.Program{}
+	ruleN := 0
+	for p.tok.kind != tokEOF {
+		switch p.tok.kind {
+		case tokQuery:
+			q, err := p.parseQuery()
+			if err != nil {
+				return nil, err
+			}
+			prog.Queries = append(prog.Queries, q)
+		case tokConstraintHead:
+			r, err := p.parseConstraint()
+			if err != nil {
+				return nil, err
+			}
+			ruleN++
+			r.Label = fmt.Sprintf("r%d", ruleN)
+			prog.Rules = append(prog.Rules, r)
+		default:
+			factOrRule, err := p.parseStatement()
+			if err != nil {
+				return nil, err
+			}
+			if factOrRule.rule != nil {
+				ruleN++
+				factOrRule.rule.Label = fmt.Sprintf("r%d", ruleN)
+				prog.Rules = append(prog.Rules, factOrRule.rule)
+			} else {
+				prog.Facts = append(prog.Facts, factOrRule.facts...)
+			}
+		}
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// ParseFile parses the program in the named file.
+func ParseFile(path string) (*logic.Program, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := Parse(string(data))
+	if err != nil {
+		return nil, fmt.Errorf("%s:%w", path, err)
+	}
+	return prog, nil
+}
+
+// MustParse parses src and panics on error; for tests and examples.
+func MustParse(src string) *logic.Program {
+	prog, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+type parser struct {
+	lex *lexer
+	tok token
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) expect(kind tokenKind) (token, error) {
+	if p.tok.kind != kind {
+		return token{}, fmt.Errorf("%d:%d: expected %s, found %s (%q)", p.tok.line, p.tok.col, kind, p.tok.kind, p.tok.text)
+	}
+	t := p.tok
+	if err := p.advance(); err != nil {
+		return token{}, err
+	}
+	return t, nil
+}
+
+type statement struct {
+	facts []logic.Atom
+	rule  *logic.Rule
+}
+
+// parseStatement parses either a fact list ("a(1). "), a rule
+// ("body -> head ."), or an empty-body rule ("-> head ." — used for
+// the paper's "→ ∃X zero(X)" style guessing rules).
+func (p *parser) parseStatement() (statement, error) {
+	if p.tok.kind == tokArrow {
+		if err := p.advance(); err != nil {
+			return statement{}, err
+		}
+		heads, err := p.parseHead()
+		if err != nil {
+			return statement{}, err
+		}
+		if _, err := p.expect(tokDot); err != nil {
+			return statement{}, err
+		}
+		return statement{rule: &logic.Rule{Heads: heads}}, nil
+	}
+	body, err := p.parseLiteralList()
+	if err != nil {
+		return statement{}, err
+	}
+	switch p.tok.kind {
+	case tokDot:
+		if err := p.advance(); err != nil {
+			return statement{}, err
+		}
+		// A fact list: every literal must be a ground positive atom.
+		facts := make([]logic.Atom, 0, len(body))
+		for _, l := range body {
+			if l.Neg {
+				return statement{}, fmt.Errorf("%d:%d: negative literal in fact position", p.tok.line, p.tok.col)
+			}
+			facts = append(facts, l.Atom)
+		}
+		return statement{facts: facts}, nil
+	case tokArrow:
+		if err := p.advance(); err != nil {
+			return statement{}, err
+		}
+		heads, err := p.parseHead()
+		if err != nil {
+			return statement{}, err
+		}
+		if _, err := p.expect(tokDot); err != nil {
+			return statement{}, err
+		}
+		return statement{rule: &logic.Rule{Body: body, Heads: heads}}, nil
+	default:
+		return statement{}, fmt.Errorf("%d:%d: expected '.' or '->', found %s (%q)", p.tok.line, p.tok.col, p.tok.kind, p.tok.text)
+	}
+}
+
+// parseConstraint parses ":- body ." into a rule with an empty head.
+func (p *parser) parseConstraint() (*logic.Rule, error) {
+	if _, err := p.expect(tokConstraintHead); err != nil {
+		return nil, err
+	}
+	body, err := p.parseLiteralList()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokDot); err != nil {
+		return nil, err
+	}
+	return &logic.Rule{Body: body}, nil
+}
+
+// parseHead parses disjuncts separated by '|'; each disjunct is a
+// comma-separated conjunction of atoms. The keyword #false is not used;
+// constraints use the ':-' form.
+func (p *parser) parseHead() ([][]logic.Atom, error) {
+	var heads [][]logic.Atom
+	for {
+		var disj []logic.Atom
+		for {
+			a, err := p.parseAtom()
+			if err != nil {
+				return nil, err
+			}
+			disj = append(disj, a)
+			if p.tok.kind != tokComma {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+		heads = append(heads, disj)
+		if p.tok.kind != tokPipe {
+			break
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	return heads, nil
+}
+
+func (p *parser) parseQuery() (logic.Query, error) {
+	if _, err := p.expect(tokQuery); err != nil {
+		return logic.Query{}, err
+	}
+	var q logic.Query
+	if p.tok.kind == tokLBracket {
+		if err := p.advance(); err != nil {
+			return logic.Query{}, err
+		}
+		for p.tok.kind != tokRBracket {
+			v, err := p.expect(tokVar)
+			if err != nil {
+				return logic.Query{}, err
+			}
+			q.AnswerVars = append(q.AnswerVars, v.text)
+			if p.tok.kind == tokComma {
+				if err := p.advance(); err != nil {
+					return logic.Query{}, err
+				}
+			}
+		}
+		if err := p.advance(); err != nil { // consume ]
+			return logic.Query{}, err
+		}
+	}
+	lits, err := p.parseLiteralList()
+	if err != nil {
+		return logic.Query{}, err
+	}
+	if _, err := p.expect(tokDot); err != nil {
+		return logic.Query{}, err
+	}
+	q.Pos, q.Neg = logic.SplitLiterals(lits)
+	return q, nil
+}
+
+func (p *parser) parseLiteralList() ([]logic.Literal, error) {
+	var lits []logic.Literal
+	for {
+		l, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		lits = append(lits, l)
+		if p.tok.kind != tokComma {
+			return lits, nil
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (p *parser) parseLiteral() (logic.Literal, error) {
+	neg := false
+	if p.tok.kind == tokNot {
+		neg = true
+		if err := p.advance(); err != nil {
+			return logic.Literal{}, err
+		}
+	}
+	a, err := p.parseAtom()
+	if err != nil {
+		return logic.Literal{}, err
+	}
+	return logic.Literal{Neg: neg, Atom: a}, nil
+}
+
+func (p *parser) parseAtom() (logic.Atom, error) {
+	pred, err := p.expect(tokIdent)
+	if err != nil {
+		return logic.Atom{}, fmt.Errorf("expected a predicate: %w", err)
+	}
+	a := logic.Atom{Pred: pred.text}
+	if p.tok.kind != tokLParen {
+		return a, nil // 0-ary atom
+	}
+	if err := p.advance(); err != nil {
+		return logic.Atom{}, err
+	}
+	for {
+		t, err := p.parseTerm()
+		if err != nil {
+			return logic.Atom{}, err
+		}
+		a.Args = append(a.Args, t)
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return logic.Atom{}, err
+			}
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return logic.Atom{}, err
+	}
+	return a, nil
+}
+
+func (p *parser) parseTerm() (logic.Term, error) {
+	switch p.tok.kind {
+	case tokVar:
+		t := logic.V(p.tok.text)
+		if err := p.advance(); err != nil {
+			return logic.Term{}, err
+		}
+		return t, nil
+	case tokIdent:
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return logic.Term{}, err
+		}
+		if p.tok.kind == tokLParen { // function term f(...)
+			if err := p.advance(); err != nil {
+				return logic.Term{}, err
+			}
+			var args []logic.Term
+			for {
+				arg, err := p.parseTerm()
+				if err != nil {
+					return logic.Term{}, err
+				}
+				args = append(args, arg)
+				if p.tok.kind == tokComma {
+					if err := p.advance(); err != nil {
+						return logic.Term{}, err
+					}
+					continue
+				}
+				break
+			}
+			if _, err := p.expect(tokRParen); err != nil {
+				return logic.Term{}, err
+			}
+			return logic.F(name, args...), nil
+		}
+		return logic.C(name), nil
+	default:
+		return logic.Term{}, fmt.Errorf("%d:%d: expected a term, found %s (%q)", p.tok.line, p.tok.col, p.tok.kind, p.tok.text)
+	}
+}

@@ -1,0 +1,243 @@
+// Package qbf provides the 2-QBF substrate for the paper's lower-bound
+// and application experiments (Sections 5.3 and 7.1): quantified
+// Boolean formulas with one quantifier alternation, 2-QBF∃ formulas
+// ∃X∀Y ψ(X,Y) with ψ in 3DNF (the exact shape used by the paper's
+// ΠP2-hardness reduction), a deterministic random generator, and two
+// reference evaluators (brute force, and existential enumeration with
+// a SAT-based tautology oracle) against which the declarative
+// encodings of internal/encodings are validated.
+package qbf
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"ntgd/internal/sat"
+)
+
+// Lit is a Boolean literal over a named variable.
+type Lit struct {
+	Var string
+	Neg bool
+}
+
+// String renders the literal, prefixing negations with "~".
+func (l Lit) String() string {
+	if l.Neg {
+		return "~" + l.Var
+	}
+	return l.Var
+}
+
+// Term is a conjunction of three literals (one disjunct of the 3DNF
+// matrix).
+type Term [3]Lit
+
+// String renders the term as (l1 & l2 & l3).
+func (t Term) String() string {
+	return "(" + t[0].String() + " & " + t[1].String() + " & " + t[2].String() + ")"
+}
+
+// Formula is a 2-QBF∃ formula ∃X ∀Y ∨ᵢ(ℓ¹ᵢ ∧ ℓ²ᵢ ∧ ℓ³ᵢ).
+type Formula struct {
+	Exists []string
+	Forall []string
+	Terms  []Term
+}
+
+// String renders the formula.
+func (f Formula) String() string {
+	parts := make([]string, len(f.Terms))
+	for i, t := range f.Terms {
+		parts[i] = t.String()
+	}
+	return fmt.Sprintf("∃{%s} ∀{%s} %s",
+		strings.Join(f.Exists, ","), strings.Join(f.Forall, ","),
+		strings.Join(parts, " | "))
+}
+
+// Validate checks that every literal's variable is quantified.
+func (f Formula) Validate() error {
+	q := make(map[string]bool)
+	for _, v := range f.Exists {
+		if q[v] {
+			return fmt.Errorf("qbf: variable %s quantified twice", v)
+		}
+		q[v] = true
+	}
+	for _, v := range f.Forall {
+		if q[v] {
+			return fmt.Errorf("qbf: variable %s quantified twice", v)
+		}
+		q[v] = true
+	}
+	for _, t := range f.Terms {
+		for _, l := range t {
+			if !q[l.Var] {
+				return fmt.Errorf("qbf: literal over unquantified variable %s", l.Var)
+			}
+		}
+	}
+	return nil
+}
+
+// Assignment maps variables to truth values.
+type Assignment map[string]bool
+
+// EvalMatrix evaluates the 3DNF matrix under a total assignment.
+func (f Formula) EvalMatrix(a Assignment) bool {
+	for _, t := range f.Terms {
+		ok := true
+		for _, l := range t {
+			if a[l.Var] == l.Neg {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// EvalBrute decides satisfiability (∃X ∀Y ψ) by full enumeration;
+// intended for small instances (≤ ~20 variables total).
+func (f Formula) EvalBrute() bool {
+	a := Assignment{}
+	var forallOK func(i int) bool
+	forallOK = func(i int) bool {
+		if i == len(f.Forall) {
+			return f.EvalMatrix(a)
+		}
+		for _, v := range []bool{false, true} {
+			a[f.Forall[i]] = v
+			if !forallOK(i + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	var existsOK func(i int) bool
+	existsOK = func(i int) bool {
+		if i == len(f.Exists) {
+			return forallOK(0)
+		}
+		for _, v := range []bool{false, true} {
+			a[f.Exists[i]] = v
+			if existsOK(i + 1) {
+				return true
+			}
+		}
+		return false
+	}
+	return existsOK(0)
+}
+
+// EvalSAT decides satisfiability by enumerating existential
+// assignments and checking "∀Y ψ[x]" with a SAT oracle: ψ[x] is a
+// tautology over Y iff its negation (a 3CNF over Y) is unsatisfiable.
+func (f Formula) EvalSAT() bool {
+	a := Assignment{}
+	var exists func(i int) bool
+	exists = func(i int) bool {
+		if i == len(f.Exists) {
+			return f.tautologyUnder(a)
+		}
+		for _, v := range []bool{false, true} {
+			a[f.Exists[i]] = v
+			if exists(i + 1) {
+				return true
+			}
+		}
+		return false
+	}
+	return exists(0)
+}
+
+// tautologyUnder checks ∀Y ψ[x] via UNSAT(¬ψ[x]).
+func (f Formula) tautologyUnder(x Assignment) bool {
+	s := sat.New()
+	varID := map[string]int{}
+	id := func(v string) int {
+		if i, ok := varID[v]; ok {
+			return i
+		}
+		i := s.NewVar()
+		varID[v] = i
+		return i
+	}
+	for _, t := range f.Terms {
+		// ¬(ℓ1 ∧ ℓ2 ∧ ℓ3) = clause of complemented literals; fixed
+		// existential literals simplify.
+		clause := make([]int, 0, 3)
+		termFalse := false
+		for _, l := range t {
+			if val, fixed := x[l.Var]; fixed {
+				if val == l.Neg {
+					// ℓ is false: the term is false; ¬term is true —
+					// the clause is satisfied, skip it.
+					termFalse = true
+					break
+				}
+				continue // ℓ is true: drop from the clause
+			}
+			v := id(l.Var)
+			if l.Neg {
+				clause = append(clause, v)
+			} else {
+				clause = append(clause, -v)
+			}
+		}
+		if termFalse {
+			continue
+		}
+		s.AddClause(clause...) // possibly empty = term is true: UNSAT
+	}
+	return !s.Solve()
+}
+
+// Random generates a deterministic pseudo-random 2-QBF∃ instance with
+// nExists existential variables x1..xn, nForall universal variables
+// y1..ym, and nTerms 3DNF terms.
+func Random(rng *rand.Rand, nExists, nForall, nTerms int) Formula {
+	f := Formula{}
+	var all []string
+	for i := 1; i <= nExists; i++ {
+		v := fmt.Sprintf("x%d", i)
+		f.Exists = append(f.Exists, v)
+		all = append(all, v)
+	}
+	for i := 1; i <= nForall; i++ {
+		v := fmt.Sprintf("y%d", i)
+		f.Forall = append(f.Forall, v)
+		all = append(all, v)
+	}
+	for i := 0; i < nTerms; i++ {
+		var t Term
+		for j := 0; j < 3; j++ {
+			t[j] = Lit{Var: all[rng.Intn(len(all))], Neg: rng.Intn(2) == 1}
+		}
+		f.Terms = append(f.Terms, t)
+	}
+	return f
+}
+
+// Negate2QBFForall converts a 2-QBF∀ formula ∀X∃Y ψ' into the
+// equivalent statement "¬(∃X∀Y ¬ψ')": the returned 2-QBF∃ formula is
+// satisfiable iff the original 2-QBF∀ formula is falsifiable. Callers
+// evaluating universal formulas should negate the verdict. ψ' must be
+// given in 3CNF (clauses of three literals); its negation is the 3DNF
+// matrix of the result.
+func Negate2QBFForall(forallVars, existsVars []string, clauses []Term) Formula {
+	neg := make([]Term, len(clauses))
+	for i, c := range clauses {
+		neg[i] = Term{
+			Lit{Var: c[0].Var, Neg: !c[0].Neg},
+			Lit{Var: c[1].Var, Neg: !c[1].Neg},
+			Lit{Var: c[2].Var, Neg: !c[2].Neg},
+		}
+	}
+	return Formula{Exists: forallVars, Forall: existsVars, Terms: neg}
+}

@@ -1,0 +1,106 @@
+package qbf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func l(v string) Lit  { return Lit{Var: v} }
+func nl(v string) Lit { return Lit{Var: v, Neg: true} }
+
+func TestValidate(t *testing.T) {
+	good := Formula{Exists: []string{"x"}, Forall: []string{"y"},
+		Terms: []Term{{l("x"), l("y"), nl("x")}}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid formula rejected: %v", err)
+	}
+	bad := Formula{Exists: []string{"x"}, Terms: []Term{{l("x"), l("z"), l("x")}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatalf("unquantified variable accepted")
+	}
+	dup := Formula{Exists: []string{"x"}, Forall: []string{"x"}}
+	if err := dup.Validate(); err == nil {
+		t.Fatalf("doubly quantified variable accepted")
+	}
+}
+
+func TestEvalMatrix(t *testing.T) {
+	f := Formula{Exists: []string{"x", "y"},
+		Terms: []Term{{l("x"), nl("y"), l("x")}}}
+	if !f.EvalMatrix(Assignment{"x": true, "y": false}) {
+		t.Fatalf("x ∧ ¬y ∧ x should hold")
+	}
+	if f.EvalMatrix(Assignment{"x": true, "y": true}) {
+		t.Fatalf("matrix should fail when y is true")
+	}
+}
+
+func TestEvalBruteHandPicked(t *testing.T) {
+	cases := []struct {
+		f    Formula
+		want bool
+	}{
+		// ∃x: x — sat.
+		{Formula{Exists: []string{"x"}, Terms: []Term{{l("x"), l("x"), l("x")}}}, true},
+		// ∃x: x ∧ ¬x — unsat.
+		{Formula{Exists: []string{"x"}, Terms: []Term{{l("x"), nl("x"), l("x")}}}, false},
+		// ∀y: y ∨ ¬y — valid.
+		{Formula{Forall: []string{"y"},
+			Terms: []Term{{l("y"), l("y"), l("y")}, {nl("y"), nl("y"), nl("y")}}}, true},
+		// ∃x∀y: (x∧y) ∨ (x∧¬y) — pick x.
+		{Formula{Exists: []string{"x"}, Forall: []string{"y"},
+			Terms: []Term{{l("x"), l("y"), l("y")}, {l("x"), nl("y"), nl("y")}}}, true},
+		// ∃x∀y: x∧y — no.
+		{Formula{Exists: []string{"x"}, Forall: []string{"y"},
+			Terms: []Term{{l("x"), l("y"), l("y")}}}, false},
+		// Empty matrix is false.
+		{Formula{Exists: []string{"x"}}, false},
+	}
+	for i, tc := range cases {
+		if got := tc.f.EvalBrute(); got != tc.want {
+			t.Errorf("case %d (%s): brute = %v, want %v", i, tc.f, got, tc.want)
+		}
+		if got := tc.f.EvalSAT(); got != tc.want {
+			t.Errorf("case %d (%s): sat = %v, want %v", i, tc.f, got, tc.want)
+		}
+	}
+}
+
+// TestEvalAgreement (property): the two evaluators agree on random
+// instances.
+func TestEvalAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		f := Random(rng, 1+rng.Intn(3), 1+rng.Intn(3), 1+rng.Intn(4))
+		if err := f.Validate(); err != nil {
+			t.Fatalf("Random produced invalid formula: %v", err)
+		}
+		if b, s := f.EvalBrute(), f.EvalSAT(); b != s {
+			t.Fatalf("iter %d: brute=%v sat=%v on %s", i, b, s, f)
+		}
+	}
+}
+
+func TestNegate2QBFForall(t *testing.T) {
+	// ∀x ∃∅: x (as a "3CNF" clause x∨x∨x) is falsifiable (x=false),
+	// so its negation ∃x∀∅: ¬x must be satisfiable.
+	neg := Negate2QBFForall([]string{"x"}, nil, []Term{{l("x"), l("x"), l("x")}})
+	if !neg.EvalBrute() {
+		t.Fatalf("negation should be satisfiable")
+	}
+	// ∀x: x∨¬x is valid, so the negation is unsatisfiable.
+	neg2 := Negate2QBFForall([]string{"x"}, nil, []Term{{l("x"), nl("x"), l("x")}})
+	if neg2.EvalBrute() {
+		t.Fatalf("negation of a valid formula must be unsatisfiable")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	f := Formula{Exists: []string{"x"}, Forall: []string{"y"},
+		Terms: []Term{{l("x"), nl("y"), l("x")}}}
+	got := f.String()
+	want := "∃{x} ∀{y} (x & ~y & x)"
+	if got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,316 @@
+// Package sat implements a small CNF satisfiability solver: DPLL search
+// with two-watched-literal unit propagation, chronological backtracking
+// and an occurrence-based branching heuristic. It is the reasoning
+// substrate for the W-Stability check of Proposition 11 (deciding
+// whether a candidate stable model admits a smaller τ-model) and for
+// the direct 2-QBF evaluator used as an experimental baseline.
+//
+// The encoding of literals in the public API follows the DIMACS
+// convention: variables are positive integers 1..n, a positive literal
+// is +v and a negative literal is -v.
+package sat
+
+import "sort"
+
+const unassigned int8 = -1
+
+// Solver is a reusable CNF solver. Add variables with NewVar, clauses
+// with AddClause, then call Solve or SolveAssuming. After a satisfiable
+// call, Value reports the model. The zero value is ready to use.
+type Solver struct {
+	nVars   int
+	clauses [][]int // internal literals; first two are watched
+	watches [][]int // internal literal -> clause indexes watching it
+	units   []int   // internal literals from unit clauses
+	occ     []int   // per-variable occurrence counts (branching heuristic)
+
+	assign  []int8 // per-variable: unassigned, 0 (false), 1 (true)
+	trail   []int
+	lim     []int
+	flipped []bool
+	qhead   int
+	unsat   bool // an empty clause was added
+
+	// Stats
+	Decisions    int64
+	Propagations int64
+	Conflicts    int64
+}
+
+// New returns an empty solver.
+func New() *Solver { return &Solver{} }
+
+// NewVar allocates a fresh variable and returns its (1-based) index.
+func (s *Solver) NewVar() int {
+	s.nVars++
+	s.watches = append(s.watches, nil, nil)
+	s.occ = append(s.occ, 0)
+	s.assign = append(s.assign, unassigned)
+	return s.nVars
+}
+
+// NVars returns the number of allocated variables.
+func (s *Solver) NVars() int { return s.nVars }
+
+// NClauses returns the number of stored (non-unit, non-empty) clauses.
+func (s *Solver) NClauses() int { return len(s.clauses) }
+
+// intern converts a DIMACS literal to the internal encoding
+// (2*var for positive, 2*var+1 for negative, 0-based var).
+func intern(lit int) int {
+	if lit > 0 {
+		return 2 * (lit - 1)
+	}
+	return 2*(-lit-1) + 1
+}
+
+func neg(l int) int     { return l ^ 1 }
+func litVar(l int) int  { return l >> 1 }
+func litSign(l int) int { return l & 1 } // 1 = negated
+
+// AddClause adds a clause given as DIMACS literals. Duplicate literals
+// are removed and tautological clauses dropped. Adding an empty clause
+// makes the instance trivially unsatisfiable. Variables are allocated
+// implicitly if needed.
+func (s *Solver) AddClause(lits ...int) {
+	for _, l := range lits {
+		v := l
+		if v < 0 {
+			v = -v
+		}
+		for s.nVars < v {
+			s.NewVar()
+		}
+	}
+	cl := make([]int, 0, len(lits))
+	for _, l := range lits {
+		cl = append(cl, intern(l))
+	}
+	sort.Ints(cl)
+	out := cl[:0]
+	for i, l := range cl {
+		if i > 0 && l == cl[i-1] {
+			continue
+		}
+		if i > 0 && l == neg(cl[i-1]) {
+			return // tautology
+		}
+		out = append(out, l)
+	}
+	cl = out
+	switch len(cl) {
+	case 0:
+		s.unsat = true
+	case 1:
+		s.units = append(s.units, cl[0])
+		s.occ[litVar(cl[0])] += 4
+	default:
+		idx := len(s.clauses)
+		s.clauses = append(s.clauses, cl)
+		s.watches[cl[0]] = append(s.watches[cl[0]], idx)
+		s.watches[cl[1]] = append(s.watches[cl[1]], idx)
+		for _, l := range cl {
+			s.occ[litVar(l)]++
+		}
+	}
+}
+
+// value returns the truth value of an internal literal under the
+// current assignment: 1 true, 0 false, unassigned otherwise.
+func (s *Solver) value(l int) int8 {
+	a := s.assign[litVar(l)]
+	if a == unassigned {
+		return unassigned
+	}
+	return a ^ int8(litSign(l))
+}
+
+// enqueue asserts an internal literal; reports false on conflict.
+func (s *Solver) enqueue(l int) bool {
+	switch s.value(l) {
+	case 1:
+		return true
+	case 0:
+		return false
+	}
+	s.assign[litVar(l)] = int8(1 - litSign(l))
+	s.trail = append(s.trail, l)
+	return true
+}
+
+// propagate performs unit propagation; reports false on conflict.
+func (s *Solver) propagate() bool {
+	for s.qhead < len(s.trail) {
+		l := s.trail[s.qhead]
+		s.qhead++
+		s.Propagations++
+		falsified := neg(l)
+		ws := s.watches[falsified]
+		kept := ws[:0]
+		for wi := 0; wi < len(ws); wi++ {
+			ci := ws[wi]
+			cl := s.clauses[ci]
+			// Ensure the falsified literal is at position 1.
+			if cl[0] == falsified {
+				cl[0], cl[1] = cl[1], cl[0]
+			}
+			// If the other watch is true, the clause is satisfied.
+			if s.value(cl[0]) == 1 {
+				kept = append(kept, ci)
+				continue
+			}
+			// Look for a new literal to watch.
+			moved := false
+			for k := 2; k < len(cl); k++ {
+				if s.value(cl[k]) != 0 {
+					cl[1], cl[k] = cl[k], cl[1]
+					s.watches[cl[1]] = append(s.watches[cl[1]], ci)
+					moved = true
+					break
+				}
+			}
+			if moved {
+				continue
+			}
+			// Clause is unit or conflicting.
+			kept = append(kept, ci)
+			if !s.enqueue(cl[0]) {
+				// Conflict: keep remaining watches intact.
+				kept = append(kept, ws[wi+1:]...)
+				s.watches[falsified] = kept
+				s.Conflicts++
+				return false
+			}
+		}
+		s.watches[falsified] = kept
+	}
+	return true
+}
+
+func (s *Solver) newLevel(flip bool) {
+	s.lim = append(s.lim, len(s.trail))
+	s.flipped = append(s.flipped, flip)
+}
+
+// undoLevel removes the top decision level and returns its decision
+// literal.
+func (s *Solver) undoLevel() int {
+	top := len(s.lim) - 1
+	start := s.lim[top]
+	decLit := s.trail[start]
+	for i := len(s.trail) - 1; i >= start; i-- {
+		s.assign[litVar(s.trail[i])] = unassigned
+	}
+	s.trail = s.trail[:start]
+	s.qhead = len(s.trail)
+	s.lim = s.lim[:top]
+	s.flipped = s.flipped[:top]
+	return decLit
+}
+
+// reset clears the assignment (clauses are kept).
+func (s *Solver) reset() {
+	for i := range s.assign {
+		s.assign[i] = unassigned
+	}
+	s.trail = s.trail[:0]
+	s.lim = s.lim[:0]
+	s.flipped = s.flipped[:0]
+	s.qhead = 0
+}
+
+// pickBranch returns an unassigned internal literal to branch on, or
+// -1 if the assignment is total.
+func (s *Solver) pickBranch() int {
+	best, bestOcc := -1, -1
+	for v := 0; v < s.nVars; v++ {
+		if s.assign[v] == unassigned && s.occ[v] > bestOcc {
+			best, bestOcc = v, s.occ[v]
+		}
+	}
+	if best < 0 {
+		return -1
+	}
+	return 2 * best // positive polarity first
+}
+
+// Solve reports whether the clause set is satisfiable.
+func (s *Solver) Solve() bool { return s.SolveAssuming() }
+
+// SolveAssuming reports satisfiability under the given assumption
+// literals (DIMACS encoding).
+func (s *Solver) SolveAssuming(assumptions ...int) bool {
+	if s.unsat {
+		return false
+	}
+	s.reset()
+	// Top-level units.
+	for _, u := range s.units {
+		if !s.enqueue(u) {
+			return false
+		}
+	}
+	if !s.propagate() {
+		return false
+	}
+	// Assumptions become non-flippable decision levels.
+	for _, a := range assumptions {
+		l := intern(a)
+		if s.value(l) == 0 {
+			return false
+		}
+		if s.value(l) == unassigned {
+			s.newLevel(true) // flipped=true: never flip assumptions
+			if !s.enqueue(l) {
+				return false
+			}
+		}
+		if !s.propagate() {
+			return false
+		}
+	}
+	nAssumpLevels := len(s.lim)
+	for {
+		l := s.pickBranch()
+		if l < 0 {
+			return true
+		}
+		s.Decisions++
+		s.newLevel(false)
+		s.enqueue(l)
+		for !s.propagate() {
+			// Chronological backtracking: find the deepest unflipped
+			// decision, flip it.
+			flippedOne := false
+			for len(s.lim) > nAssumpLevels {
+				top := len(s.lim) - 1
+				if s.flipped[top] {
+					s.undoLevel()
+					continue
+				}
+				dec := s.undoLevel()
+				s.newLevel(true)
+				s.enqueue(neg(dec))
+				flippedOne = true
+				break
+			}
+			if !flippedOne {
+				return false
+			}
+		}
+	}
+}
+
+// Value reports the truth value of variable v (1-based) in the model
+// found by the last successful Solve call.
+func (s *Solver) Value(v int) bool { return s.assign[v-1] == 1 }
+
+// Model returns the model as a slice indexed by variable (entry 0
+// unused).
+func (s *Solver) Model() []bool {
+	m := make([]bool, s.nVars+1)
+	for v := 1; v <= s.nVars; v++ {
+		m[v] = s.Value(v)
+	}
+	return m
+}

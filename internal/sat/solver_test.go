@@ -1,0 +1,198 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTrivialCases(t *testing.T) {
+	s := New()
+	if !s.Solve() {
+		t.Fatalf("empty instance is satisfiable")
+	}
+	s.AddClause(1)
+	if !s.Solve() || !s.Value(1) {
+		t.Fatalf("unit clause")
+	}
+	s.AddClause(-1)
+	if s.Solve() {
+		t.Fatalf("x ∧ ¬x is unsatisfiable")
+	}
+}
+
+func TestEmptyClauseUnsat(t *testing.T) {
+	s := New()
+	s.AddClause()
+	if s.Solve() {
+		t.Fatalf("empty clause must yield UNSAT")
+	}
+}
+
+func TestTautologyDropped(t *testing.T) {
+	s := New()
+	s.AddClause(1, -1)
+	if s.NClauses() != 0 {
+		t.Fatalf("tautology should be dropped")
+	}
+	if !s.Solve() {
+		t.Fatalf("tautology-only instance is satisfiable")
+	}
+}
+
+func TestSmallUnsatCore(t *testing.T) {
+	// (a∨b) ∧ (a∨¬b) ∧ (¬a∨b) ∧ (¬a∨¬b)
+	s := New()
+	s.AddClause(1, 2)
+	s.AddClause(1, -2)
+	s.AddClause(-1, 2)
+	s.AddClause(-1, -2)
+	if s.Solve() {
+		t.Fatalf("complete 2-variable contradiction must be UNSAT")
+	}
+}
+
+func TestImplicationChain(t *testing.T) {
+	// x1 ∧ (x1→x2) ∧ … ∧ (x99→x100)
+	s := New()
+	s.AddClause(1)
+	for v := 1; v < 100; v++ {
+		s.AddClause(-v, v+1)
+	}
+	if !s.Solve() {
+		t.Fatalf("chain is satisfiable")
+	}
+	for v := 1; v <= 100; v++ {
+		if !s.Value(v) {
+			t.Fatalf("x%d must be true", v)
+		}
+	}
+}
+
+func TestPigeonhole32(t *testing.T) {
+	// 3 pigeons, 2 holes: UNSAT. Var p(i,h) = i*2 + h + 1.
+	s := New()
+	v := func(i, h int) int { return i*2 + h + 1 }
+	for i := 0; i < 3; i++ {
+		s.AddClause(v(i, 0), v(i, 1))
+	}
+	for h := 0; h < 2; h++ {
+		for i := 0; i < 3; i++ {
+			for j := i + 1; j < 3; j++ {
+				s.AddClause(-v(i, h), -v(j, h))
+			}
+		}
+	}
+	if s.Solve() {
+		t.Fatalf("PHP(3,2) must be UNSAT")
+	}
+}
+
+func TestSolveAssuming(t *testing.T) {
+	s := New()
+	s.AddClause(1, 2)
+	if !s.SolveAssuming(-1) || !s.Value(2) {
+		t.Fatalf("assuming ¬x1 forces x2")
+	}
+	if !s.SolveAssuming(-2) || !s.Value(1) {
+		t.Fatalf("assuming ¬x2 forces x1")
+	}
+	if s.SolveAssuming(-1, -2) {
+		t.Fatalf("assuming both false is UNSAT")
+	}
+	// Solver remains reusable after assumption calls.
+	if !s.Solve() {
+		t.Fatalf("instance is satisfiable without assumptions")
+	}
+}
+
+// bruteSat is a reference implementation for the property test.
+func bruteSat(nVars int, clauses [][]int) bool {
+	for mask := 0; mask < 1<<nVars; mask++ {
+		ok := true
+		for _, cl := range clauses {
+			clOK := false
+			for _, lit := range cl {
+				v := lit
+				if v < 0 {
+					v = -v
+				}
+				val := mask&(1<<(v-1)) != 0
+				if val == (lit > 0) {
+					clOK = true
+					break
+				}
+			}
+			if !clOK {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// TestRandomAgainstBrute (property): the DPLL verdict matches brute
+// force on random 3-CNF instances.
+func TestRandomAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 300; iter++ {
+		nVars := 2 + rng.Intn(8)
+		nClauses := 1 + rng.Intn(4*nVars)
+		var clauses [][]int
+		s := New()
+		for i := 0; i < nClauses; i++ {
+			width := 1 + rng.Intn(3)
+			cl := make([]int, 0, width)
+			for j := 0; j < width; j++ {
+				lit := 1 + rng.Intn(nVars)
+				if rng.Intn(2) == 0 {
+					lit = -lit
+				}
+				cl = append(cl, lit)
+			}
+			clauses = append(clauses, cl)
+			s.AddClause(cl...)
+		}
+		want := bruteSat(nVars, clauses)
+		got := s.Solve()
+		if got != want {
+			t.Fatalf("iter %d: solver=%v brute=%v clauses=%v", iter, got, want, clauses)
+		}
+		if got {
+			// Verify the model actually satisfies every clause.
+			for _, cl := range clauses {
+				ok := false
+				for _, lit := range cl {
+					v := lit
+					if v < 0 {
+						v = -v
+					}
+					if s.Value(v) == (lit > 0) {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					t.Fatalf("iter %d: returned model violates clause %v", iter, cl)
+				}
+			}
+		}
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	s := New()
+	for v := 1; v <= 6; v += 2 {
+		s.AddClause(v, v+1)
+		s.AddClause(-v, -(v + 1))
+	}
+	if !s.Solve() {
+		t.Fatalf("satisfiable")
+	}
+	if s.Decisions == 0 {
+		t.Fatalf("expected at least one decision")
+	}
+}

@@ -1,0 +1,92 @@
+package soformula_test
+
+import (
+	"strings"
+	"testing"
+
+	"ntgd/internal/logic"
+	"ntgd/internal/parser"
+	"ntgd/internal/soformula"
+)
+
+// section32 is the running program of Sections 3.2–3.3:
+// D = {p(0)}, Σ = {p(X) ∧ ¬t(X) → r(X), r(X) → t(X)}.
+const section32 = `
+p(0).
+p(X), not t(X) -> r(X).
+r(X) -> t(X).
+`
+
+func TestTauTransform(t *testing.T) {
+	prog := parser.MustParse(section32)
+	tau := soformula.TauRule(prog.Rules[0])
+	// Positive literal p(X) is starred; the negated t(X) is not — that
+	// is the whole point of SM vs MM (Section 3.3).
+	if tau.Body[0].Atom.Pred != "p*" {
+		t.Fatalf("positive body literal should be starred: %v", tau.Body[0])
+	}
+	if tau.Body[1].Atom.Pred != "t" || !tau.Body[1].Neg {
+		t.Fatalf("negative literal must stay on the original predicate: %v", tau.Body[1])
+	}
+	if tau.Heads[0][0].Pred != "r*" {
+		t.Fatalf("head must be starred: %v", tau.Heads[0][0])
+	}
+}
+
+func TestSMFormulaSection32(t *testing.T) {
+	prog := parser.MustParse(section32)
+	got := soformula.SM(prog.Database(), prog.Rules)
+	// The formula must contain the original theory, the quantifier
+	// block over the predicate variables, the strict-inclusion guard,
+	// and — crucially — the mixed rule p*(X) ∧ ¬t(X) → r*(X).
+	for _, frag := range []string{
+		"p(0)",
+		"p*(0)",
+		"∃p*∃r*∃t*",
+		"(p* ≤ p) ∧ (r* ≤ r) ∧ (t* ≤ t)",
+		"p*(X) ∧ ¬t(X) → r*(X)", // negatives NOT starred
+		"r*(X) → t*(X)",
+	} {
+		if !strings.Contains(got, frag) {
+			t.Fatalf("SM[D,Σ] missing %q:\n%s", frag, got)
+		}
+	}
+	if strings.Contains(got, "¬t*(X)") {
+		t.Fatalf("SM[D,Σ] must not star negative literals:\n%s", got)
+	}
+}
+
+func TestMMFormulaSection32(t *testing.T) {
+	prog := parser.MustParse(section32)
+	got := soformula.MM(prog.Database(), prog.Rules)
+	// Circumscription stars everything, including the negation.
+	if !strings.Contains(got, "p*(X) ∧ ¬t*(X) → r*(X)") {
+		t.Fatalf("MM[D,Σ] must star negative literals too:\n%s", got)
+	}
+}
+
+func TestUNA(t *testing.T) {
+	db := logic.StoreOf(
+		logic.A("p", logic.C("a")),
+		logic.A("p", logic.C("b")),
+		logic.A("p", logic.C("c")),
+	)
+	una := soformula.UNA(db)
+	for _, frag := range []string{"¬(a = b)", "¬(a = c)", "¬(b = c)"} {
+		if !strings.Contains(una, frag) {
+			t.Fatalf("UNA missing %q: %s", frag, una)
+		}
+	}
+	single := logic.StoreOf(logic.A("p", logic.C("a")))
+	if soformula.UNA(single) != "⊤" {
+		t.Fatalf("UNA over one constant is trivial")
+	}
+}
+
+func TestRenderQuantifiers(t *testing.T) {
+	prog := parser.MustParse(`person(alice). person(X) -> hasFather(X,Y).`)
+	got := soformula.SM(prog.Database(), prog.Rules)
+	if !strings.Contains(got, "∀X(person(X) → ∃Y hasFather(X,Y))") {
+		t.Fatalf("existential rendering missing:\n%s", got)
+	}
+}

@@ -1,0 +1,421 @@
+// Package transform implements the paper's program transformations:
+//
+//   - EliminateDisjunction: the construction of Lemma 13 (Section 6),
+//     which compiles a set of NDTGDs into non-disjunctive NTGDs by
+//     guessing a disjunct index with an existential variable, inferring
+//     the chosen disjunct, and adding stability rules so that an
+//     already-satisfied disjunct supports the guess. It shows that
+//     disjunction adds no complexity (Theorem 12).
+//
+//   - DatalogToWATGD: the construction behind Theorems 15/16
+//     (Section 7.2), which translates a DATALOG¬,∨ query program into a
+//     weakly-acyclic WATGD¬ program with the same cautious/brave
+//     answers, by simulating disjunction with existential quantification
+//     and stable negation over guessed predicate identifiers.
+//
+// Both constructions use the paper's false/aux idiom — the rule
+// "false ∧ ¬aux → aux" makes every candidate model containing `false`
+// unstable — rather than native integrity constraints.
+package transform
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"ntgd/internal/logic"
+)
+
+// freshNamer hands out predicate names that do not clash with a
+// schema.
+type freshNamer struct{ taken map[string]bool }
+
+func newFreshNamer(rules []*logic.Rule, db *logic.FactStore) *freshNamer {
+	n := &freshNamer{taken: make(map[string]bool)}
+	for _, r := range rules {
+		for p := range r.Preds() {
+			n.taken[p] = true
+		}
+	}
+	if db != nil {
+		for _, p := range db.Preds() {
+			n.taken[p] = true
+		}
+	}
+	return n
+}
+
+func (n *freshNamer) name(base string) string {
+	cand := base
+	for i := 0; n.taken[cand]; i++ {
+		cand = base + "_" + strconv.Itoa(i)
+	}
+	n.taken[cand] = true
+	return cand
+}
+
+// DisjunctionFree is the output of EliminateDisjunction.
+type DisjunctionFree struct {
+	DB    *logic.FactStore
+	Rules []*logic.Rule
+	// FalsePred and AuxPred name the killing predicates.
+	FalsePred, AuxPred string
+}
+
+// EliminateDisjunction compiles (D, Σ) with Σ ∈ TGD¬,∨ into (D', Σ')
+// with Σ' ∈ TGD¬ such that (D,Σ) |=SMS q iff (D',Σ') |=SMS q for every
+// NBCQ q over the original schema (Lemma 13). D' extends D with the
+// disjunct-index constants idx_i(c_i) and nil(⋆).
+func EliminateDisjunction(db *logic.FactStore, rules []*logic.Rule) (*DisjunctionFree, error) {
+	for _, r := range rules {
+		if err := r.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	names := newFreshNamer(rules, db)
+	maxDisj := 0
+	for _, r := range rules {
+		if len(r.Heads) > maxDisj {
+			maxDisj = len(r.Heads)
+		}
+	}
+	out := &DisjunctionFree{DB: db.Clone()}
+	if maxDisj <= 1 {
+		out.Rules = rules
+		return out, nil
+	}
+
+	nilPred := names.name("nil")
+	idxPred := make([]string, maxDisj)
+	for i := range idxPred {
+		idxPred[i] = names.name("idx" + strconv.Itoa(i+1))
+	}
+	out.FalsePred = names.name("false")
+	out.AuxPred = names.name("aux")
+
+	star := logic.C("star_0")
+	out.DB.Add(logic.A(nilPred, star))
+	for i, p := range idxPred {
+		out.DB.Add(logic.A(p, logic.C("idxc"+strconv.Itoa(i+1))))
+	}
+	// false ∧ ¬aux → aux.
+	out.Rules = append(out.Rules, &logic.Rule{
+		Label: "killfalse",
+		Body: []logic.Literal{
+			logic.Pos(logic.A(out.FalsePred)),
+			logic.Neg(logic.A(out.AuxPred)),
+		},
+		Heads: [][]logic.Atom{{logic.A(out.AuxPred)}},
+	})
+
+	for _, r := range rules {
+		if len(r.Heads) == 1 {
+			out.Rules = append(out.Rules, r)
+			continue
+		}
+		tr, err := eliminateOne(r, names, nilPred, idxPred, out.FalsePred)
+		if err != nil {
+			return nil, err
+		}
+		out.Rules = append(out.Rules, tr...)
+	}
+	return out, nil
+}
+
+// eliminateOne builds Σ_guess ∪ Σ_infer ∪ Σ_stab for one NDTGD.
+func eliminateOne(r *logic.Rule, names *freshNamer, nilPred string, idxPred []string, falsePred string) ([]*logic.Rule, error) {
+	n := len(r.Heads)
+	// Rename each disjunct's existential variables apart so the
+	// concatenated Z tuple is well-defined.
+	heads := make([][]logic.Atom, n)
+	existOf := make([][]string, n)
+	for i := range r.Heads {
+		ren := make(logic.Subst)
+		for _, z := range r.ExistVars(i) {
+			ren[z] = logic.V(z + "__d" + strconv.Itoa(i))
+		}
+		heads[i] = ren.ApplyAtoms(r.Heads[i])
+		for _, z := range r.ExistVars(i) {
+			existOf[i] = append(existOf[i], z+"__d"+strconv.Itoa(i))
+		}
+	}
+	// Frontier X: universal variables occurring in some head, in a
+	// fixed order.
+	pb := r.PosBodyVars()
+	var frontier []string
+	seen := map[string]bool{}
+	var buf []string
+	for i := range heads {
+		for _, a := range heads[i] {
+			buf = a.Vars(buf[:0])
+			for _, v := range buf {
+				if pb[v] && !seen[v] {
+					seen[v] = true
+					frontier = append(frontier, v)
+				}
+			}
+		}
+	}
+	var zAll []string
+	for i := range existOf {
+		zAll = append(zAll, existOf[i]...)
+	}
+	tPred := names.name("t_" + r.Label)
+	iVar, nVar := "I__idx", "N__nil"
+	tAtom := func(ivar string, xs []string, zs []logic.Term) logic.Atom {
+		args := make([]logic.Term, 0, 1+len(xs)+len(zs))
+		args = append(args, logic.V(ivar))
+		for _, x := range xs {
+			args = append(args, logic.V(x))
+		}
+		args = append(args, zs...)
+		return logic.A(tPred, args...)
+	}
+	zVars := func() []logic.Term {
+		ts := make([]logic.Term, len(zAll))
+		for i, z := range zAll {
+			ts[i] = logic.V(z)
+		}
+		return ts
+	}
+
+	var out []*logic.Rule
+	// Σ_guess 1: ϕ(X,Y) → ∃I∃Z tσ(I,X,Z).
+	out = append(out, &logic.Rule{
+		Label: r.Label + "_guess",
+		Body:  r.Body,
+		Heads: [][]logic.Atom{{tAtom(iVar, frontier, zVars())}},
+	})
+	// Σ_guess 2: tσ(I,X,Z) ∧ ¬idx1(I) ∧ … ∧ ¬idxn(I) → false.
+	idxBody := []logic.Literal{logic.Pos(tAtom(iVar, frontier, zVars()))}
+	for i := 0; i < n; i++ {
+		idxBody = append(idxBody, logic.Neg(logic.A(idxPred[i], logic.V(iVar))))
+	}
+	out = append(out, &logic.Rule{
+		Label: r.Label + "_idxchk",
+		Body:  idxBody,
+		Heads: [][]logic.Atom{{logic.A(falsePred)}},
+	})
+	// Σ_infer: tσ(I,X,Z) ∧ idx_i(I) → ψ_i(X,Z_i).
+	for i := 0; i < n; i++ {
+		out = append(out, &logic.Rule{
+			Label: fmt.Sprintf("%s_infer%d", r.Label, i+1),
+			Body: []logic.Literal{
+				logic.Pos(tAtom(iVar, frontier, zVars())),
+				logic.Pos(logic.A(idxPred[i], logic.V(iVar))),
+			},
+			Heads: [][]logic.Atom{heads[i]},
+		})
+	}
+	// Σ_stab: ϕ ∧ ψ_i(X,Z_i) ∧ idx_i(I) ∧ nil(N) → tσ(I,X,N…Z_i…N).
+	for i := 0; i < n; i++ {
+		body := append([]logic.Literal(nil), r.Body...)
+		for _, a := range heads[i] {
+			body = append(body, logic.Pos(a))
+		}
+		body = append(body,
+			logic.Pos(logic.A(idxPred[i], logic.V(iVar))),
+			logic.Pos(logic.A(nilPred, logic.V(nVar))))
+		zs := make([]logic.Term, len(zAll))
+		for j, z := range zAll {
+			mine := false
+			for _, zi := range existOf[i] {
+				if zi == z {
+					mine = true
+					break
+				}
+			}
+			if mine {
+				zs[j] = logic.V(z)
+			} else {
+				zs[j] = logic.V(nVar)
+			}
+		}
+		out = append(out, &logic.Rule{
+			Label: fmt.Sprintf("%s_stab%d", r.Label, i+1),
+			Body:  body,
+			Heads: [][]logic.Atom{{tAtom(iVar, frontier, zs)}},
+		})
+	}
+	for _, rr := range out {
+		if err := rr.Validate(); err != nil {
+			return nil, fmt.Errorf("transform: generated rule invalid: %w", err)
+		}
+	}
+	return out, nil
+}
+
+// DatalogQuery is a DATALOG¬,∨ query (Σ, q): an existential-free
+// program whose head disjuncts are single atoms, plus an answer
+// predicate not occurring in rule bodies.
+type DatalogQuery struct {
+	Rules     []*logic.Rule
+	QueryPred string
+}
+
+// WATGDQuery is the translated weakly-acyclic query of Theorem 15/16.
+type WATGDQuery struct {
+	Rules []*logic.Rule
+	// QueryPred is the fresh answer predicate q'.
+	QueryPred string
+	// ExtraFacts must be added to every input database (the paper puts
+	// nothing in D for this construction; kept for symmetry).
+	ExtraFacts []logic.Atom
+}
+
+// DatalogToWATGD translates a DATALOG¬,∨ query into a WATGD¬ query
+// with the same answers under both cautious and brave stable model
+// semantics (Theorems 15 and 16): predicates are simulated by guessed
+// identifiers (→ ∃X pred_p(X), pairwise disjoint), and each
+// disjunctive rule is compiled into guess/infer/stability rules over a
+// fresh t_ρ predicate. As an optimization over the uniform
+// construction, identifiers are introduced only for predicates that
+// occur in a disjunctive head; the paper's correctness argument is
+// unaffected.
+func DatalogToWATGD(q DatalogQuery, arity int) (*WATGDQuery, error) {
+	for _, r := range q.Rules {
+		if r.HasExistentials() {
+			return nil, fmt.Errorf("transform: rule %s has existentials; not a DATALOG¬,∨ rule", r.Label)
+		}
+		for _, d := range r.Heads {
+			if len(d) != 1 {
+				return nil, fmt.Errorf("transform: rule %s: DATALOG¬,∨ heads are disjunctions of single atoms", r.Label)
+			}
+		}
+	}
+	names := newFreshNamer(q.Rules, nil)
+	out := &WATGDQuery{}
+	falsePred := names.name("false")
+	auxPred := names.name("aux")
+	out.QueryPred = names.name(q.QueryPred + "_ans")
+
+	// Identifier predicates for disjunctive-head predicates.
+	needID := map[string]bool{}
+	for _, r := range q.Rules {
+		if len(r.Heads) > 1 {
+			for _, d := range r.Heads {
+				needID[d[0].Pred] = true
+			}
+		}
+	}
+	idPreds := make(map[string]string)
+	var idList []string
+	for p := range needID {
+		idList = append(idList, p)
+	}
+	sort.Strings(idList)
+	for _, p := range idList {
+		idPreds[p] = names.name("pred_" + p)
+	}
+	// → ∃X pred_p(X) and pairwise disjointness.
+	for _, p := range idList {
+		out.Rules = append(out.Rules, &logic.Rule{
+			Label: "id_" + p,
+			Heads: [][]logic.Atom{{logic.A(idPreds[p], logic.V("X"))}},
+		})
+	}
+	for i := 0; i < len(idList); i++ {
+		for j := i + 1; j < len(idList); j++ {
+			out.Rules = append(out.Rules, &logic.Rule{
+				Label: fmt.Sprintf("iddisj_%s_%s", idList[i], idList[j]),
+				Body: []logic.Literal{
+					logic.Pos(logic.A(idPreds[idList[i]], logic.V("X"))),
+					logic.Pos(logic.A(idPreds[idList[j]], logic.V("X"))),
+				},
+				Heads: [][]logic.Atom{{logic.A(falsePred)}},
+			})
+		}
+	}
+	if len(idList) > 0 {
+		out.Rules = append(out.Rules, &logic.Rule{
+			Label: "killfalse",
+			Body: []logic.Literal{
+				logic.Pos(logic.A(falsePred)),
+				logic.Neg(logic.A(auxPred)),
+			},
+			Heads: [][]logic.Atom{{logic.A(auxPred)}},
+		})
+	}
+
+	for _, r := range q.Rules {
+		if len(r.Heads) == 1 {
+			out.Rules = append(out.Rules, r)
+			continue
+		}
+		// X: union of head variables, fixed order.
+		var xs []string
+		seen := map[string]bool{}
+		var buf []string
+		for _, d := range r.Heads {
+			buf = d[0].Vars(buf[:0])
+			for _, v := range buf {
+				if !seen[v] {
+					seen[v] = true
+					xs = append(xs, v)
+				}
+			}
+		}
+		tPred := names.name("t_" + r.Label)
+		zVar := "Z__id"
+		tAtom := func() logic.Atom {
+			args := make([]logic.Term, 0, 1+len(xs))
+			args = append(args, logic.V(zVar))
+			for _, x := range xs {
+				args = append(args, logic.V(x))
+			}
+			return logic.A(tPred, args...)
+		}
+		// ϕ → ∃Z tρ(Z,X).
+		out.Rules = append(out.Rules, &logic.Rule{
+			Label: r.Label + "_guess",
+			Body:  r.Body,
+			Heads: [][]logic.Atom{{tAtom()}},
+		})
+		// tρ(Z,X) ∧ ¬pred_p1(Z) ∧ … → false.
+		body := []logic.Literal{logic.Pos(tAtom())}
+		for _, d := range r.Heads {
+			body = append(body, logic.Neg(logic.A(idPreds[d[0].Pred], logic.V(zVar))))
+		}
+		out.Rules = append(out.Rules, &logic.Rule{
+			Label: r.Label + "_idchk",
+			Body:  body,
+			Heads: [][]logic.Atom{{logic.A(falsePred)}},
+		})
+		// tρ(Z,X) ∧ pred_pi(Z) → pi(Xi) and the stability rules.
+		for i, d := range r.Heads {
+			out.Rules = append(out.Rules, &logic.Rule{
+				Label: fmt.Sprintf("%s_infer%d", r.Label, i+1),
+				Body: []logic.Literal{
+					logic.Pos(tAtom()),
+					logic.Pos(logic.A(idPreds[d[0].Pred], logic.V(zVar))),
+				},
+				Heads: [][]logic.Atom{{d[0]}},
+			})
+			sbody := append([]logic.Literal(nil), r.Body...)
+			sbody = append(sbody,
+				logic.Pos(d[0]),
+				logic.Pos(logic.A(idPreds[d[0].Pred], logic.V(zVar))))
+			out.Rules = append(out.Rules, &logic.Rule{
+				Label: fmt.Sprintf("%s_stab%d", r.Label, i+1),
+				Body:  sbody,
+				Heads: [][]logic.Atom{{tAtom()}},
+			})
+		}
+	}
+	// q(X) → q'(X).
+	qArgs := make([]logic.Term, arity)
+	for i := range qArgs {
+		qArgs[i] = logic.V("X" + strconv.Itoa(i))
+	}
+	out.Rules = append(out.Rules, &logic.Rule{
+		Label: "anscopy",
+		Body:  []logic.Literal{logic.Pos(logic.A(q.QueryPred, qArgs...))},
+		Heads: [][]logic.Atom{{logic.A(out.QueryPred, qArgs...)}},
+	})
+	for _, rr := range out.Rules {
+		if err := rr.Validate(); err != nil {
+			return nil, fmt.Errorf("transform: generated rule invalid (%s): %w", rr.Label, err)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,252 @@
+package ntgd
+
+import (
+	"fmt"
+
+	"ntgd/internal/baget"
+	"ntgd/internal/chase"
+	"ntgd/internal/classify"
+	"ntgd/internal/core"
+	"ntgd/internal/efwfs"
+	"ntgd/internal/logic"
+	"ntgd/internal/lp"
+	"ntgd/internal/parser"
+	"ntgd/internal/soformula"
+	"ntgd/internal/transform"
+)
+
+// Re-exported building blocks. The internal packages carry the full
+// APIs; the aliases below form the supported public surface.
+type (
+	// Program is a parsed set of rules, facts and queries.
+	Program = logic.Program
+	// Rule is an NTGD/NDTGD (or an integrity constraint).
+	Rule = logic.Rule
+	// Atom is an atomic formula.
+	Atom = logic.Atom
+	// Term is a constant, labeled null, variable or function term.
+	Term = logic.Term
+	// Query is a normal (Boolean) conjunctive query.
+	Query = logic.Query
+	// FactStore is a set of ground atoms (databases, models).
+	FactStore = logic.FactStore
+	// Options configures the stable model search (budget, witness
+	// policy, extra constants).
+	Options = core.Options
+	// Result is a stable model enumeration outcome.
+	Result = core.Result
+	// QAResult is a query answering outcome.
+	QAResult = core.QAResult
+	// Report is a syntactic classification report.
+	Report = classify.Report
+)
+
+// Constructors re-exported for building programs programmatically.
+var (
+	// C constructs a constant term.
+	C = logic.C
+	// V constructs a variable term.
+	V = logic.V
+	// N constructs a labeled null.
+	N = logic.N
+	// A constructs an atom.
+	A = logic.A
+	// StoreOf builds a fact store from atoms.
+	StoreOf = logic.StoreOf
+)
+
+// Parse parses a program in the surface syntax (see package doc).
+func Parse(src string) (*Program, error) { return parser.Parse(src) }
+
+// ParseFile parses the program in the named file.
+func ParseFile(path string) (*Program, error) { return parser.ParseFile(path) }
+
+// MustParse parses src and panics on error; intended for tests and
+// examples.
+func MustParse(src string) *Program { return parser.MustParse(src) }
+
+// Semantics selects which stable model semantics interprets the
+// program.
+type Semantics int
+
+const (
+	// SO is the paper's new second-order-based semantics
+	// (Definition 1), applied directly to rules with existentials.
+	SO Semantics = iota
+	// LP is the classical approach: Skolemize, ground, and use the
+	// standard stable model semantics of normal logic programs
+	// (Section 3.1).
+	LP
+	// Operational is the chase-based semantics of Baget et al. [3]:
+	// existential variables are always witnessed by fresh nulls.
+	Operational
+)
+
+func (s Semantics) String() string {
+	switch s {
+	case SO:
+		return "so"
+	case LP:
+		return "lp"
+	case Operational:
+		return "operational"
+	default:
+		return fmt.Sprintf("Semantics(%d)", int(s))
+	}
+}
+
+// Mode selects cautious (certain) or brave (possible) reasoning.
+type Mode int
+
+const (
+	// Cautious entailment: the query must hold in every stable model
+	// (the paper's |=SMS).
+	Cautious Mode = iota
+	// Brave entailment: the query must hold in some stable model.
+	Brave
+)
+
+func (m Mode) String() string {
+	if m == Brave {
+		return "brave"
+	}
+	return "cautious"
+}
+
+// StableModels enumerates the stable models of the program under the
+// SO semantics. Use StableModelsUnder to select a different
+// semantics.
+func StableModels(p *Program, opt Options) (*Result, error) {
+	return core.StableModels(p.Database(), p.Rules, opt)
+}
+
+// StableModelsUnder enumerates stable models under the chosen
+// semantics. Under LP the options other than MaxModels are ignored
+// (the LP pipeline has its own bounded grounding).
+func StableModelsUnder(p *Program, sem Semantics, opt Options) (*Result, error) {
+	switch sem {
+	case SO:
+		return core.StableModels(p.Database(), p.Rules, opt)
+	case Operational:
+		return baget.StableModels(p.Database(), p.Rules, opt)
+	case LP:
+		res, err := lp.StableModels(p.Database(), p.Rules, lp.Options{MaxModels: opt.MaxModels})
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Models: res.Models}, nil
+	default:
+		return nil, fmt.Errorf("ntgd: unknown semantics %v", sem)
+	}
+}
+
+// Entails answers a Boolean query under the SO semantics.
+func Entails(p *Program, q Query, mode Mode, opt Options) (QAResult, error) {
+	return EntailsUnder(p, q, mode, SO, opt)
+}
+
+// EntailsUnder answers a Boolean query under the chosen semantics and
+// reasoning mode.
+func EntailsUnder(p *Program, q Query, mode Mode, sem Semantics, opt Options) (QAResult, error) {
+	db := p.Database()
+	switch sem {
+	case SO:
+		if mode == Cautious {
+			return core.CautiousEntails(db, p.Rules, q, opt)
+		}
+		return core.BraveEntails(db, p.Rules, q, opt)
+	case Operational:
+		if mode == Cautious {
+			return baget.CautiousEntails(db, p.Rules, q, opt)
+		}
+		return baget.BraveEntails(db, p.Rules, q, opt)
+	case LP:
+		var entailed bool
+		var err error
+		if mode == Cautious {
+			entailed, err = lp.CautiousEntails(db, p.Rules, q, lp.Options{})
+		} else {
+			entailed, err = lp.BraveEntails(db, p.Rules, q, lp.Options{})
+		}
+		return QAResult{Entailed: entailed}, err
+	default:
+		return QAResult{}, fmt.Errorf("ntgd: unknown semantics %v", sem)
+	}
+}
+
+// Answers computes the certain (Cautious) or possible (Brave) answers
+// of an n-ary query under the SO semantics.
+func Answers(p *Program, q Query, mode Mode, opt Options) ([]logic.AnswerTuple, bool, error) {
+	return core.Answers(p.Database(), p.Rules, q, mode == Brave, opt)
+}
+
+// IsStableModel checks Definition 1 for a candidate interpretation
+// (given by its positive part).
+func IsStableModel(p *Program, m *FactStore) bool {
+	return core.IsStableModel(p.Database(), p.Rules, m)
+}
+
+// Classify computes the syntactic classification (weak-acyclicity,
+// stickiness, guardedness) of the program's rules.
+func Classify(p *Program) *Report { return classify.Classify(p.Rules) }
+
+// Chase runs the restricted chase on the program's database and its
+// (negation- and disjunction-free) rules.
+func Chase(p *Program) (*FactStore, error) {
+	res, err := chase.Run(p.Database(), p.Rules, chase.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return res.Instance, nil
+}
+
+// SMFormula renders the second-order formula SM[D,Σ] of Section 3.3.
+func SMFormula(p *Program) string { return soformula.SM(p.Database(), p.Rules) }
+
+// MMFormula renders the circumscription formula MM[D,Σ] of
+// Section 3.2.
+func MMFormula(p *Program) string { return soformula.MM(p.Database(), p.Rules) }
+
+// EliminateDisjunction applies the Lemma 13 construction, returning an
+// equivalent disjunction-free program (database and rules).
+func EliminateDisjunction(p *Program) (*Program, error) {
+	out, err := transform.EliminateDisjunction(p.Database(), p.Rules)
+	if err != nil {
+		return nil, err
+	}
+	np := &Program{Rules: out.Rules, Queries: p.Queries}
+	np.Facts = append(np.Facts, out.DB.Atoms()...)
+	return np, nil
+}
+
+// DatalogToWATGD applies the Theorem 15/16 construction to a
+// DATALOG¬,∨ program with the given answer predicate and arity; it
+// returns the weakly-acyclic rules and the fresh answer predicate.
+func DatalogToWATGD(rules []*Rule, queryPred string, arity int) ([]*Rule, string, error) {
+	out, err := transform.DatalogToWATGD(transform.DatalogQuery{Rules: rules, QueryPred: queryPred}, arity)
+	if err != nil {
+		return nil, "", err
+	}
+	return out.Rules, out.QueryPred, nil
+}
+
+// EFWFSEntails checks a query under the bounded equality-friendly
+// well-founded semantics of [21] (see internal/efwfs for the precise
+// bounded family).
+func EFWFSEntails(p *Program, q Query, freshConstants, maxInstances int) (bool, error) {
+	v, err := efwfs.Entails(p.Database(), p.Rules, q, efwfs.Options{
+		FreshConstants:            freshConstants,
+		MaxInstancesPerAssignment: maxInstances,
+	})
+	if err != nil {
+		return false, err
+	}
+	return v.Entailed, nil
+}
+
+// WitnessFreshOnly and WitnessAnyDomain re-export the witness
+// policies for Options.
+const (
+	WitnessAnyDomain = core.WitnessAnyDomain
+	WitnessFreshOnly = core.WitnessFreshOnly
+)
