@@ -424,3 +424,26 @@ func BenchmarkE15ExpressivenessGap(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkE16IndexedChaseScale: the indexed store + semi-naive chase
+// through the public API at database sizes where the seed's
+// recompute-everything rounds were prohibitive.
+func BenchmarkE16IndexedChaseScale(b *testing.B) {
+	for _, n := range []int{1024, 4096} {
+		src := ""
+		for i := 0; i < n; i++ {
+			src += fmt.Sprintf("emp(e%d).\n", i)
+		}
+		src += "emp(X) -> dept(X,D).\ndept(X,D) -> org(D).\n"
+		prog := ntgd.MustParse(src)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				inst, err := ntgd.Chase(prog)
+				if err != nil || inst.Len() != 3*n {
+					b.Fatalf("size=%d err=%v", inst.Len(), err)
+				}
+			}
+		})
+	}
+}

@@ -52,4 +52,35 @@
 //
 // See the examples/ directory for runnable programs and EXPERIMENTS.md
 // for the paper-reproduction experiments.
+//
+// # Evaluation engine
+//
+// Every verdict funnels through homomorphism search over fact stores
+// (internal/logic), which is indexed and incremental:
+//
+//   - FactStore maintains, besides the per-predicate index, a
+//     (predicate, argument-position, ground-term) posting-list index,
+//     updated on every Add. FindHoms probes it whenever a body-atom
+//     position is ground under the substitution built so far — the
+//     smallest matching posting list is intersected in place instead of
+//     scanning the predicate — and a body atom that is fully ground
+//     reduces to a single hash probe.
+//   - Fixpoint computations are delta-driven (semi-naive): every atom
+//     has a stable store index, so "the atoms derived last round" is an
+//     index window, and FindHomsFrom enumerates exactly the
+//     homomorphisms that use at least one window atom. The chase
+//     (internal/chase), the grounder's derivable base
+//     (internal/ground), and the T∞ operator (internal/core) all seed
+//     their rounds this way, turning O(rounds × store) re-scans into
+//     O(new facts) work. The same discipline drives the propositional
+//     well-founded fixpoint (internal/asp) via occurrence lists and
+//     counters, and the circumscription subset checks (internal/core)
+//     via rule instances materialized once and replayed as bitmask
+//     operations.
+//
+// The pre-index code paths are retained package-privately
+// (logic.naiveFindHoms, chase.runNaive, asp.gammaNaive, the naive
+// minimality enumerations) as oracles: randomized differential tests
+// pin the optimized engines to them, so future changes to the index or
+// the delta discipline are caught by `go test ./...`.
 package ntgd

@@ -1,0 +1,3 @@
+module ntgd
+
+go 1.24

@@ -1,0 +1,58 @@
+package asp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Pins the delta-driven (occurrence-list + counter) gamma evaluator to
+// the scan-until-fixpoint oracle gammaNaive on random normal programs
+// and random reduct contexts S.
+
+func randNormalProgram(rng *rand.Rand) *Program {
+	n := 2 + rng.Intn(12)
+	p := &Program{NAtoms: n}
+	for i, m := 0, 1+rng.Intn(20); i < m; i++ {
+		r := Rule{Disjuncts: [][]int{{rng.Intn(n)}}}
+		for k, b := 0, rng.Intn(3); k < b; k++ {
+			r.Pos = append(r.Pos, rng.Intn(n))
+		}
+		for k, b := 0, rng.Intn(2); k < b; k++ {
+			r.Neg = append(r.Neg, rng.Intn(n))
+		}
+		p.Rules = append(p.Rules, r)
+	}
+	return p
+}
+
+func TestGammaMatchesNaiveRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 500; trial++ {
+		p := randNormalProgram(rng)
+		ev := newGammaEval(p)
+		for ctx := 0; ctx < 4; ctx++ {
+			s := make([]bool, p.NAtoms)
+			for i := range s {
+				s[i] = rng.Intn(2) == 0
+			}
+			got := ev.gamma(s)
+			want := gammaNaive(p, s)
+			if !boolsEqual(got, want) {
+				t.Fatalf("trial %d: gamma diverges\nprogram: %+v\ns: %v\ngot:  %v\nwant: %v", trial, p, s, got, want)
+			}
+		}
+	}
+}
+
+// TestGammaDuplicateBodyAtoms: an atom occurring twice in a positive
+// body must be counted per occurrence by the counter scheme.
+func TestGammaDuplicateBodyAtoms(t *testing.T) {
+	p := &Program{NAtoms: 2, Rules: []Rule{
+		{Disjuncts: [][]int{{0}}},                   // fact 0
+		{Pos: []int{0, 0}, Disjuncts: [][]int{{1}}}, // 0 ∧ 0 → 1
+	}}
+	got := newGammaEval(p).gamma(make([]bool, 2))
+	if !got[0] || !got[1] {
+		t.Fatalf("duplicate-occurrence rule did not fire: %v", got)
+	}
+}

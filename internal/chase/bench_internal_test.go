@@ -1,0 +1,43 @@
+package chase
+
+import (
+	"fmt"
+	"testing"
+
+	"ntgd/internal/logic"
+)
+
+// BenchmarkSemiNaiveVsNaiveRounds compares the shipping semi-naive
+// round loop against the recompute-everything oracle on the
+// multi-round transitive-closure workload (white-box: runNaive is
+// package-private).
+func BenchmarkSemiNaiveVsNaiveRounds(b *testing.B) {
+	for _, n := range []int{64, 128} {
+		db := logic.NewFactStore()
+		for i := 0; i < n; i++ {
+			db.Add(logic.A("e", logic.C(fmt.Sprintf("v%d", i)), logic.C(fmt.Sprintf("v%d", i+1))))
+		}
+		tc := logic.NewRule("tc",
+			[]logic.Literal{
+				logic.Pos(logic.A("e", logic.V("X"), logic.V("Y"))),
+				logic.Pos(logic.A("e", logic.V("Y"), logic.V("Z"))),
+			},
+			[]logic.Atom{logic.A("e", logic.V("X"), logic.V("Z"))})
+		rules := []*logic.Rule{tc}
+		want := n * (n + 1) / 2
+		for _, eng := range []struct {
+			name string
+			run  func(*logic.FactStore, []*logic.Rule, Options) (*Result, error)
+		}{{"seminaive", Run}, {"naive", runNaive}} {
+			b.Run(fmt.Sprintf("%s/n=%d", eng.name, n), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res, err := eng.run(db, rules, Options{})
+					if err != nil || res.Instance.Len() != want {
+						b.Fatalf("size=%d err=%v", res.Instance.Len(), err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -5,11 +5,12 @@ import (
 	"testing"
 
 	"ntgd/internal/chase"
+	"ntgd/internal/logic"
 	"ntgd/internal/parser"
 )
 
 func BenchmarkRestrictedChaseLinear(b *testing.B) {
-	for _, n := range []int{16, 64, 256} {
+	for _, n := range []int{16, 64, 256, 1024, 4096} {
 		src := ""
 		for i := 0; i < n; i++ {
 			src += fmt.Sprintf("emp(e%d).\n", i)
@@ -22,6 +23,37 @@ func BenchmarkRestrictedChaseLinear(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				res, err := chase.Run(db, prog.Rules, chase.Options{})
 				if err != nil || res.Instance.Len() != 3*n {
+					b.Fatalf("size=%d err=%v", res.Instance.Len(), err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTransitiveClosureChase is the multi-round delta workload:
+// closing a chain of n edges takes O(log n) rounds and derives
+// n(n+1)/2 atoms, so recompute-everything trigger detection is
+// quadratic in the result per round while semi-naive seeding touches
+// each derived atom a constant number of times.
+func BenchmarkTransitiveClosureChase(b *testing.B) {
+	for _, n := range []int{64, 128} {
+		db := logic.NewFactStore()
+		for i := 0; i < n; i++ {
+			db.Add(logic.A("e", logic.C(fmt.Sprintf("v%d", i)), logic.C(fmt.Sprintf("v%d", i+1))))
+		}
+		tc := logic.NewRule("tc",
+			[]logic.Literal{
+				logic.Pos(logic.A("e", logic.V("X"), logic.V("Y"))),
+				logic.Pos(logic.A("e", logic.V("Y"), logic.V("Z"))),
+			},
+			[]logic.Atom{logic.A("e", logic.V("X"), logic.V("Z"))})
+		rules := []*logic.Rule{tc}
+		want := n * (n + 1) / 2
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := chase.Run(db, rules, chase.Options{})
+				if err != nil || res.Instance.Len() != want {
 					b.Fatalf("size=%d err=%v", res.Instance.Len(), err)
 				}
 			}

@@ -75,6 +75,15 @@ type Result struct {
 // negation-free and non-disjunctive; constraints are rejected too.
 // ErrBudget is returned (with the partial instance) when the budget is
 // exhausted.
+//
+// Trigger detection is semi-naive: after the first round, each rule's
+// body homomorphisms are seeded from the delta of atoms added in the
+// previous round (logic.FindHomsFrom), so a round costs O(new facts)
+// instead of re-deriving every trigger from the whole instance. This
+// is sound because the instance only grows: a trigger whose body lies
+// entirely in old atoms was already detected (and either applied or
+// head-satisfied, which is monotone) in an earlier round. runNaive
+// keeps the recompute-everything loop as the differential-test oracle.
 func Run(db *logic.FactStore, rules []*logic.Rule, opt Options) (*Result, error) {
 	for _, r := range rules {
 		if !r.IsTGD() {
@@ -94,7 +103,90 @@ func Run(db *logic.FactStore, rules []*logic.Rule, opt Options) (*Result, error)
 	res := &Result{Instance: db.Clone()}
 	inst := res.Instance
 	nullCtr := 0
-	applied := make(map[string]bool) // oblivious: trigger keys already fired
+	from := 0 // delta low-water mark: atoms ≥ from are new
+
+	// No "already fired" bookkeeping is needed for the oblivious
+	// variant here: the delta windows of successive rounds partition
+	// the store, so FindHomsFrom detects every (rule, homomorphism)
+	// trigger exactly once across the whole run — in the round whose
+	// delta contains the trigger's newest body atom. (runNaive, which
+	// re-detects everything each round, keeps the applied map.)
+	for res.Rounds = 0; res.Rounds < opt.MaxRounds; res.Rounds++ {
+		type trigger struct {
+			rule *logic.Rule
+			hom  logic.Subst
+		}
+		var triggers []trigger
+		for _, r := range rules {
+			rule := r
+			logic.FindHomsFrom(rule.PosBody(), nil, inst, from, logic.Subst{}, func(h logic.Subst) bool {
+				if opt.Variant == Restricted {
+					if logic.ExistsHom(rule.Heads[0], nil, inst, h) {
+						return true // head satisfied: not a (restricted) trigger
+					}
+				}
+				triggers = append(triggers, trigger{rule, h.Clone()})
+				return true
+			})
+		}
+		if len(triggers) == 0 {
+			return res, nil
+		}
+		from = inst.Len()
+		for _, t := range triggers {
+			if opt.Variant == Restricted {
+				// Another application this round may have satisfied it.
+				if logic.ExistsHom(t.rule.Heads[0], nil, inst, t.hom) {
+					continue
+				}
+			}
+			mu := t.hom.Clone()
+			for _, z := range t.rule.ExistVars(0) {
+				nullCtr++
+				res.NullsInvented++
+				mu[z] = logic.N(opt.NullPrefix + strconv.Itoa(nullCtr))
+			}
+			for _, a := range t.rule.Heads[0] {
+				inst.Add(mu.ApplyAtom(a))
+			}
+			res.Applications++
+			if inst.Len() > opt.MaxAtoms {
+				return res, ErrBudget
+			}
+		}
+	}
+	return res, ErrBudget
+}
+
+func triggerKey(r *logic.Rule, h logic.Subst) string {
+	return r.Label + "|" + h.String()
+}
+
+// runNaive is the pre-semi-naive round loop kept as the
+// differential-test oracle: every round re-derives all triggers from
+// the whole instance. It detects the same trigger set per round as Run
+// but may enumerate it in a different order, so results agree up to
+// homomorphic equivalence (null renaming), not syntactically.
+func runNaive(db *logic.FactStore, rules []*logic.Rule, opt Options) (*Result, error) {
+	for _, r := range rules {
+		if !r.IsTGD() {
+			return nil, fmt.Errorf("chase: rule %s is not a plain TGD (negation or disjunction present)", r.Label)
+		}
+	}
+	if opt.MaxAtoms <= 0 {
+		opt.MaxAtoms = 1 << 20
+	}
+	if opt.MaxRounds <= 0 {
+		opt.MaxRounds = 1 << 20
+	}
+	if opt.NullPrefix == "" {
+		opt.NullPrefix = "n"
+	}
+
+	res := &Result{Instance: db.Clone()}
+	inst := res.Instance
+	nullCtr := 0
+	applied := make(map[string]bool)
 
 	for res.Rounds = 0; res.Rounds < opt.MaxRounds; res.Rounds++ {
 		type trigger struct {
@@ -108,7 +200,7 @@ func Run(db *logic.FactStore, rules []*logic.Rule, opt Options) (*Result, error)
 				switch opt.Variant {
 				case Restricted:
 					if logic.ExistsHom(rule.Heads[0], nil, inst, h) {
-						return true // head satisfied: not a (restricted) trigger
+						return true
 					}
 				case Oblivious:
 					if applied[triggerKey(rule, h)] {
@@ -124,7 +216,6 @@ func Run(db *logic.FactStore, rules []*logic.Rule, opt Options) (*Result, error)
 		}
 		for _, t := range triggers {
 			if opt.Variant == Restricted {
-				// Another application this round may have satisfied it.
 				if logic.ExistsHom(t.rule.Heads[0], nil, inst, t.hom) {
 					continue
 				}
@@ -151,10 +242,6 @@ func Run(db *logic.FactStore, rules []*logic.Rule, opt Options) (*Result, error)
 		}
 	}
 	return res, ErrBudget
-}
-
-func triggerKey(r *logic.Rule, h logic.Subst) string {
-	return r.Label + "|" + h.String()
 }
 
 // CertainBCQ answers a Boolean conjunctive query under (positive) TGDs

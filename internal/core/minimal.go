@@ -4,6 +4,144 @@ import (
 	"ntgd/internal/logic"
 )
 
+// groundInstance is one materialized rule instance over a universe
+// store U, compiled to bitmasks over the non-database atoms of U (the
+// database atoms are present in every candidate J with D ⊆ J ⊆ U, so
+// they are folded away). For J given by jmask, the instance fires when
+// pos ⊆ J and neg ∩ J = ∅, and is then satisfied iff some head
+// extension set is contained in J.
+type groundInstance struct {
+	posMask  uint32
+	negMask  uint32
+	extMasks []uint32
+}
+
+// compiledModelCheck holds every rule instance over the universe,
+// ready to decide logic.IsModel(rules, J) for any D ⊆ J ⊆ U with a few
+// bitmask operations per instance. Because J ⊆ U, every body
+// homomorphism into J is one into U and every head extension into J is
+// one into U, so materializing against U once is exhaustive; this
+// replaces the per-subset homomorphism searches of the naive
+// enumeration (kept as isMinimalModelNaive / minimalModelsNaive, the
+// differential-test oracles).
+type compiledModelCheck struct {
+	instances []groundInstance
+}
+
+// compileModelCheck materializes all rule instances of rules over the
+// universe. extra lists the non-database atoms of the universe (bit i
+// of a mask = extra[i] ∈ J); inDB tells database membership by key.
+func compileModelCheck(rules []*logic.Rule, universe *logic.FactStore, extra []logic.Atom, inDB map[string]bool) *compiledModelCheck {
+	bit := make(map[string]int, len(extra))
+	for i, a := range extra {
+		bit[a.Key()] = i
+	}
+	c := &compiledModelCheck{}
+	for _, r := range rules {
+		rule := r
+		pos, neg := logic.SplitLiterals(rule.Body)
+		// Negative literals are re-evaluated in J (all predicates are
+		// starred in MM[D,Σ]), so they are NOT filtered here: enumerate
+		// homomorphisms of the positive body into U and compile the
+		// negative instances into the mask.
+		logic.FindHoms(pos, nil, universe, logic.Subst{}, func(h logic.Subst) bool {
+			inst := groundInstance{}
+			for _, b := range pos {
+				k := h.ApplyAtom(b).Key()
+				if inDB[k] {
+					continue // always in J
+				}
+				inst.posMask |= 1 << bit[k]
+			}
+			blocked := false
+			for _, n := range neg {
+				g := h.ApplyAtom(n)
+				k := g.Key()
+				switch {
+				case inDB[k]:
+					blocked = true // always in J: the instance never fires
+				case universe.Has(g):
+					inst.negMask |= 1 << bit[k]
+				}
+				// Atoms outside U can never be in J: vacuously absent.
+				if blocked {
+					break
+				}
+			}
+			if blocked {
+				return true
+			}
+			trivially := false
+			for i := range rule.Heads {
+				head := rule.Heads[i]
+				logic.FindHoms(head, nil, universe, h, func(mu logic.Subst) bool {
+					var ext uint32
+					for _, a := range head {
+						k := mu.ApplyAtom(a).Key()
+						if inDB[k] {
+							continue
+						}
+						ext |= 1 << bit[k]
+					}
+					if ext == 0 {
+						// The extension lands entirely in D: satisfied
+						// in every candidate J.
+						trivially = true
+						return false
+					}
+					inst.extMasks = append(inst.extMasks, ext)
+					return true
+				})
+				if trivially {
+					break
+				}
+			}
+			if !trivially {
+				c.instances = append(c.instances, inst)
+			}
+			return true
+		})
+	}
+	return c
+}
+
+// isModel reports whether the candidate J (database plus the extra
+// atoms selected by jmask) satisfies every compiled rule instance.
+func (c *compiledModelCheck) isModel(jmask uint32) bool {
+	for i := range c.instances {
+		inst := &c.instances[i]
+		if inst.posMask&jmask != inst.posMask || inst.negMask&jmask != 0 {
+			continue // body does not fire in J
+		}
+		satisfied := false
+		for _, ext := range inst.extMasks {
+			if ext&jmask == ext {
+				satisfied = true
+				break
+			}
+		}
+		if !satisfied {
+			return false
+		}
+	}
+	return true
+}
+
+// splitExtra partitions the universe into database atoms (by key) and
+// the non-database rest, preserving insertion order.
+func splitExtra(db, universe *logic.FactStore) (extra []logic.Atom, inDB map[string]bool) {
+	inDB = make(map[string]bool, db.Len())
+	for _, a := range db.Atoms() {
+		inDB[a.Key()] = true
+	}
+	for _, a := range universe.Atoms() {
+		if !inDB[a.Key()] {
+			extra = append(extra, a)
+		}
+	}
+	return extra, inDB
+}
+
 // IsMinimalModel checks the circumscription condition MM[D,Σ] of
 // Section 3.2: M contains D, M is a model of Σ, and no proper subset J
 // with D ⊆ J ⊊ M⁺ is a model of D and Σ. Unlike the stability check,
@@ -11,23 +149,16 @@ import (
 // are starred in MM[D,Σ]); the contrast between the two conditions on
 // J = {p(0), t(0)} is exactly the paper's motivation for SM[D,Σ].
 //
-// The subset search is a straightforward enumeration over M⁺ \ D and
-// is intended for small models (tests, teaching tools, the E4
-// experiment); it returns false early when a smaller model is found.
+// The subset search enumerates bitmasks over M⁺ \ D against rule
+// instances materialized over M once (compileModelCheck), so each of
+// the 2^n candidates costs a few mask operations instead of a fresh
+// homomorphism search; it returns false early when a smaller model is
+// found.
 func IsMinimalModel(db *logic.FactStore, rules []*logic.Rule, m *logic.FactStore) bool {
 	if !db.SubsetOf(m) || !logic.IsModel(rules, m) {
 		return false
 	}
-	var extra []logic.Atom
-	inDB := make(map[string]bool, db.Len())
-	for _, a := range db.Atoms() {
-		inDB[a.Key()] = true
-	}
-	for _, a := range m.Atoms() {
-		if !inDB[a.Key()] {
-			extra = append(extra, a)
-		}
-	}
+	extra, inDB := splitExtra(db, m)
 	n := len(extra)
 	if n == 0 {
 		return true
@@ -37,7 +168,31 @@ func IsMinimalModel(db *logic.FactStore, rules []*logic.Rule, m *logic.FactStore
 		// brute-force circumscription check at this size.
 		panic("core: IsMinimalModel is limited to 24 non-database atoms")
 	}
+	c := compileModelCheck(rules, m, extra, inDB)
 	// Enumerate proper subsets.
+	for mask := uint32(0); mask < 1<<n-1; mask++ {
+		if c.isModel(mask) {
+			return false
+		}
+	}
+	return true
+}
+
+// isMinimalModelNaive is the original enumeration (one IsModel call
+// per subset), kept as the differential-test oracle for the compiled
+// fast path.
+func isMinimalModelNaive(db *logic.FactStore, rules []*logic.Rule, m *logic.FactStore) bool {
+	if !db.SubsetOf(m) || !logic.IsModel(rules, m) {
+		return false
+	}
+	extra, _ := splitExtra(db, m)
+	n := len(extra)
+	if n == 0 {
+		return true
+	}
+	if n > 24 {
+		panic("core: IsMinimalModel is limited to 24 non-database atoms")
+	}
 	for mask := 0; mask < 1<<n-1; mask++ {
 		j := db.Clone()
 		for i := 0; i < n; i++ {
@@ -55,18 +210,52 @@ func IsMinimalModel(db *logic.FactStore, rules []*logic.Rule, m *logic.FactStore
 // MinimalModels enumerates the minimal models of (D, Σ) over candidate
 // atom sets drawn from the universe store (typically a chase result or
 // a stable-model search space); used by the E4 experiment to contrast
-// MM[D,Σ] with SM[D,Σ] on small instances.
+// MM[D,Σ] with SM[D,Σ] on small instances. Model checking per subset
+// uses the same compiled instances as IsMinimalModel.
 func MinimalModels(db *logic.FactStore, rules []*logic.Rule, universe *logic.FactStore) []*logic.FactStore {
-	var extra []logic.Atom
-	inDB := make(map[string]bool, db.Len())
-	for _, a := range db.Atoms() {
-		inDB[a.Key()] = true
+	extra, inDB := splitExtra(db, universe)
+	n := len(extra)
+	if n > 20 {
+		panic("core: MinimalModels is limited to 20 non-database atoms")
 	}
-	for _, a := range universe.Atoms() {
-		if !inDB[a.Key()] {
-			extra = append(extra, a)
+	c := compileModelCheck(rules, universe, extra, inDB)
+	// A proper subset of a bitmask is numerically smaller, so the
+	// ascending enumeration meets every minimal model before any model
+	// it is contained in: one subset check against the kept masks is
+	// exact.
+	var modelMasks []uint32
+	for mask := uint32(0); mask < 1<<n; mask++ {
+		if !c.isModel(mask) {
+			continue
+		}
+		minimal := true
+		for _, prev := range modelMasks {
+			if prev&mask == prev {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			modelMasks = append(modelMasks, mask)
 		}
 	}
+	var out []*logic.FactStore
+	for _, mi := range modelMasks {
+		j := db.Clone()
+		for b := 0; b < n; b++ {
+			if mi&(1<<b) != 0 {
+				j.Add(extra[b])
+			}
+		}
+		out = append(out, j)
+	}
+	return out
+}
+
+// minimalModelsNaive is the original enumeration kept as the
+// differential-test oracle for MinimalModels.
+func minimalModelsNaive(db *logic.FactStore, rules []*logic.Rule, universe *logic.FactStore) []*logic.FactStore {
+	extra, _ := splitExtra(db, universe)
 	n := len(extra)
 	if n > 20 {
 		panic("core: MinimalModels is limited to 20 non-database atoms")
@@ -93,8 +282,6 @@ func MinimalModels(db *logic.FactStore, rules []*logic.Rule, universe *logic.Fac
 			out = append(out, j)
 		}
 	}
-	// A second pass removes non-minimal entries discovered later
-	// (masks are not enumerated in subset order).
 	var filtered []*logic.FactStore
 	for i, mi := range out {
 		minimal := true

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"ntgd/internal/logic"
+)
+
+// Pins the compiled bitmask model-subset search (compileModelCheck)
+// behind IsMinimalModel/MinimalModels to the original
+// one-homomorphism-search-per-subset oracles.
+
+// randNDProgram generates a small database, candidate universe, and
+// rule set exercising negation, repeated variables, constants, head
+// existentials and disjunction.
+func randNDProgram(rng *rand.Rand) (db, universe *logic.FactStore, rules []*logic.Rule) {
+	consts := []logic.Term{logic.C("a"), logic.C("b"), logic.C("c")}
+	randConst := func() logic.Term { return consts[rng.Intn(len(consts))] }
+	db = logic.NewFactStore()
+	for i, n := 0, 1+rng.Intn(3); i < n; i++ {
+		db.Add(logic.A("b", randConst()))
+	}
+	universe = db.Clone()
+	for i, n := 0, rng.Intn(6); i < n; i++ {
+		if rng.Intn(2) == 0 {
+			universe.Add(logic.A("p", randConst()))
+		} else {
+			universe.Add(logic.A("q", randConst(), randConst()))
+		}
+	}
+	vars := []string{"X", "Y"}
+	nrules := 1 + rng.Intn(3)
+	for i := 0; i < nrules; i++ {
+		var body []logic.Literal
+		body = append(body, logic.Pos(logic.A("b", logic.V("X"))))
+		switch rng.Intn(4) {
+		case 0:
+			body = append(body, logic.Pos(logic.A("q", logic.V("X"), logic.V("X")))) // repeated var
+		case 1:
+			body = append(body, logic.Neg(logic.A("p", logic.V("X")))) // negation
+		case 2:
+			body = append(body, logic.Pos(logic.A("q", logic.V("X"), randConst()))) // constant
+		}
+		r := &logic.Rule{Label: fmt.Sprintf("m%d", i), Body: body}
+		switch rng.Intn(3) {
+		case 0:
+			r.Heads = [][]logic.Atom{{logic.A("p", logic.V(vars[rng.Intn(2)]))}} // maybe existential head
+		case 1:
+			r.Heads = [][]logic.Atom{
+				{logic.A("p", logic.V("X"))},
+				{logic.A("q", logic.V("X"), logic.V("X"))},
+			} // disjunction
+		default:
+			r.Heads = [][]logic.Atom{{logic.A("q", logic.V("X"), logic.V("Y"))}} // existential Y
+		}
+		rules = append(rules, r)
+	}
+	return db, universe, rules
+}
+
+func storeSetKeys(ms []*logic.FactStore) []string {
+	out := make([]string, len(ms))
+	for i, m := range ms {
+		out[i] = m.CanonicalString()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestIsMinimalModelMatchesNaiveRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	agree, minimalSeen := 0, 0
+	for trial := 0; trial < 200; trial++ {
+		db, universe, rules := randNDProgram(rng)
+		got := IsMinimalModel(db, rules, universe)
+		want := isMinimalModelNaive(db, rules, universe)
+		if got != want {
+			t.Fatalf("trial %d: IsMinimalModel=%v naive=%v\ndb: %s\nuniverse: %s\nrules: %v",
+				trial, got, want, db.CanonicalString(), universe.CanonicalString(), rules)
+		}
+		agree++
+		if got {
+			minimalSeen++
+		}
+	}
+	if minimalSeen == 0 {
+		t.Fatalf("degenerate test: no minimal model among %d trials", agree)
+	}
+}
+
+func TestMinimalModelsMatchNaiveRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	nonEmpty := 0
+	for trial := 0; trial < 200; trial++ {
+		db, universe, rules := randNDProgram(rng)
+		got := storeSetKeys(MinimalModels(db, rules, universe))
+		want := storeSetKeys(minimalModelsNaive(db, rules, universe))
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d vs %d minimal models\ngot:  %v\nwant: %v", trial, len(got), len(want), got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: model sets differ\ngot:  %v\nwant: %v", trial, got, want)
+			}
+		}
+		if len(got) > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty == 0 {
+		t.Fatalf("degenerate test: no trial produced minimal models")
+	}
+}

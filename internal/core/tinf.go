@@ -12,12 +12,20 @@ import (
 // literals are answered by the oracle), and p(t̄) ∈ h(H(σ)) for an
 // extension of h mapping some head disjunct into I⁺.
 func ImmediateConsequences(s *logic.FactStore, rules []*logic.Rule, oracle *logic.FactStore) []logic.Atom {
+	return immediateConsequencesFrom(s, rules, oracle, 0)
+}
+
+// immediateConsequencesFrom is the semi-naive variant: only body
+// homomorphisms using at least one atom of s with store index ≥ from
+// are considered (all of them when from <= 0). TInfinity seeds each
+// round from the previous round's delta this way.
+func immediateConsequencesFrom(s *logic.FactStore, rules []*logic.Rule, oracle *logic.FactStore, from int) []logic.Atom {
 	var out []logic.Atom
 	seen := make(map[string]bool)
 	for _, r := range rules {
 		rule := r
 		pos, neg := logic.SplitLiterals(rule.Body)
-		logic.FindHoms(pos, nil, s, logic.Subst{}, func(h logic.Subst) bool {
+		logic.FindHomsFrom(pos, nil, s, from, logic.Subst{}, func(h logic.Subst) bool {
 			for _, n := range neg {
 				if oracle.Has(h.ApplyAtom(n)) {
 					return true
@@ -45,16 +53,20 @@ func ImmediateConsequences(s *logic.FactStore, rules []*logic.Rule, oracle *logi
 // consequence operator starting from the database. Lemma 7 states that
 // M⁺ = T∞_{Σ,M}(D) for every stable model M, which both justifies the
 // search strategy of this package and provides an independent
-// validation oracle used by the test suite.
+// validation oracle used by the test suite. The fixpoint is computed
+// semi-naively: each round seeds body homomorphisms from the atoms
+// added in the previous round only.
 func TInfinity(db *logic.FactStore, rules []*logic.Rule, oracle *logic.FactStore) *logic.FactStore {
 	s := db.Clone()
-	for {
+	for from := 0; ; {
+		mark := s.Len()
 		added := 0
-		for _, a := range ImmediateConsequences(s, rules, oracle) {
+		for _, a := range immediateConsequencesFrom(s, rules, oracle, from) {
 			if s.Add(a) {
 				added++
 			}
 		}
+		from = mark
 		if added == 0 {
 			return s
 		}

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"ntgd/internal/logic"
+)
+
+// Pins the semi-naive TInfinity (delta-seeded immediate-consequence
+// rounds) to the naive fixpoint recomputed from the exported
+// ImmediateConsequences every round.
+
+func tInfinityNaive(db *logic.FactStore, rules []*logic.Rule, oracle *logic.FactStore) *logic.FactStore {
+	s := db.Clone()
+	for {
+		added := 0
+		for _, a := range ImmediateConsequences(s, rules, oracle) {
+			if s.Add(a) {
+				added++
+			}
+		}
+		if added == 0 {
+			return s
+		}
+	}
+}
+
+func TestTInfinityMatchesNaiveRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 200; trial++ {
+		db, universe, rules := randNDProgram(rng)
+		// The universe doubles as the negative-literal oracle I.
+		got := TInfinity(db, rules, universe)
+		want := tInfinityNaive(db, rules, universe)
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: TInfinity diverges\ngot:  %s\nwant: %s",
+				trial, got.CanonicalString(), want.CanonicalString())
+		}
+	}
+}

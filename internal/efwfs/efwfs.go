@@ -83,7 +83,12 @@ func Entails(db *logic.FactStore, rules []*logic.Rule, q logic.Query, opt Option
 	opt.fill()
 	pool := buildPool(db, q, opt)
 
-	// Enumerate per-(rule, body assignment) head-instantiation choices.
+	// Enumerate per-(rule, body assignment) head-instantiation choices,
+	// and compile every candidate ground instance to a propositional
+	// rule once, up front: the DFS below revisits each site across many
+	// instance programs, and re-grounding and re-interning per leaf
+	// dominated the family search before this hoisting.
+	comp := newCompiler(db)
 	var sites []site
 	for _, r := range rules {
 		if r.IsDisjunctive() || r.IsConstraint() {
@@ -98,6 +103,9 @@ func Entails(db *logic.FactStore, rules []*logic.Rule, q logic.Query, opt Option
 			} else {
 				st.headChoices = allAssignments(exist, pool)
 			}
+			for _, headAsg := range st.headChoices {
+				st.choiceRules = append(st.choiceRules, comp.compile(r, bodyAsg, headAsg))
+			}
 			sites = append(sites, st)
 		}
 	}
@@ -105,7 +113,7 @@ func Entails(db *logic.FactStore, rules []*logic.Rule, q logic.Query, opt Option
 	v := Verdict{Entailed: true, Complete: true}
 	// DFS over choice combinations: each site picks a non-empty subset
 	// of headChoices with size ≤ MaxInstancesPerAssignment.
-	var chosen [][]logic.Subst
+	chosen := make([][]int, 0, len(sites))
 	var dfs func(i int) bool // returns false to stop (counterexample or budget)
 	dfs = func(i int) bool {
 		if i == len(sites) {
@@ -114,7 +122,7 @@ func Entails(db *logic.FactStore, rules []*logic.Rule, q logic.Query, opt Option
 				v.Complete = false
 				return false
 			}
-			trueStore, ok := wfsOf(db, sites2instances(sites, chosen))
+			trueStore, ok := comp.wfs(sites, chosen)
 			if !ok {
 				return true
 			}
@@ -127,11 +135,7 @@ func Entails(db *logic.FactStore, rules []*logic.Rule, q logic.Query, opt Option
 		}
 		subsets := nonEmptySubsets(len(sites[i].headChoices), opt.MaxInstancesPerAssignment)
 		for _, sel := range subsets {
-			var picks []logic.Subst
-			for _, idx := range sel {
-				picks = append(picks, sites[i].headChoices[idx])
-			}
-			chosen = append(chosen, picks)
+			chosen = append(chosen, sel)
 			ok := dfs(i + 1)
 			chosen = chosen[:len(chosen)-1]
 			if !ok {
@@ -146,80 +150,91 @@ func Entails(db *logic.FactStore, rules []*logic.Rule, q logic.Query, opt Option
 
 // site is one (rule, body assignment) pair of the instance family: the
 // paper requires at least one instance per body assignment; headChoices
-// lists the candidate existential-variable assignments.
+// lists the candidate existential-variable assignments and choiceRules
+// the corresponding precompiled propositional rules (parallel slices).
 type site struct {
 	rule        *logic.Rule
 	body        logic.Subst
 	headChoices []logic.Subst
+	choiceRules []asp.Rule
 }
 
-// instance is one ground normal rule of an instance program.
-type instance struct {
-	pos, neg []logic.Atom
-	head     []logic.Atom
+// compiler interns ground atoms into a single propositional vocabulary
+// shared by every instance program of the family. Atoms belonging only
+// to non-selected instances are merely unused ids in a given program
+// (well-founded false), which does not affect the true-store.
+type compiler struct {
+	ids     map[string]int
+	atoms   []logic.Atom
+	dbRules []asp.Rule
 }
 
-func sites2instances(sites []site, chosen [][]logic.Subst) []instance {
-	var out []instance
-	for i, st := range sites {
-		pos, neg := logic.SplitLiterals(st.rule.Body)
-		for _, headAsg := range chosen[i] {
-			full := st.body.Clone()
-			for k, t := range headAsg {
-				full[k] = t
-			}
-			out = append(out, instance{
-				pos:  full.ApplyAtoms(pos),
-				neg:  full.ApplyAtoms(neg),
-				head: full.ApplyAtoms(st.rule.Heads[0]),
-			})
-		}
+func newCompiler(db *logic.FactStore) *compiler {
+	c := &compiler{ids: map[string]int{}}
+	for _, f := range db.Atoms() {
+		c.dbRules = append(c.dbRules, asp.Rule{Disjuncts: [][]int{{c.intern(f)}}})
 	}
+	return c
+}
+
+func (c *compiler) intern(a logic.Atom) int {
+	k := a.Key()
+	if id, ok := c.ids[k]; ok {
+		return id
+	}
+	c.ids[k] = len(c.atoms)
+	c.atoms = append(c.atoms, a)
+	return len(c.atoms) - 1
+}
+
+// compile grounds one rule under body and head assignments into a
+// propositional rule.
+func (c *compiler) compile(r *logic.Rule, body, head logic.Subst) asp.Rule {
+	full := body.Clone()
+	for k, t := range head {
+		full[k] = t
+	}
+	pos, neg := logic.SplitLiterals(r.Body)
+	out := asp.Rule{}
+	for _, a := range full.ApplyAtoms(pos) {
+		out.Pos = append(out.Pos, c.intern(a))
+	}
+	for _, a := range full.ApplyAtoms(neg) {
+		out.Neg = append(out.Neg, c.intern(a))
+	}
+	var d []int
+	for _, a := range full.ApplyAtoms(r.Heads[0]) {
+		d = append(d, c.intern(a))
+	}
+	out.Disjuncts = [][]int{d}
 	return out
 }
 
-// wfsOf computes the well-founded model of the ground instance
-// program; it returns the store of well-founded-true atoms. ok=false
-// signals an (unexpected) WFS failure.
-func wfsOf(db *logic.FactStore, insts []instance) (*logic.FactStore, bool) {
-	ids := map[string]int{}
-	var atoms []logic.Atom
-	intern := func(a logic.Atom) int {
-		k := a.Key()
-		if id, ok := ids[k]; ok {
-			return id
-		}
-		ids[k] = len(atoms)
-		atoms = append(atoms, a)
-		return len(atoms) - 1
+// wfs assembles the instance program selected by chosen (per site, the
+// indices of the picked head choices) from the precompiled rules and
+// computes its well-founded model; it returns the store of
+// well-founded-true atoms. ok=false signals an (unexpected) WFS
+// failure.
+func (c *compiler) wfs(sites []site, chosen [][]int) (*logic.FactStore, bool) {
+	nrules := len(c.dbRules)
+	for _, sel := range chosen {
+		nrules += len(sel)
 	}
-	prog := &asp.Program{}
-	for _, f := range db.Atoms() {
-		prog.Rules = append(prog.Rules, asp.Rule{Disjuncts: [][]int{{intern(f)}}})
+	prog := &asp.Program{NAtoms: len(c.atoms)}
+	prog.Rules = make([]asp.Rule, 0, nrules)
+	prog.Rules = append(prog.Rules, c.dbRules...)
+	for i, sel := range chosen {
+		for _, idx := range sel {
+			prog.Rules = append(prog.Rules, sites[i].choiceRules[idx])
+		}
 	}
-	for _, in := range insts {
-		r := asp.Rule{}
-		for _, a := range in.pos {
-			r.Pos = append(r.Pos, intern(a))
-		}
-		for _, a := range in.neg {
-			r.Neg = append(r.Neg, intern(a))
-		}
-		var d []int
-		for _, a := range in.head {
-			d = append(d, intern(a))
-		}
-		r.Disjuncts = [][]int{d}
-		prog.Rules = append(prog.Rules, r)
-	}
-	prog.NAtoms = len(atoms)
 	w, err := asp.WellFounded(prog)
 	if err != nil {
 		return nil, false
 	}
 	trueStore := logic.NewFactStore()
 	for _, id := range w.True {
-		trueStore.Add(atoms[id])
+		trueStore.Add(c.atoms[id])
 	}
 	return trueStore, true
 }

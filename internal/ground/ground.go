@@ -68,32 +68,44 @@ func Ground(db *logic.FactStore, rules []*logic.Rule, opt Options) (*Grounding, 
 		opt.MaxInstances = 1 << 20
 	}
 
-	// Phase 1: derivable base.
+	// Phase 1: derivable base, computed semi-naively: after the first
+	// round each rule's body homomorphisms are seeded from the atoms
+	// added in the previous round (logic.FindHomsFrom), so a round
+	// costs O(new facts) instead of re-scanning the whole base.
 	base := db.Clone()
-	for changed := true; changed; {
-		changed = false
+	for from := 0; ; {
+		mark := base.Len()
+		var additions []logic.Atom
+		pending := make(map[string]bool)
+		var overflow error
 		for _, r := range rules {
 			rule := r
-			var additions []logic.Atom
-			logic.FindHoms(rule.PosBody(), nil, base, logic.Subst{}, func(h logic.Subst) bool {
+			logic.FindHomsFrom(rule.PosBody(), nil, base, from, logic.Subst{}, func(h logic.Subst) bool {
 				for _, d := range rule.Heads {
 					for _, a := range d {
 						g := h.ApplyAtom(a)
-						if !base.Has(g) {
+						if k := g.Key(); !base.Has(g) && !pending[k] {
+							pending[k] = true
 							additions = append(additions, g)
 						}
 					}
 				}
+				if base.Len()+len(additions) > opt.MaxAtoms {
+					overflow = ErrBudget
+					return false
+				}
 				return true
 			})
-			for _, a := range additions {
-				if base.Add(a) {
-					changed = true
-				}
+			if overflow != nil {
+				return nil, overflow
 			}
-			if base.Len() > opt.MaxAtoms {
-				return nil, ErrBudget
-			}
+		}
+		from = mark
+		if base.AddAll(additions) == 0 {
+			break
+		}
+		if base.Len() > opt.MaxAtoms {
+			return nil, ErrBudget
 		}
 	}
 

@@ -31,6 +31,75 @@ func BenchmarkHomSearchPath2(b *testing.B) {
 	}
 }
 
+// BenchmarkHomBoundProbe measures a high-selectivity probe on large
+// stores: one body atom with a bound first position over up to 10⁵
+// facts. The indexed search answers from a posting list of size ~1;
+// the naive oracle scans the whole predicate.
+func BenchmarkHomBoundProbe(b *testing.B) {
+	for _, n := range []int{10000, 100000} {
+		s := benchStore(n)
+		pat := []Atom{A("edge", C(fmt.Sprintf("v%d", n/2)), V("Y"))}
+		run := func(name string, search func([]Atom, []Atom, *FactStore, Subst, HomVisitor) bool) {
+			b.Run(fmt.Sprintf("%s/n=%d", name, n), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					count := 0
+					search(pat, nil, s, Subst{}, func(Subst) bool { count++; return true })
+					if count != 1 {
+						b.Fatalf("count=%d", count)
+					}
+				}
+			})
+		}
+		run("indexed", FindHoms)
+		run("naive", naiveFindHoms)
+	}
+}
+
+// BenchmarkHomJoinLarge measures the 2-atom path join at store sizes
+// where the naive quadratic scan is prohibitive; only the indexed
+// search runs at the top size.
+func BenchmarkHomJoinLarge(b *testing.B) {
+	for _, n := range []int{10000, 100000} {
+		s := benchStore(n)
+		pat := []Atom{A("edge", V("X"), V("Y")), A("edge", V("Y"), V("Z"))}
+		b.Run(fmt.Sprintf("indexed/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				count := 0
+				FindHoms(pat, nil, s, Subst{}, func(Subst) bool { count++; return true })
+				if count != n-1 {
+					b.Fatalf("count=%d", count)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFindHomsFromDelta measures semi-naive seeding: 10⁵ old
+// facts plus a small delta; the seeded search touches only
+// delta-joined candidates, the naive equivalent re-enumerates every
+// hom and filters.
+func BenchmarkFindHomsFromDelta(b *testing.B) {
+	n, delta := 100000, 64
+	s := benchStore(n)
+	from := s.Len()
+	for i := n; i < n+delta; i++ {
+		s.Add(A("edge", C(fmt.Sprintf("v%d", i)), C(fmt.Sprintf("v%d", i+1))))
+	}
+	pat := []Atom{A("edge", V("X"), V("Y")), A("edge", V("Y"), V("Z"))}
+	b.Run("seeded", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			count := 0
+			FindHomsFrom(pat, nil, s, from, Subst{}, func(Subst) bool { count++; return true })
+			if count != delta {
+				b.Fatalf("count=%d", count)
+			}
+		}
+	})
+}
+
 func BenchmarkStoreAddHas(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

@@ -1,5 +1,10 @@
 package logic
 
+import (
+	"sort"
+	"strings"
+)
+
 // This file implements homomorphism search: finding substitutions h such
 // that h(pos) ⊆ store and, for the closed-world reading used throughout
 // the paper, h(neg) ∩ store = ∅. It is the workhorse behind trigger
@@ -19,10 +24,21 @@ type HomVisitor func(Subst) bool
 // reused between invocations: clone them if they escape. FindHoms
 // reports whether the enumeration ran to completion (i.e. fn never
 // returned false).
+//
+// Candidates for each body atom are drawn from the store's
+// (predicate, position, term) posting lists whenever a position is
+// ground under the substitution built so far; unconstrained atoms fall
+// back to the per-predicate scan. naiveFindHoms preserves the plain
+// scan path as the differential-test oracle.
 func FindHoms(pos, neg []Atom, store *FactStore, init Subst, fn HomVisitor) bool {
 	h := init.Clone()
-	order := orderAtoms(pos, h)
-	return extendHom(order, 0, neg, store, h, fn)
+	pats := make([]pat, len(pos))
+	for i, a := range pos {
+		pats[i] = pat{atom: a, lo: 0, hi: store.Len()}
+	}
+	orderPats(pats, h, store)
+	hs := &homSearch{store: store, neg: neg, fn: fn, pats: pats}
+	return hs.extend(0, h)
 }
 
 // ExistsHom reports whether at least one homomorphism exists (see
@@ -36,13 +52,328 @@ func ExistsHom(pos, neg []Atom, store *FactStore, init Subst) bool {
 	return found
 }
 
-// orderAtoms returns the atoms in a join order chosen greedily: start
-// from the atom with the fewest candidate facts, then repeatedly pick
-// the atom sharing the most variables with those already placed
-// (breaking ties by candidate count). This is a standard lightweight
-// heuristic that keeps backtracking shallow on the rule bodies arising
-// in practice.
-func orderAtoms(pos []Atom, init Subst) []Atom {
+// FindHomsFrom is the semi-naive variant of FindHoms: it enumerates
+// exactly those homomorphisms that use at least one store atom with
+// index ≥ from for a positive body atom (the "delta" of a growing
+// store). Each such homomorphism is produced exactly once: it is keyed
+// by the last body position (in pos order) matched inside the delta —
+// that atom ranges over [from, Len), later atoms over [0, from), and
+// earlier atoms over the full store. With from <= 0 it degenerates to
+// FindHoms. Fixpoint loops call FindHoms once on the initial store and
+// FindHomsFrom with the previous round's high-water mark afterwards,
+// turning O(rounds × store) re-scans into O(new facts) work.
+func FindHomsFrom(pos, neg []Atom, store *FactStore, from int, init Subst, fn HomVisitor) bool {
+	if from <= 0 {
+		return FindHoms(pos, neg, store, init, fn)
+	}
+	n := store.Len()
+	if from >= n || len(pos) == 0 {
+		// Empty delta, or no positive atom to cover it: nothing new.
+		return true
+	}
+	for j := range pos {
+		pats := make([]pat, 0, len(pos))
+		// The seed atom goes first: the delta window is the most
+		// selective constraint available.
+		pats = append(pats, pat{atom: pos[j], lo: from, hi: n})
+		for k := range pos {
+			switch {
+			case k < j:
+				pats = append(pats, pat{atom: pos[k], lo: 0, hi: n})
+			case k > j:
+				pats = append(pats, pat{atom: pos[k], lo: 0, hi: from})
+			}
+		}
+		h := init.Clone()
+		orderPatsFrom(pats, 1, h, store)
+		hs := &homSearch{store: store, neg: neg, fn: fn, pats: pats}
+		if !hs.extend(0, h) {
+			return false
+		}
+	}
+	return true
+}
+
+// pat is one positive body atom together with its admissible window of
+// store indices [lo, hi): a candidate fact is only considered when its
+// insertion rank falls inside the window. Full searches use [0, Len);
+// the semi-naive seeding of FindHomsFrom narrows windows to address
+// the delta of a growing store.
+type pat struct {
+	atom   Atom
+	lo, hi int
+}
+
+// orderPats reorders pats[at:] in place into a greedy join order:
+// repeatedly pick the pattern sharing the most variables with those
+// already placed (or bound by init), breaking ties by the smallest
+// candidate estimate from the store's indexes. Patterns before at are
+// pinned (the semi-naive seed) but still contribute their variables.
+func orderPats(pats []pat, init Subst, store *FactStore) { orderPatsFrom(pats, 0, init, store) }
+
+func orderPatsFrom(pats []pat, at int, init Subst, store *FactStore) {
+	if len(pats)-at <= 1 {
+		return
+	}
+	bound := make(map[string]bool, len(init))
+	for v := range init {
+		bound[v] = true
+	}
+	var buf []string
+	markBound := func(a Atom) {
+		buf = a.Vars(buf[:0])
+		for _, v := range buf {
+			bound[v] = true
+		}
+	}
+	for i := 0; i < at; i++ {
+		markBound(pats[i].atom)
+	}
+	for ; at < len(pats); at++ {
+		best, bestSharing, bestEst := at, -1, 1<<62
+		for i := at; i < len(pats); i++ {
+			buf = pats[i].atom.Vars(buf[:0])
+			sharing := 0
+			for _, v := range buf {
+				if bound[v] {
+					sharing++
+				}
+			}
+			est := candidateEstimate(pats[i], init, store)
+			// Prefer high sharing; among equal sharing prefer the
+			// smaller candidate estimate, then earlier (deterministic).
+			if sharing > bestSharing || (sharing == bestSharing && est < bestEst) {
+				best, bestSharing, bestEst = i, sharing, est
+			}
+		}
+		pats[at], pats[best] = pats[best], pats[at]
+		markBound(pats[at].atom)
+	}
+}
+
+// candidateEstimate upper-bounds the number of candidate facts for the
+// pattern: the predicate count, clipped by the window, improved by the
+// posting list of any argument already ground under init.
+func candidateEstimate(p pat, init Subst, store *FactStore) int {
+	est := store.CountPred(p.atom.Pred)
+	if w := p.hi - p.lo; w < est {
+		est = w
+	}
+	for i, t := range p.atom.Args {
+		g := init.ApplyTerm(t)
+		if !g.IsGround() {
+			continue
+		}
+		if n := len(store.postings(p.atom.Pred, i, g.Key())); n < est {
+			est = n
+		}
+	}
+	return est
+}
+
+// homSearch carries the state of one FindHoms enumeration; scratch
+// buffers are reused across backtracking steps to keep the hot path
+// allocation-free.
+type homSearch struct {
+	store *FactStore
+	neg   []Atom
+	fn    HomVisitor
+	pats  []pat
+	// per-depth scratch: candidate intersection buffer and undo trail.
+	scratch [][]int
+	trails  [][]string
+}
+
+func (hs *homSearch) extend(i int, h Subst) bool {
+	if i == len(hs.pats) {
+		for _, n := range hs.neg {
+			if atomBoundUnder(h, n) && hs.store.HasKey(boundAtomKey(h, n)) {
+				return true // blocked: this h is not a solution, keep searching
+			}
+			// Unbound variables left in a negative literal: only bound
+			// instances are evaluated (safe fragment), nothing blocks.
+		}
+		return hs.fn(h)
+	}
+	for len(hs.scratch) <= i {
+		hs.scratch = append(hs.scratch, nil)
+		hs.trails = append(hs.trails, nil)
+	}
+	p := hs.pats[i]
+	// Fast path: a pattern fully ground under h needs one hash probe,
+	// not a posting-list walk. This is the common case for restricted
+	// chase head checks and negative-body-style filters.
+	if atomBoundUnder(h, p.atom) {
+		if idx, ok := hs.store.indexOfKey(boundAtomKey(h, p.atom)); ok && idx >= p.lo && idx < p.hi {
+			return hs.extend(i+1, h) // no new bindings to undo
+		}
+		return true
+	}
+	cands := hs.candidates(i, p, h)
+	trail := hs.trails[i][:0]
+	for _, idx := range cands {
+		trail = trail[:0]
+		if matchAtomTrail(h, p.atom, hs.store.atoms[idx], &trail) {
+			if !hs.extend(i+1, h) {
+				undo(h, trail)
+				hs.trails[i] = trail
+				return false
+			}
+		}
+		undo(h, trail)
+	}
+	hs.trails[i] = trail
+	return true
+}
+
+// candidates returns the store indices to try for pattern i under h:
+// the posting lists of all argument positions ground under h,
+// intersected in place into the depth's scratch buffer (smallest list
+// first), clipped to the pattern's window; with no ground position it
+// falls back to the per-predicate index.
+func (hs *homSearch) candidates(depth int, p pat, h Subst) []int {
+	var listsBuf [4][]int
+	lists := listsBuf[:0]
+	for i, t := range p.atom.Args {
+		g := t
+		if !t.IsGround() {
+			g = h.ApplyTerm(t)
+			if !g.IsGround() {
+				continue
+			}
+		}
+		l := hs.store.postings(p.atom.Pred, i, g.Key())
+		if len(l) == 0 {
+			return nil
+		}
+		lists = append(lists, l)
+	}
+	if len(lists) == 0 {
+		return clipWindow(hs.store.predIndices(p.atom.Pred), p.lo, p.hi)
+	}
+	// Smallest posting list first: the intersection never grows.
+	sort.Slice(lists, func(a, b int) bool { return len(lists[a]) < len(lists[b]) })
+	out := clipWindow(lists[0], p.lo, p.hi)
+	if len(lists) == 1 {
+		return out
+	}
+	buf := append(hs.scratch[depth][:0], out...)
+	for _, l := range lists[1:] {
+		buf = intersectSorted(buf, clipWindow(l, p.lo, p.hi))
+		if len(buf) == 0 {
+			break
+		}
+	}
+	hs.scratch[depth] = buf
+	return buf
+}
+
+// atomBoundUnder reports whether every variable of a is bound to a
+// ground term under h, i.e. whether h(a) is ground. It allocates
+// nothing and exits on the first unbound variable.
+func atomBoundUnder(h Subst, a Atom) bool {
+	for _, t := range a.Args {
+		if !termBoundUnder(h, t) {
+			return false
+		}
+	}
+	return true
+}
+
+func termBoundUnder(h Subst, t Term) bool {
+	switch t.Kind {
+	case Var:
+		u, ok := h[t.Name]
+		return ok && u.IsGround()
+	case Func:
+		for _, a := range t.Args {
+			if !termBoundUnder(h, a) {
+				return false
+			}
+		}
+		return true
+	default:
+		return true
+	}
+}
+
+// boundAtomKey renders the canonical key of h(a) without materializing
+// the atom; the result equals h.ApplyAtom(a).Key(). The caller must
+// have established atomBoundUnder(h, a).
+func boundAtomKey(h Subst, a Atom) string {
+	var b strings.Builder
+	b.WriteString(a.Pred)
+	b.WriteByte('/')
+	for i, t := range a.Args {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		writeBoundTermKey(&b, h, t)
+	}
+	return b.String()
+}
+
+func writeBoundTermKey(b *strings.Builder, h Subst, t Term) {
+	switch t.Kind {
+	case Var:
+		h[t.Name].writeKey(b)
+	case Func:
+		b.WriteByte('f')
+		b.WriteString(t.Name)
+		b.WriteByte('(')
+		for i, a := range t.Args {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			writeBoundTermKey(b, h, a)
+		}
+		b.WriteByte(')')
+	default:
+		t.writeKey(b)
+	}
+}
+
+// clipWindow narrows an ascending index list to [lo, hi) by binary
+// search; the result aliases the input.
+func clipWindow(idxs []int, lo, hi int) []int {
+	if len(idxs) == 0 {
+		return idxs
+	}
+	a := sort.SearchInts(idxs, lo)
+	b := sort.SearchInts(idxs, hi)
+	return idxs[a:b]
+}
+
+// intersectSorted intersects two ascending lists, writing the result
+// over the prefix of a (in place).
+func intersectSorted(a, b []int) []int {
+	out := a[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// naiveFindHoms is the pre-index search kept verbatim as the
+// differential-test oracle: candidates always come from the full
+// per-predicate scan, in the original greedy sharing order.
+func naiveFindHoms(pos, neg []Atom, store *FactStore, init Subst, fn HomVisitor) bool {
+	h := init.Clone()
+	order := naiveOrderAtoms(pos, h)
+	return naiveExtendHom(order, 0, neg, store, h, fn)
+}
+
+func naiveOrderAtoms(pos []Atom, init Subst) []Atom {
 	if len(pos) <= 1 {
 		return pos
 	}
@@ -81,7 +412,7 @@ func orderAtoms(pos []Atom, init Subst) []Atom {
 	return ordered
 }
 
-func extendHom(pos []Atom, i int, neg []Atom, store *FactStore, h Subst, fn HomVisitor) bool {
+func naiveExtendHom(pos []Atom, i int, neg []Atom, store *FactStore, h Subst, fn HomVisitor) bool {
 	if i == len(pos) {
 		for _, n := range neg {
 			g := h.ApplyAtom(n)
@@ -95,7 +426,7 @@ func extendHom(pos []Atom, i int, neg []Atom, store *FactStore, h Subst, fn HomV
 	for _, cand := range store.ByPred(pattern.Pred) {
 		trail := make([]string, 0, len(pattern.Args))
 		if matchAtomTrail(h, pattern, cand, &trail) {
-			if !extendHom(pos, i+1, neg, store, h, fn) {
+			if !naiveExtendHom(pos, i+1, neg, store, h, fn) {
 				undo(h, trail)
 				return false
 			}

@@ -1,0 +1,257 @@
+package logic
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// This file pins the indexed homomorphism search (FindHoms, probing
+// the (predicate, position, term) posting lists) and the semi-naive
+// seeded search (FindHomsFrom) to the naive full-scan oracle
+// (naiveFindHoms) on randomized stores and patterns. Patterns cover
+// negation, repeated variables, and constants in bodies.
+
+// collectHoms runs the given search and returns the sorted set of
+// solution substitutions rendered canonically.
+func collectHoms(t *testing.T, search func(HomVisitor) bool) []string {
+	t.Helper()
+	var out []string
+	completed := search(func(h Subst) bool {
+		out = append(out, h.String())
+		return true
+	})
+	if !completed {
+		t.Fatalf("search stopped although the visitor never returned false")
+	}
+	sort.Strings(out)
+	// The enumeration visits each solution substitution exactly once.
+	for i := 1; i < len(out); i++ {
+		if out[i] == out[i-1] {
+			t.Fatalf("duplicate solution %s", out[i])
+		}
+	}
+	return out
+}
+
+func stringsEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// randGroundAtom draws a ground atom over a small vocabulary: three
+// predicates of arities 1..3, constants c0..c5, and occasionally a
+// function term or labeled null.
+func randGroundAtom(rng *rand.Rand) Atom {
+	preds := []struct {
+		name  string
+		arity int
+	}{{"p", 1}, {"q", 2}, {"r", 3}}
+	pr := preds[rng.Intn(len(preds))]
+	args := make([]Term, pr.arity)
+	for i := range args {
+		switch rng.Intn(10) {
+		case 0:
+			args[i] = N(fmt.Sprintf("n%d", rng.Intn(3)))
+		case 1:
+			args[i] = F("f", C(fmt.Sprintf("c%d", rng.Intn(3))))
+		default:
+			args[i] = C(fmt.Sprintf("c%d", rng.Intn(6)))
+		}
+	}
+	return Atom{Pred: pr.name, Args: args}
+}
+
+// randPattern draws a body atom mixing variables (with repetition),
+// constants, and the occasional function term over a variable.
+func randPattern(rng *rand.Rand) Atom {
+	preds := []struct {
+		name  string
+		arity int
+	}{{"p", 1}, {"q", 2}, {"r", 3}}
+	pr := preds[rng.Intn(len(preds))]
+	vars := []string{"X", "Y", "Z", "W"}
+	args := make([]Term, pr.arity)
+	for i := range args {
+		switch rng.Intn(6) {
+		case 0:
+			args[i] = C(fmt.Sprintf("c%d", rng.Intn(6)))
+		case 1:
+			args[i] = F("f", V(vars[rng.Intn(len(vars))]))
+		default:
+			args[i] = V(vars[rng.Intn(len(vars))])
+		}
+	}
+	return Atom{Pred: pr.name, Args: args}
+}
+
+// safeNeg draws negative atoms whose variables all occur in pos
+// (safety), mixing in constants.
+func safeNeg(rng *rand.Rand, pos []Atom) []Atom {
+	bound := VarSet(pos...)
+	var vars []string
+	for v := range bound {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	if len(vars) == 0 {
+		return nil
+	}
+	n := rng.Intn(3)
+	out := make([]Atom, 0, n)
+	for k := 0; k < n; k++ {
+		preds := []struct {
+			name  string
+			arity int
+		}{{"p", 1}, {"q", 2}}
+		pr := preds[rng.Intn(len(preds))]
+		args := make([]Term, pr.arity)
+		for i := range args {
+			if rng.Intn(3) == 0 {
+				args[i] = C(fmt.Sprintf("c%d", rng.Intn(6)))
+			} else {
+				args[i] = V(vars[rng.Intn(len(vars))])
+			}
+		}
+		out = append(out, Atom{Pred: pr.name, Args: args})
+	}
+	return out
+}
+
+func TestFindHomsMatchesNaiveRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 300; trial++ {
+		store := NewFactStore()
+		for i, n := 0, rng.Intn(40); i < n; i++ {
+			store.Add(randGroundAtom(rng))
+		}
+		npos := 1 + rng.Intn(3)
+		pos := make([]Atom, npos)
+		for i := range pos {
+			pos[i] = randPattern(rng)
+		}
+		neg := safeNeg(rng, pos)
+		init := Subst{}
+		if rng.Intn(3) == 0 {
+			init["X"] = C(fmt.Sprintf("c%d", rng.Intn(6)))
+		}
+
+		want := collectHoms(t, func(fn HomVisitor) bool {
+			return naiveFindHoms(pos, neg, store, init, fn)
+		})
+		got := collectHoms(t, func(fn HomVisitor) bool {
+			return FindHoms(pos, neg, store, init, fn)
+		})
+		if !stringsEqual(got, want) {
+			t.Fatalf("trial %d: indexed FindHoms diverges from naive oracle\nstore: %s\npos: %v neg: %v init: %v\nindexed: %v\nnaive:   %v",
+				trial, store.CanonicalString(), pos, neg, init, got, want)
+		}
+	}
+}
+
+func TestFindHomsFromMatchesFullMinusOld(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 300; trial++ {
+		old := NewFactStore()
+		for i, n := 0, rng.Intn(25); i < n; i++ {
+			old.Add(randGroundAtom(rng))
+		}
+		from := old.Len()
+		full := old.Clone()
+		for i, n := 0, 1+rng.Intn(15); i < n; i++ {
+			full.Add(randGroundAtom(rng))
+		}
+		npos := 1 + rng.Intn(3)
+		pos := make([]Atom, npos)
+		for i := range pos {
+			pos[i] = randPattern(rng)
+		}
+		neg := safeNeg(rng, pos)
+
+		// Semi-naive contract: homs over the full store that use at
+		// least one delta atom = all homs over full minus all homs
+		// over old. (Negative literals are evaluated over the full
+		// store in both runs.)
+		inFull := collectHoms(t, func(fn HomVisitor) bool {
+			return naiveFindHoms(pos, neg, full, Subst{}, fn)
+		})
+		inOldBody := collectHoms(t, func(fn HomVisitor) bool {
+			return naiveFindHoms(pos, nil, old, Subst{}, func(h Subst) bool {
+				for _, n := range neg {
+					if full.Has(h.ApplyAtom(n)) {
+						return true
+					}
+				}
+				return fn(h)
+			})
+		})
+		oldSet := make(map[string]bool, len(inOldBody))
+		for _, s := range inOldBody {
+			oldSet[s] = true
+		}
+		var want []string
+		for _, s := range inFull {
+			if !oldSet[s] {
+				want = append(want, s)
+			}
+		}
+
+		got := collectHoms(t, func(fn HomVisitor) bool {
+			return FindHomsFrom(pos, neg, full, from, Subst{}, fn)
+		})
+		if !stringsEqual(got, want) {
+			t.Fatalf("trial %d: FindHomsFrom diverges (from=%d)\nfull: %s\npos: %v neg: %v\nseeded: %v\nwant:   %v",
+				trial, from, full.CanonicalString(), pos, neg, got, want)
+		}
+	}
+}
+
+func TestFindHomsFromDegenerateCases(t *testing.T) {
+	store := StoreOf(A("p", C("a")), A("p", C("b")))
+	pat := []Atom{A("p", V("X"))}
+	// from == Len: empty delta, nothing to report.
+	if got := collectHoms(t, func(fn HomVisitor) bool {
+		return FindHomsFrom(pat, nil, store, store.Len(), Subst{}, fn)
+	}); len(got) != 0 {
+		t.Fatalf("empty delta should yield no homs, got %v", got)
+	}
+	// from <= 0 degenerates to the full search.
+	if got := collectHoms(t, func(fn HomVisitor) bool {
+		return FindHomsFrom(pat, nil, store, 0, Subst{}, fn)
+	}); len(got) != 2 {
+		t.Fatalf("from=0 should yield all homs, got %v", got)
+	}
+	// Empty positive body: no atom can cover the delta.
+	if got := collectHoms(t, func(fn HomVisitor) bool {
+		return FindHomsFrom(nil, nil, store, 1, Subst{}, fn)
+	}); len(got) != 0 {
+		t.Fatalf("empty body with nonzero from should yield nothing, got %v", got)
+	}
+}
+
+func TestFindHomsEarlyStopIndexed(t *testing.T) {
+	store := StoreOf(A("p", C("a")), A("p", C("b")), A("p", C("c")))
+	count := 0
+	completed := FindHoms([]Atom{A("p", V("X"))}, nil, store, Subst{}, func(Subst) bool {
+		count++
+		return false
+	})
+	if completed || count != 1 {
+		t.Fatalf("early stop broken: completed=%v count=%d", completed, count)
+	}
+	completed = FindHomsFrom([]Atom{A("p", V("X"))}, nil, store, 1, Subst{}, func(Subst) bool {
+		count++
+		return false
+	})
+	if completed || count != 2 {
+		t.Fatalf("seeded early stop broken: completed=%v count=%d", completed, count)
+	}
+}

@@ -5,19 +5,36 @@ import (
 	"strings"
 )
 
-// FactStore is a set of ground atoms with a per-predicate index, the
-// basic container for databases, chase results, and (the positive part
-// of) interpretations. Insertion order is preserved for deterministic
-// iteration. The zero value is not ready to use; call NewFactStore.
+// FactStore is a set of ground atoms with a per-predicate index and a
+// (predicate, argument-position, ground-term) index, the basic
+// container for databases, chase results, and (the positive part of)
+// interpretations. Insertion order is preserved for deterministic
+// iteration, and every atom has a stable store index (its insertion
+// rank), which the semi-naive evaluation layers use to address deltas
+// as index windows. The zero value is not ready to use; call
+// NewFactStore.
 type FactStore struct {
 	byKey  map[string]int // atom key -> index into atoms
 	byPred map[string][]int
+	byArg  map[argKey][]int // posting lists, ascending store indices
 	atoms  []Atom
+}
+
+// argKey addresses one posting list: all atoms with predicate pred
+// whose argument at 0-based position pos has canonical term key term.
+type argKey struct {
+	pred string
+	pos  int
+	term string
 }
 
 // NewFactStore returns an empty store.
 func NewFactStore() *FactStore {
-	return &FactStore{byKey: make(map[string]int), byPred: make(map[string][]int)}
+	return &FactStore{
+		byKey:  make(map[string]int),
+		byPred: make(map[string][]int),
+		byArg:  make(map[argKey][]int),
+	}
 }
 
 // StoreOf returns a store containing the given atoms.
@@ -39,6 +56,10 @@ func (s *FactStore) Add(a Atom) bool {
 	s.atoms = append(s.atoms, a)
 	s.byKey[k] = idx
 	s.byPred[a.Pred] = append(s.byPred[a.Pred], idx)
+	for i, t := range a.Args {
+		ak := argKey{pred: a.Pred, pos: i, term: t.Key()}
+		s.byArg[ak] = append(s.byArg[ak], idx)
+	}
 	return true
 }
 
@@ -66,6 +87,13 @@ func (s *FactStore) HasKey(key string) bool {
 	return ok
 }
 
+// indexOfKey returns the store index of the atom with the given
+// canonical key, if present.
+func (s *FactStore) indexOfKey(key string) (int, bool) {
+	idx, ok := s.byKey[key]
+	return idx, ok
+}
+
 // Len returns the number of atoms.
 func (s *FactStore) Len() int { return len(s.atoms) }
 
@@ -87,6 +115,21 @@ func (s *FactStore) ByPred(pred string) []Atom {
 // CountPred returns the number of atoms with the given predicate.
 func (s *FactStore) CountPred(pred string) int { return len(s.byPred[pred]) }
 
+// AtomAt returns the atom with the given store index (insertion rank).
+func (s *FactStore) AtomAt(i int) Atom { return s.atoms[i] }
+
+// predIndices returns the store indices of atoms with the given
+// predicate, ascending. Shared with the store: callers must not modify.
+func (s *FactStore) predIndices(pred string) []int { return s.byPred[pred] }
+
+// postings returns the store indices of atoms with predicate pred whose
+// argument at 0-based position pos equals the term with the given
+// canonical key, ascending. Shared with the store: callers must not
+// modify. A nil result means no atom matches.
+func (s *FactStore) postings(pred string, pos int, termKey string) []int {
+	return s.byArg[argKey{pred: pred, pos: pos, term: termKey}]
+}
+
 // Preds returns the sorted list of predicates occurring in the store.
 func (s *FactStore) Preds() []string {
 	out := make([]string, 0, len(s.byPred))
@@ -102,6 +145,7 @@ func (s *FactStore) Clone() *FactStore {
 	c := &FactStore{
 		byKey:  make(map[string]int, len(s.byKey)),
 		byPred: make(map[string][]int, len(s.byPred)),
+		byArg:  make(map[argKey][]int, len(s.byArg)),
 		atoms:  make([]Atom, len(s.atoms)),
 	}
 	copy(c.atoms, s.atoms)
@@ -110,6 +154,9 @@ func (s *FactStore) Clone() *FactStore {
 	}
 	for p, idxs := range s.byPred {
 		c.byPred[p] = append([]int(nil), idxs...)
+	}
+	for k, idxs := range s.byArg {
+		c.byArg[k] = append([]int(nil), idxs...)
 	}
 	return c
 }

@@ -1,0 +1,104 @@
+package logic
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// Unit tests for the (predicate, position, term) posting lists
+// maintained incrementally by Add/AddAll.
+
+func TestPostingsMaintainedByAdd(t *testing.T) {
+	s := NewFactStore()
+	s.Add(A("q", C("a"), C("b"))) // idx 0
+	s.Add(A("q", C("a"), C("c"))) // idx 1
+	s.Add(A("q", C("b"), C("a"))) // idx 2
+	s.Add(A("q", C("a"), C("b"))) // duplicate: no index growth
+
+	if got := s.postings("q", 0, C("a").Key()); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("postings(q,0,a) = %v, want [0 1]", got)
+	}
+	if got := s.postings("q", 1, C("b").Key()); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("postings(q,1,b) = %v, want [0]", got)
+	}
+	if got := s.postings("q", 0, C("z").Key()); got != nil {
+		t.Fatalf("postings for absent term = %v, want nil", got)
+	}
+	if got := s.postings("zzz", 0, C("a").Key()); got != nil {
+		t.Fatalf("postings for absent pred = %v, want nil", got)
+	}
+}
+
+func TestPostingsCoverNullsAndFunctionTerms(t *testing.T) {
+	s := NewFactStore()
+	s.Add(A("p", N("n1")))        // idx 0
+	s.Add(A("p", F("f", C("a")))) // idx 1
+	if got := s.postings("p", 0, N("n1").Key()); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("null posting = %v", got)
+	}
+	if got := s.postings("p", 0, F("f", C("a")).Key()); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("func-term posting = %v", got)
+	}
+	// Term keys are kind-discriminated: the constant "n1" is distinct
+	// from the null n1.
+	if got := s.postings("p", 0, C("n1").Key()); got != nil {
+		t.Fatalf("constant n1 should have no posting, got %v", got)
+	}
+}
+
+func TestPostingsAddAllAndCloneIndependence(t *testing.T) {
+	s := NewFactStore()
+	s.AddAll([]Atom{
+		A("q", C("a"), C("b")),
+		A("q", C("a"), C("b")), // dup
+		A("q", C("c"), C("b")),
+	})
+	if got := s.postings("q", 1, C("b").Key()); len(got) != 2 {
+		t.Fatalf("AddAll postings = %v, want 2 entries", got)
+	}
+	c := s.Clone()
+	c.Add(A("q", C("d"), C("b")))
+	if got := s.postings("q", 1, C("b").Key()); len(got) != 2 {
+		t.Fatalf("clone mutation leaked into original: %v", got)
+	}
+	if got := c.postings("q", 1, C("b").Key()); len(got) != 3 {
+		t.Fatalf("clone postings = %v, want 3 entries", got)
+	}
+}
+
+// TestPostingsInvariantRandomized checks, on a random store, that the
+// posting-list index is exactly the ascending list of store indices
+// whose atom carries each term at each position — no more, no less.
+func TestPostingsInvariantRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := NewFactStore()
+	for i := 0; i < 300; i++ {
+		s.Add(randGroundAtom(rng))
+	}
+	// Reconstruct the expected index from the atom list.
+	want := map[argKey][]int{}
+	for i, a := range s.Atoms() {
+		for pos, term := range a.Args {
+			k := argKey{pred: a.Pred, pos: pos, term: term.Key()}
+			want[k] = append(want[k], i)
+		}
+	}
+	if len(want) != len(s.byArg) {
+		t.Fatalf("index has %d posting lists, want %d", len(s.byArg), len(want))
+	}
+	for k, idxs := range want {
+		got := s.postings(k.pred, k.pos, k.term)
+		if !sort.IntsAreSorted(got) {
+			t.Fatalf("posting list %v not ascending: %v", k, got)
+		}
+		if len(got) != len(idxs) {
+			t.Fatalf("posting %v: got %v want %v", k, got, idxs)
+		}
+		for i := range got {
+			if got[i] != idxs[i] {
+				t.Fatalf("posting %v: got %v want %v", k, got, idxs)
+			}
+		}
+	}
+}
