@@ -6,6 +6,12 @@
 //
 //	smsbench            # all
 //	smsbench -run E1,E5
+//
+// For performance work, -cpuprofile and -memprofile write pprof
+// profiles covering the selected experiments:
+//
+//	smsbench -run E7 -cpuprofile cpu.out -memprofile mem.out
+//	go tool pprof cpu.out
 package main
 
 import (
@@ -13,6 +19,8 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -56,8 +64,48 @@ var experiments = map[string]func(){
 }
 
 func main() {
+	// All exits funnel through run's return value so deferred profile
+	// writers actually run (os.Exit would skip them, truncating the
+	// pprof files).
+	os.Exit(run())
+}
+
+func run() (code int) {
+	defer func() {
+		if r := recover(); r != nil {
+			fe, ok := r.(fatalError)
+			if !ok {
+				panic(r)
+			}
+			fmt.Fprintln(os.Stderr, "error:", fe.err)
+			code = 1
+		}
+	}()
 	runFlag := flag.String("run", "all", "comma-separated experiment ids (E1..E15) or 'all'")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+	// The heap-profile defer is registered first so that (defers being
+	// LIFO) the CPU profile has stopped before the forced GC and heap
+	// write happen — otherwise they would pollute the CPU profile's tail.
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			must(err)
+			runtime.GC() // settle allocations so the heap profile is meaningful
+			must(pprof.WriteHeapProfile(f))
+			must(f.Close())
+		}()
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		must(err)
+		must(pprof.StartCPUProfile(f))
+		defer func() {
+			pprof.StopCPUProfile()
+			must(f.Close())
+		}()
+	}
 	var ids []string
 	if *runFlag == "all" {
 		for id := range experiments {
@@ -73,11 +121,12 @@ func main() {
 		fn, ok := experiments[strings.TrimSpace(id)]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
-			os.Exit(2)
+			return 2
 		}
 		fn()
 		fmt.Println()
 	}
+	return 0
 }
 
 func header(id, title string) {
@@ -91,10 +140,13 @@ func verdict(v bool) string {
 	return "not entailed"
 }
 
+// fatalError aborts run via panic so that in-flight defers (the pprof
+// writers) still execute; run's recover turns it into exit code 1.
+type fatalError struct{ err error }
+
 func must(err error) {
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
-		os.Exit(1)
+		panic(fatalError{err})
 	}
 }
 

@@ -78,9 +78,30 @@
 //     via rule instances materialized once and replayed as bitmask
 //     operations.
 //
+// The stable model search itself (internal/core) is incremental along
+// both axes that dominate its cost:
+//
+//   - Branching uses copy-on-write store snapshots: FactStore.Snapshot
+//     returns an O(1) child layer that shares the parent's atoms and
+//     indexes and records only its own additions, with every read —
+//     hash probes, posting lists, Domain, canonical rendering — merged
+//     transparently across the layer chain. Store indices stay global
+//     across a chain, so delta windows survive branching. Chains deeper
+//     than a fixed cap flatten into a fresh root; the store's domain
+//     (its constant/null term set) is maintained incrementally by Add.
+//   - Trigger detection is agenda-driven: each search node carries a
+//     queue of candidate triggers, seeded once at the root and extended
+//     per node by sweeping only the store delta (FindHomsFrom above the
+//     node's high-water mark). Entries are re-validated when popped —
+//     a satisfied head disjunct, a derived negative body instance, or a
+//     deferral retires a trigger permanently, since all three are
+//     monotone along a branch.
+//
 // The pre-index code paths are retained package-privately
 // (logic.naiveFindHoms, chase.runNaive, asp.gammaNaive, the naive
-// minimality enumerations) as oracles: randomized differential tests
-// pin the optimized engines to them, so future changes to the index or
-// the delta discipline are caught by `go test ./...`.
+// minimality enumerations, and core.findTriggerNaive — the full-rescan
+// trigger detection behind the agenda-based search) as oracles:
+// randomized differential tests pin the optimized engines to them, so
+// future changes to the index or the delta discipline are caught by
+// `go test ./...`.
 package ntgd

@@ -292,7 +292,10 @@ func BudgetForStableSearch(db *logic.FactStore, rules []*logic.Rule, extraConsts
 		pr.Heads = [][]logic.Atom{head}
 		positive = append(positive, pr)
 	}
-	ext := db.Clone()
+	// A copy-on-write snapshot: the budget probe must not write into the
+	// caller's database, but deep-copying it per search was Clone's main
+	// cost in the stable-model engine's setup path.
+	ext := db.Snapshot()
 	for i, c := range extraConsts {
 		// Seed the domain with query constants via a throwaway
 		// predicate so body homomorphisms cannot pick them up, but the

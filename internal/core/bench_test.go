@@ -1,0 +1,109 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"ntgd/internal/core"
+	"ntgd/internal/parser"
+)
+
+// benchChoiceProgram is a branch-heavy stable-model search over a store
+// that is large relative to its per-branch deltas: nItems choice pairs
+// (2^nItems stable models, 2^nItems-1 branch nodes) on top of nPad
+// inert facts plus one datalog rule doubling them. Pre-PR, every branch
+// child deep-copied the whole store and every node re-ran full trigger
+// detection; the snapshot + agenda engine pays O(delta) for both.
+func benchChoiceProgram(nItems, nPad int) string {
+	src := ""
+	for i := 0; i < nItems; i++ {
+		src += fmt.Sprintf("item(i%d).\n", i)
+	}
+	for i := 0; i < nPad; i++ {
+		src += fmt.Sprintf("pad(p%d).\n", i)
+	}
+	src += "pad(X) -> padded(X).\n"
+	src += "item(X), not out(X) -> in(X).\n"
+	src += "item(X), not in(X) -> out(X).\n"
+	return src
+}
+
+func BenchmarkStableSearchChoiceWide(b *testing.B) {
+	for _, cfg := range []struct{ items, pad int }{{5, 64}, {7, 256}} {
+		prog, err := parser.Parse(benchChoiceProgram(cfg.items, cfg.pad))
+		if err != nil {
+			b.Fatal(err)
+		}
+		db := prog.Database()
+		opt := core.Options{MaxAtoms: 4096}
+		want := 1 << cfg.items
+		b.Run(fmt.Sprintf("items=%d/pad=%d", cfg.items, cfg.pad), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := core.StableModels(db, prog.Rules, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Models) != want {
+					b.Fatalf("models = %d, want %d", len(res.Models), want)
+				}
+				if res.Stats.Branches < int64(want)-1 {
+					b.Fatalf("branch nodes = %d, want >= %d", res.Stats.Branches, want-1)
+				}
+			}
+		})
+	}
+}
+
+// benchDisjExistProgram combines disjunctive branching with existential
+// witnesses (fresh-only policy, so the witness pool stays canonical):
+// 2-coloring an even cycle of nNodes nodes, where every red node grows
+// an existential successor. Constraints prune improper colorings, so
+// the search explores a deep branch-heavy tree (well over 64 branch
+// nodes) but completes only the two alternating colorings — the cost is
+// almost entirely branching machinery, which is what this benchmark
+// pins. nPad inert facts (plus one datalog rule doubling them) keep the
+// store large relative to the per-branch deltas.
+func benchDisjExistProgram(nNodes, nPad int) string {
+	src := ""
+	for i := 0; i < nNodes; i++ {
+		src += fmt.Sprintf("node(v%d).\n", i)
+		src += fmt.Sprintf("edge(v%d,v%d).\n", i, (i+1)%nNodes)
+	}
+	for i := 0; i < nPad; i++ {
+		src += fmt.Sprintf("pad(p%d).\n", i)
+	}
+	src += "pad(X) -> padded(X).\n"
+	src += ":- edge(X,Y), red(X), red(Y).\n"
+	src += ":- edge(X,Y), green(X), green(Y).\n"
+	src += "node(X) -> red(X) | green(X).\n"
+	src += "red(X) -> succ(X,Y).\n"
+	return src
+}
+
+func BenchmarkStableSearchDisjunctiveExistential(b *testing.B) {
+	for _, cfg := range []struct{ nodes, pad int }{{32, 128}} {
+		prog, err := parser.Parse(benchDisjExistProgram(cfg.nodes, cfg.pad))
+		if err != nil {
+			b.Fatal(err)
+		}
+		db := prog.Database()
+		opt := core.Options{MaxAtoms: 4096, WitnessPolicy: core.WitnessFreshOnly}
+		b.Run(fmt.Sprintf("nodes=%d/pad=%d", cfg.nodes, cfg.pad), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := core.StableModels(db, prog.Rules, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				// The two alternating 2-colorings of the even cycle.
+				if len(res.Models) != 2 {
+					b.Fatalf("models = %d, want 2", len(res.Models))
+				}
+				if res.Stats.Branches < 64 {
+					b.Fatalf("branch nodes = %d, want >= 64", res.Stats.Branches)
+				}
+			}
+		})
+	}
+}

@@ -115,6 +115,22 @@ func StableModels(db *logic.FactStore, rules []*logic.Rule, opt Options) (*Resul
 // stop). The bool result reports budget exhaustion (the enumeration may
 // then be incomplete).
 func EnumStableModels(db *logic.FactStore, rules []*logic.Rule, opt Options, visit func(*logic.FactStore) bool) (Stats, bool, error) {
+	return enumStableModels(db, rules, opt, visit, false)
+}
+
+// enumStableModelsNaive runs the search with the full-rescan trigger
+// detection (findTriggerNaive) instead of the delta-driven agenda. It
+// is kept package-private as the differential-test oracle pinning the
+// agenda-based search: both must emit exactly the same canonical model
+// set (exploration order, and therefore stats, may differ).
+func enumStableModelsNaive(db *logic.FactStore, rules []*logic.Rule, opt Options, visit func(*logic.FactStore) bool) (Stats, bool, error) {
+	return enumStableModels(db, rules, opt, visit, true)
+}
+
+// enumStableModels validates the rules, fills in the budget defaults,
+// and runs the search; naive selects the trigger-detection strategy
+// (delta-driven agenda vs full rescan).
+func enumStableModels(db *logic.FactStore, rules []*logic.Rule, opt Options, visit func(*logic.FactStore) bool, naive bool) (Stats, bool, error) {
 	for _, r := range rules {
 		if err := r.Validate(); err != nil {
 			return Stats{}, false, err
@@ -132,9 +148,11 @@ func EnumStableModels(db *logic.FactStore, rules []*logic.Rule, opt Options, vis
 		opt:   opt,
 		visit: visit,
 		seen:  make(map[string]bool),
+		naive: naive,
 	}
+	s.initRules()
 	st := &state{
-		A:        db.Clone(),
+		A:        db.Snapshot(),
 		mustIn:   map[string]logic.Atom{},
 		mustOut:  map[string]logic.Atom{},
 		deferred: map[string]bool{},
@@ -147,26 +165,29 @@ func EnumStableModels(db *logic.FactStore, rules []*logic.Rule, opt Options, vis
 	return s.stats, s.exhausted, err
 }
 
-// state is one node of the search: the derived atoms A, the negative
+// state is one node of the search: the derived atoms A (a copy-on-write
+// snapshot layer over the parent node's store), the negative
 // assumptions made when firing rules through their negative literals
 // (mustOut: atoms that must never be derived), the positive promises
 // made when deferring a trigger (mustIn: atoms that must eventually be
-// derived), and the set of deferred trigger keys.
+// derived), the set of deferred trigger keys, and the trigger agenda.
 type state struct {
 	A        *logic.FactStore
 	mustIn   map[string]logic.Atom
 	mustOut  map[string]logic.Atom
 	deferred map[string]bool
 	nullCtr  int
+	agenda   agenda
 }
 
 func (st *state) clone() *state {
 	c := &state{
-		A:        st.A.Clone(),
+		A:        st.A.Snapshot(),
 		mustIn:   make(map[string]logic.Atom, len(st.mustIn)),
 		mustOut:  make(map[string]logic.Atom, len(st.mustOut)),
 		deferred: make(map[string]bool, len(st.deferred)),
 		nullCtr:  st.nullCtr,
+		agenda:   st.agenda.clone(),
 	}
 	for k, v := range st.mustIn {
 		c.mustIn[k] = v
@@ -180,6 +201,33 @@ func (st *state) clone() *state {
 	return c
 }
 
+// agenda is the per-state queue of candidate triggers. It is seeded
+// once from the root (scanned = 0 forces a full sweep) and thereafter
+// refreshed from store deltas only: atoms with index >= scanned have
+// not yet been swept for new triggers. Because snapshot layers keep
+// store indices global, both the queues and the high-water mark remain
+// valid across state.clone — a child only ever sweeps its own delta.
+// Entries are re-validated when popped (see triggerActive); triggers
+// are shared immutably between states, so cloning copies two pointer
+// slices.
+type agenda struct {
+	det     []*trigger // deterministic triggers, in discovery order
+	ndet    []*trigger // branching triggers, in discovery order
+	scanned int        // store length already swept for triggers
+	seeded  bool       // the root full sweep has run (scanned alone
+	// cannot encode this: an empty database also has scanned == 0, yet
+	// rules with empty positive bodies still need the root sweep)
+}
+
+func (a agenda) clone() agenda {
+	return agenda{
+		det:     append([]*trigger(nil), a.det...),
+		ndet:    append([]*trigger(nil), a.ndet...),
+		scanned: a.scanned,
+		seeded:  a.seeded,
+	}
+}
+
 type searcher struct {
 	rules     []*logic.Rule
 	db        *logic.FactStore
@@ -189,41 +237,204 @@ type searcher struct {
 	seen      map[string]bool
 	stopped   bool
 	exhausted bool
+	// naive switches trigger detection to the full-rescan oracle
+	// (findTriggerNaive); used by the differential tests only.
+	naive bool
+	// ruleDet[i] reports whether rules[i] fires without branching:
+	// single disjunct, no negation, no existential head variables.
+	ruleDet []bool
+	// ruleVars[i] is the sorted list of positive-body variables of
+	// rules[i] — exactly the domain of its trigger homomorphisms — used
+	// to build compact trigger keys.
+	ruleVars [][]string
+	keyBuf   []byte // reused by triggerKey
+}
+
+// initRules precomputes the per-rule facts the hot trigger paths need.
+func (s *searcher) initRules() {
+	s.ruleDet = make([]bool, len(s.rules))
+	s.ruleVars = make([][]string, len(s.rules))
+	for i, r := range s.rules {
+		// A rule needs no branching when it has a single disjunct, no
+		// negation, and no existential head variables — or when it is a
+		// negation-free constraint, whose only effect is to kill the
+		// branch (a constraint with negation still branches: it can be
+		// deferred through its negative literals).
+		if r.IsConstraint() {
+			s.ruleDet[i] = !r.HasNegation()
+		} else {
+			s.ruleDet[i] = len(r.Heads) == 1 && !r.HasNegation() && len(r.ExistVars(0)) == 0
+		}
+		vars := make([]string, 0, 4)
+		for v := range r.PosBodyVars() {
+			vars = append(vars, v)
+		}
+		sort.Strings(vars)
+		s.ruleVars[i] = vars
+	}
 }
 
 // trigger is an active trigger: a rule, a homomorphism of its positive
 // body into A whose negative body instances are absent from A, such
 // that no head disjunct is satisfied and the trigger has not been
-// deferred.
+// deferred. Triggers are immutable once enqueued (states share them).
 type trigger struct {
-	rule *logic.Rule
-	hom  logic.Subst
+	rule    *logic.Rule
+	ruleIdx int
+	hom     logic.Subst
+	key     string // compact identity, filled lazily by triggerKey
 }
 
-func (t *trigger) key() string { return t.rule.Label + "|" + t.hom.String() }
+// triggerKey returns a compact identity for the trigger: the rule index
+// followed by the canonical keys of the homomorphism's bindings in the
+// rule's fixed variable order, assembled in a reused buffer. It
+// replaces the old Label + "|" + hom.String() key, which sorted the
+// variable names and rendered every term per call.
+func (s *searcher) triggerKey(t *trigger) string {
+	if t.key == "" {
+		buf := strconv.AppendInt(s.keyBuf[:0], int64(t.ruleIdx), 10)
+		for _, v := range s.ruleVars[t.ruleIdx] {
+			buf = append(buf, '|')
+			buf = t.hom[v].AppendKey(buf)
+		}
+		s.keyBuf = buf
+		t.key = string(buf)
+	}
+	return t.key
+}
 
 // deterministic reports whether handling the trigger requires no
-// branching: single disjunct, no negative body literals, no
-// existential head variables.
-func (t *trigger) deterministic() bool {
-	return len(t.rule.Heads) == 1 && !t.rule.HasNegation() && len(t.rule.ExistVars(0)) == 0
-}
+// branching.
+func (s *searcher) deterministic(t *trigger) bool { return s.ruleDet[t.ruleIdx] }
 
-// findTrigger returns an active trigger, preferring deterministic ones.
-func (s *searcher) findTrigger(st *state) *trigger {
-	var firstAny *trigger
-	for _, r := range s.rules {
-		rule := r
-		var found *trigger
-		logic.FindHoms(rule.PosBody(), rule.NegBody(), st.A, logic.Subst{}, func(h logic.Subst) bool {
+// refreshAgenda sweeps the store delta (atoms with index >= scanned)
+// for new triggers of every rule and appends them to the state's
+// queues. FindHomsFrom enumerates exactly the body homomorphisms using
+// at least one delta atom, so across the life of a state each candidate
+// trigger is discovered once: a homomorphism lying entirely in old
+// atoms was enqueued (or filtered) by an earlier sweep of this state or
+// an ancestor, and the filters — a satisfied head disjunct, a negative
+// body instance already derived, a deferral — are all permanent along a
+// branch because the store and the deferral set only grow.
+func (s *searcher) refreshAgenda(st *state) {
+	n := st.A.Len()
+	if st.agenda.seeded && st.agenda.scanned >= n {
+		return
+	}
+	from := st.agenda.scanned
+	st.agenda.seeded = true
+	for i, r := range s.rules {
+		rule, idx := r, i
+		logic.FindHomsFrom(rule.PosBody(), rule.NegBody(), st.A, from, logic.Subst{}, func(h logic.Subst) bool {
 			// Satisfied heads need no action.
-			for i := range rule.Heads {
-				if logic.ExistsHom(rule.Heads[i], nil, st.A, h) {
+			for d := range rule.Heads {
+				if logic.ExistsHom(rule.Heads[d], nil, st.A, h) {
 					return true
 				}
 			}
-			t := &trigger{rule: rule, hom: h.Clone()}
-			if st.deferred[t.key()] {
+			t := &trigger{rule: rule, ruleIdx: idx, hom: h.Clone()}
+			if len(st.deferred) > 0 && st.deferred[s.triggerKey(t)] {
+				return true
+			}
+			if s.ruleDet[idx] {
+				st.agenda.det = append(st.agenda.det, t)
+			} else {
+				st.agenda.ndet = append(st.agenda.ndet, t)
+			}
+			return true
+		})
+	}
+	st.agenda.scanned = n
+}
+
+// triggerActive re-validates an agenda entry at pop time: since its
+// discovery the trigger may have been retired — a head disjunct
+// satisfied by later additions, a negative body instance derived, or
+// the trigger deferred. All three conditions are monotone along a
+// branch, so an inactive entry is dropped permanently.
+func (s *searcher) triggerActive(st *state, t *trigger) bool {
+	if len(st.deferred) > 0 && st.deferred[s.triggerKey(t)] {
+		return false
+	}
+	for _, n := range t.rule.NegBody() {
+		if st.A.HasUnder(t.hom, n) {
+			return false
+		}
+	}
+	for i := range t.rule.Heads {
+		if logic.ExistsHom(t.rule.Heads[i], nil, st.A, t.hom) {
+			return false
+		}
+	}
+	return true
+}
+
+// nextTrigger returns the next active trigger and removes it from the
+// state's agenda, preferring deterministic triggers; nil means the
+// state reached a fixpoint. In naive mode it delegates to the
+// full-rescan oracle instead.
+//
+// Deterministic triggers pop in discovery order: the deterministic
+// closure is confluent (monotone additions, no branching), so their
+// order cannot change the fixpoint. Branching triggers are selected by
+// lowest rule index first (ties broken by discovery order), matching
+// the oracle's rule-order scan — branching order is not neutral,
+// because witness pools are drawn from the domain at branch time, so a
+// different trigger order can reach a different (equally sound) subset
+// of the stable models.
+func (s *searcher) nextTrigger(st *state) *trigger {
+	if s.naive {
+		return s.findTriggerNaive(st)
+	}
+	s.refreshAgenda(st)
+	ag := &st.agenda
+	for len(ag.det) > 0 {
+		t := ag.det[0]
+		ag.det = ag.det[1:]
+		if s.triggerActive(st, t) {
+			return t
+		}
+	}
+	best := -1
+	for i := 0; i < len(ag.ndet); {
+		t := ag.ndet[i]
+		if best >= 0 && t.ruleIdx >= ag.ndet[best].ruleIdx {
+			i++ // cannot beat the current pick; leave unvalidated
+			continue
+		}
+		if !s.triggerActive(st, t) {
+			ag.ndet = append(ag.ndet[:i], ag.ndet[i+1:]...)
+			continue // retired permanently (monotone conditions)
+		}
+		best = i
+		i++
+	}
+	if best < 0 {
+		return nil
+	}
+	t := ag.ndet[best]
+	ag.ndet = append(ag.ndet[:best], ag.ndet[best+1:]...)
+	return t
+}
+
+// findTriggerNaive is the pre-agenda trigger detection, kept verbatim
+// as the differential-test oracle: it re-runs a full homomorphism sweep
+// of every rule against the whole store on every call, preferring
+// deterministic triggers.
+func (s *searcher) findTriggerNaive(st *state) *trigger {
+	var firstAny *trigger
+	for i, r := range s.rules {
+		rule, idx := r, i
+		var found *trigger
+		logic.FindHoms(rule.PosBody(), rule.NegBody(), st.A, logic.Subst{}, func(h logic.Subst) bool {
+			// Satisfied heads need no action.
+			for d := range rule.Heads {
+				if logic.ExistsHom(rule.Heads[d], nil, st.A, h) {
+					return true
+				}
+			}
+			t := &trigger{rule: rule, ruleIdx: idx, hom: h.Clone()}
+			if len(st.deferred) > 0 && st.deferred[s.triggerKey(t)] {
 				return true
 			}
 			found = t
@@ -232,7 +443,7 @@ func (s *searcher) findTrigger(st *state) *trigger {
 		if found == nil {
 			continue
 		}
-		if found.deterministic() {
+		if s.deterministic(found) {
 			return found
 		}
 		if firstAny == nil {
@@ -252,11 +463,11 @@ func (s *searcher) dfs(st *state) bool {
 	}
 	// Deterministic closure: fire forced triggers without branching.
 	for {
-		t := s.findTrigger(st)
+		t := s.nextTrigger(st)
 		if t == nil {
 			return s.complete(st)
 		}
-		if !t.deterministic() {
+		if !s.deterministic(t) {
 			return s.branch(st, t)
 		}
 		s.stats.Deterministic++
@@ -273,7 +484,7 @@ func (s *searcher) branch(st *state, t *trigger) bool {
 	s.stats.Branches++
 	for i := range t.rule.Heads {
 		exist := t.rule.ExistVars(i)
-		for _, mu := range s.witnessTuples(st, t, exist) {
+		for _, mu := range s.witnessTuples(st, exist) {
 			child := st.clone()
 			full := t.hom.Clone()
 			// Materialize witness terms, turning fresh placeholders
@@ -315,7 +526,7 @@ func (s *searcher) branch(st *state, t *trigger) bool {
 			continue
 		}
 		child.mustIn[k] = g
-		child.deferred[t.key()] = true
+		child.deferred[s.triggerKey(t)] = true
 		if !s.dfs(child) {
 			return false
 		}
@@ -329,7 +540,7 @@ func (s *searcher) branch(st *state, t *trigger) bool {
 // only if placeholder j appears earlier), or a single all-fresh tuple
 // under WitnessFreshOnly. The returned substitutions map existential
 // variables to terms; fresh placeholders are variables named $f<i>.
-func (s *searcher) witnessTuples(st *state, t *trigger, exist []string) []logic.Subst {
+func (s *searcher) witnessTuples(st *state, exist []string) []logic.Subst {
 	if len(exist) == 0 {
 		return []logic.Subst{{}}
 	}
@@ -340,10 +551,18 @@ func (s *searcher) witnessTuples(st *state, t *trigger, exist []string) []logic.
 		}
 		return []logic.Subst{mu}
 	}
+	// The pool is the store's incrementally maintained term set; extra
+	// constants are deduplicated by one domain lookup each instead of a
+	// scan of the pool (plus a scan of the few extras appended so far,
+	// in case ExtraConstants itself repeats a term).
 	pool := st.A.Domain()
+	nDom := len(pool)
 	for _, c := range s.opt.ExtraConstants {
+		if st.A.HasDomainTerm(c) {
+			continue
+		}
 		dup := false
-		for _, p := range pool {
+		for _, p := range pool[nDom:] {
 			if p.Equal(c) {
 				dup = true
 				break

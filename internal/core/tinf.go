@@ -57,7 +57,7 @@ func immediateConsequencesFrom(s *logic.FactStore, rules []*logic.Rule, oracle *
 // semi-naively: each round seeds body homomorphisms from the atoms
 // added in the previous round only.
 func TInfinity(db *logic.FactStore, rules []*logic.Rule, oracle *logic.FactStore) *logic.FactStore {
-	s := db.Clone()
+	s := db.Snapshot()
 	for from := 0; ; {
 		mark := s.Len()
 		added := 0

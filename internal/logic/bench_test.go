@@ -134,3 +134,48 @@ func BenchmarkModelCheck(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkDomain pins the incrementally maintained domain: the store
+// has 128x more atoms than domain terms, so a regression to walking
+// every atom per call shows up immediately.
+func BenchmarkDomain(b *testing.B) {
+	s := NewFactStore()
+	for i := 0; i < 8192; i++ {
+		s.Add(A("e", C(fmt.Sprintf("c%d", i%64)), C(fmt.Sprintf("c%d", (i/64)%64))))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if d := s.Domain(); len(d) != 64 {
+			b.Fatalf("domain = %d, want 64", len(d))
+		}
+	}
+}
+
+// BenchmarkStoreBranch compares the two ways to branch a store: a
+// copy-on-write snapshot plus one write versus a deep clone plus one
+// write — the operation the stable-model search performs at every
+// branch child.
+func BenchmarkStoreBranch(b *testing.B) {
+	s := benchStore(4096)
+	extra := A("edge", C("x"), C("y"))
+	b.Run("snapshot", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c := s.Snapshot()
+			c.Add(extra)
+			if c.Len() != 4097 {
+				b.Fatal("bad branch")
+			}
+		}
+	})
+	b.Run("clone", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c := s.Clone()
+			c.Add(extra)
+			if c.Len() != 4097 {
+				b.Fatal("bad branch")
+			}
+		}
+	})
+}

@@ -152,19 +152,16 @@ func orderPatsFrom(pats []pat, at int, init Subst, store *FactStore) {
 }
 
 // candidateEstimate upper-bounds the number of candidate facts for the
-// pattern: the predicate count, clipped by the window, improved by the
+// pattern: the predicate count within the window, improved by the
 // posting list of any argument already ground under init.
 func candidateEstimate(p pat, init Subst, store *FactStore) int {
-	est := store.CountPred(p.atom.Pred)
-	if w := p.hi - p.lo; w < est {
-		est = w
-	}
+	est := store.countPredWindow(p.atom.Pred, p.lo, p.hi)
 	for i, t := range p.atom.Args {
 		g := init.ApplyTerm(t)
 		if !g.IsGround() {
 			continue
 		}
-		if n := len(store.postings(p.atom.Pred, i, g.Key())); n < est {
+		if n := store.postingsCount(p.atom.Pred, i, g.Key(), p.lo, p.hi); n < est {
 			est = n
 		}
 	}
@@ -213,7 +210,7 @@ func (hs *homSearch) extend(i int, h Subst) bool {
 	trail := hs.trails[i][:0]
 	for _, idx := range cands {
 		trail = trail[:0]
-		if matchAtomTrail(h, p.atom, hs.store.atoms[idx], &trail) {
+		if matchAtomTrail(h, p.atom, hs.store.atomAt(idx), &trail) {
 			if !hs.extend(i+1, h) {
 				undo(h, trail)
 				hs.trails[i] = trail
@@ -230,8 +227,12 @@ func (hs *homSearch) extend(i int, h Subst) bool {
 // the posting lists of all argument positions ground under h,
 // intersected in place into the depth's scratch buffer (smallest list
 // first), clipped to the pattern's window; with no ground position it
-// falls back to the per-predicate index.
+// falls back to the per-predicate index. Snapshot layers take a merged
+// path instead (see candidatesLayered).
 func (hs *homSearch) candidates(depth int, p pat, h Subst) []int {
+	if hs.store.parent != nil {
+		return hs.candidatesLayered(depth, p, h)
+	}
 	var listsBuf [4][]int
 	lists := listsBuf[:0]
 	for i, t := range p.atom.Args {
@@ -268,6 +269,46 @@ func (hs *homSearch) candidates(depth int, p pat, h Subst) []int {
 	return buf
 }
 
+// candidatesLayered is the snapshot-chain variant of candidates:
+// posting lists are split across layers, so instead of intersecting
+// shared slices it materializes only the most selective list (the
+// per-predicate index or one ground position's postings) into the
+// depth's scratch buffer; matchAtomTrail filters the remaining
+// positions.
+func (hs *homSearch) candidatesLayered(depth int, p pat, h Subst) []int {
+	st := hs.store
+	bestPos, bestKey := -1, ""
+	bestCount := st.countPredWindow(p.atom.Pred, p.lo, p.hi)
+	if bestCount == 0 {
+		return nil
+	}
+	for i, t := range p.atom.Args {
+		g := t
+		if !t.IsGround() {
+			g = h.ApplyTerm(t)
+			if !g.IsGround() {
+				continue
+			}
+		}
+		k := g.Key()
+		n := st.postingsCount(p.atom.Pred, i, k, p.lo, p.hi)
+		if n == 0 {
+			return nil
+		}
+		if n < bestCount {
+			bestCount, bestPos, bestKey = n, i, k
+		}
+	}
+	buf := hs.scratch[depth][:0]
+	if bestPos < 0 {
+		buf = st.appendPredIndices(p.atom.Pred, p.lo, p.hi, buf)
+	} else {
+		buf = st.appendPostings(p.atom.Pred, bestPos, bestKey, p.lo, p.hi, buf)
+	}
+	hs.scratch[depth] = buf
+	return buf
+}
+
 // atomBoundUnder reports whether every variable of a is bound to a
 // ground term under h, i.e. whether h(a) is ground. It allocates
 // nothing and exits on the first unbound variable.
@@ -295,6 +336,18 @@ func termBoundUnder(h Subst, t Term) bool {
 	default:
 		return true
 	}
+}
+
+// HasUnder reports whether h(a) is in the store, where a is expected to
+// be ground under h; an atom left non-ground reports false, matching
+// the bound-instances-only reading of negative literals in FindHoms. It
+// allocates nothing beyond the probe key.
+func (s *FactStore) HasUnder(h Subst, a Atom) bool {
+	if !atomBoundUnder(h, a) {
+		return false
+	}
+	_, ok := s.lookupKey(boundAtomKey(h, a))
+	return ok
 }
 
 // boundAtomKey renders the canonical key of h(a) without materializing

@@ -1,6 +1,7 @@
 package logic
 
 import (
+	"math"
 	"sort"
 	"strings"
 )
@@ -13,11 +14,28 @@ import (
 // rank), which the semi-naive evaluation layers use to address deltas
 // as index windows. The zero value is not ready to use; call
 // NewFactStore.
+//
+// A store may be a copy-on-write snapshot layer (see Snapshot): it then
+// holds a pointer to its parent chain plus only its own additions, and
+// every read merges the layers transparently. Store indices are global
+// across a chain — a layer's first own atom has index base — so delta
+// windows taken against a parent remain valid against its snapshots.
 type FactStore struct {
-	byKey  map[string]int // atom key -> index into atoms
-	byPred map[string][]int
+	// parent is the layer below in a copy-on-write snapshot chain; nil
+	// for a root store. This layer sees exactly the first base atoms of
+	// the parent chain (the parent's length when Snapshot was taken),
+	// so the parent may keep growing without affecting snapshots taken
+	// earlier: ancestor entries with index >= base are simply invisible
+	// here.
+	parent *FactStore
+	base   int // number of ancestor atoms visible to this layer
+	depth  int // number of ancestors, bounded by maxSnapshotDepth
+
+	byKey  map[string]int   // atom key -> store index (this layer's atoms only)
+	byPred map[string][]int // this layer's indices per predicate, ascending
 	byArg  map[argKey][]int // posting lists, ascending store indices
-	atoms  []Atom
+	dom    map[string]domEntry
+	atoms  []Atom // this layer's atoms; local offset i has store index base+i
 }
 
 // argKey addresses one posting list: all atoms with predicate pred
@@ -28,12 +46,27 @@ type argKey struct {
 	term string
 }
 
-// NewFactStore returns an empty store.
+// domEntry records one constant or null of the store's domain together
+// with the store index of the atom that introduced it, so a snapshot
+// layer can decide whether an ancestor's entry falls inside its view.
+type domEntry struct {
+	term Term
+	idx  int
+}
+
+// maxSnapshotDepth bounds the length of a snapshot chain: Snapshot
+// flattens into a fresh root once the chain would exceed it, so chain
+// walks stay O(1) amortized while branch-heavy users (the stable model
+// search) still share almost all layers.
+const maxSnapshotDepth = 32
+
+// NewFactStore returns an empty root store.
 func NewFactStore() *FactStore {
 	return &FactStore{
 		byKey:  make(map[string]int),
 		byPred: make(map[string][]int),
 		byArg:  make(map[argKey][]int),
+		dom:    make(map[string]domEntry),
 	}
 }
 
@@ -46,22 +79,146 @@ func StoreOf(atoms ...Atom) *FactStore {
 	return s
 }
 
+// Snapshot returns a copy-on-write child of s: the child sees every
+// atom s contains right now plus its own later additions, and writes to
+// the child never affect s. Both stores remain fully usable afterwards
+// — s may keep growing independently; the child's view of s stays
+// frozen at the snapshot length. Taking a snapshot is O(1) (layers that
+// never grew are collapsed away; a chain deeper than maxSnapshotDepth
+// is flattened into a fresh root, costing one deep copy).
+func (s *FactStore) Snapshot() *FactStore {
+	base := s.Len()
+	parent := s
+	// A layer that never grew contributes nothing: snapshot its parent
+	// instead, keeping chains short across write-free generations.
+	for parent.parent != nil && len(parent.atoms) == 0 {
+		parent = parent.parent
+	}
+	if parent.depth+1 > maxSnapshotDepth {
+		return s.flatten(base)
+	}
+	// Index maps are materialized lazily on the first Add, so snapshots
+	// that never write (e.g. deferral branches) cost one struct.
+	return &FactStore{parent: parent, base: base, depth: parent.depth + 1}
+}
+
+// flatten deep-copies the first bound atoms of the chain into a fresh
+// root store by merging the layers' already-materialized indices —
+// global indices carry over unchanged, so no atom or term key is ever
+// re-rendered.
+func (s *FactStore) flatten(bound int) *FactStore {
+	c := NewFactStore()
+	c.atoms = s.appendAtomsBelow(bound, make([]Atom, 0, bound))
+	var layers []*FactStore
+	var bounds []int
+	s.forEachLayer(bound, func(st *FactStore, b int) bool {
+		layers = append(layers, st)
+		bounds = append(bounds, b)
+		return true
+	})
+	// Bottom-up (root first) so merged posting lists stay ascending.
+	for i := len(layers) - 1; i >= 0; i-- {
+		st, b := layers[i], bounds[i]
+		for k, idx := range st.byKey {
+			if idx < b {
+				c.byKey[k] = idx
+			}
+		}
+		for p, idxs := range st.byPred {
+			if w := clipWindow(idxs, 0, b); len(w) > 0 {
+				c.byPred[p] = append(c.byPred[p], w...)
+			}
+		}
+		for k, idxs := range st.byArg {
+			if w := clipWindow(idxs, 0, b); len(w) > 0 {
+				c.byArg[k] = append(c.byArg[k], w...)
+			}
+		}
+		for k, e := range st.dom {
+			if e.idx < b {
+				if _, ok := c.dom[k]; !ok {
+					c.dom[k] = e
+				}
+			}
+		}
+	}
+	return c
+}
+
+// forEachLayer walks the snapshot chain from this layer toward the
+// root, invoking fn with each layer and the bound on the store indices
+// visible there: a layer's own entries count only when their index is
+// below the bound, and descending past a layer shrinks the bound to its
+// base. Every chain-merging read goes through this iterator so the
+// check-before-shrink invariant lives in one place. fn returning false
+// stops the walk.
+func (s *FactStore) forEachLayer(bound int, fn func(st *FactStore, bound int) bool) {
+	for st := s; st != nil; st = st.parent {
+		if !fn(st, bound) {
+			return
+		}
+		if st.base < bound {
+			bound = st.base
+		}
+	}
+}
+
 // Add inserts the atom, reporting whether it was new.
 func (s *FactStore) Add(a Atom) bool {
 	k := a.Key()
-	if _, ok := s.byKey[k]; ok {
+	if _, ok := s.lookupKey(k); ok {
 		return false
 	}
-	idx := len(s.atoms)
+	if s.byKey == nil {
+		s.byKey = make(map[string]int)
+		s.byPred = make(map[string][]int)
+		s.byArg = make(map[argKey][]int)
+		s.dom = make(map[string]domEntry)
+	}
+	idx := s.Len()
 	s.atoms = append(s.atoms, a)
 	s.byKey[k] = idx
 	s.byPred[a.Pred] = append(s.byPred[a.Pred], idx)
 	for i, t := range a.Args {
 		ak := argKey{pred: a.Pred, pos: i, term: t.Key()}
 		s.byArg[ak] = append(s.byArg[ak], idx)
+		s.addDomainTerms(t, idx)
 	}
 	return true
 }
+
+// addDomainTerms records the constants and nulls of t (recursing into
+// function terms) that are not yet visible in the store's domain,
+// keeping Domain incremental instead of re-walking all atoms per call.
+func (s *FactStore) addDomainTerms(t Term, idx int) {
+	switch t.Kind {
+	case Const, Null:
+		k := t.Key()
+		if !s.hasDomainKey(k) {
+			s.dom[k] = domEntry{term: t, idx: idx}
+		}
+	case Func:
+		for _, a := range t.Args {
+			s.addDomainTerms(a, idx)
+		}
+	}
+}
+
+func (s *FactStore) hasDomainKey(key string) bool {
+	found := false
+	s.forEachLayer(math.MaxInt, func(st *FactStore, bound int) bool {
+		if e, ok := st.dom[key]; ok && e.idx < bound {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// HasDomainTerm reports whether the ground term occurs in the store's
+// domain (see Domain), in O(chain) map probes.
+func (s *FactStore) HasDomainTerm(t Term) bool { return s.hasDomainKey(t.Key()) }
 
 // AddAll inserts every atom, returning the number that were new.
 func (s *FactStore) AddAll(atoms []Atom) int {
@@ -74,78 +231,221 @@ func (s *FactStore) AddAll(atoms []Atom) int {
 	return n
 }
 
+// lookupKey resolves an atom key through the snapshot chain: each
+// layer's own entries are consulted under the visibility bound imposed
+// by the layers above it.
+func (s *FactStore) lookupKey(key string) (int, bool) {
+	found, foundIdx := false, 0
+	s.forEachLayer(math.MaxInt, func(st *FactStore, bound int) bool {
+		if idx, ok := st.byKey[key]; ok && idx < bound {
+			found, foundIdx = true, idx
+			return false
+		}
+		return true
+	})
+	return foundIdx, found
+}
+
 // Has reports whether the atom is in the store.
 func (s *FactStore) Has(a Atom) bool {
-	_, ok := s.byKey[a.Key()]
+	_, ok := s.lookupKey(a.Key())
 	return ok
 }
 
 // HasKey reports whether an atom with the given canonical key is in the
 // store.
 func (s *FactStore) HasKey(key string) bool {
-	_, ok := s.byKey[key]
+	_, ok := s.lookupKey(key)
 	return ok
 }
 
 // indexOfKey returns the store index of the atom with the given
 // canonical key, if present.
 func (s *FactStore) indexOfKey(key string) (int, bool) {
-	idx, ok := s.byKey[key]
-	return idx, ok
+	return s.lookupKey(key)
 }
 
 // Len returns the number of atoms.
-func (s *FactStore) Len() int { return len(s.atoms) }
+func (s *FactStore) Len() int { return s.base + len(s.atoms) }
 
-// Atoms returns the atoms in insertion order. The returned slice is
-// shared with the store and must not be modified.
-func (s *FactStore) Atoms() []Atom { return s.atoms }
+// Atoms returns the atoms in insertion order. For a root store the
+// returned slice is shared with the store and must not be modified; a
+// snapshot layer materializes a fresh slice.
+func (s *FactStore) Atoms() []Atom {
+	if s.parent == nil {
+		return s.atoms
+	}
+	return s.appendAtomsBelow(s.Len(), make([]Atom, 0, s.Len()))
+}
+
+// appendAtomsBelow appends the atoms with store index < bound onto buf,
+// in index order.
+func (s *FactStore) appendAtomsBelow(bound int, buf []Atom) []Atom {
+	if s.parent != nil {
+		pb := bound
+		if s.base < pb {
+			pb = s.base
+		}
+		buf = s.parent.appendAtomsBelow(pb, buf)
+	}
+	if n := bound - s.base; n > 0 {
+		if n > len(s.atoms) {
+			n = len(s.atoms)
+		}
+		buf = append(buf, s.atoms[:n]...)
+	}
+	return buf
+}
 
 // ByPred returns the atoms with the given predicate, in insertion
 // order.
 func (s *FactStore) ByPred(pred string) []Atom {
-	idxs := s.byPred[pred]
+	if s.parent == nil {
+		idxs := s.byPred[pred]
+		out := make([]Atom, len(idxs))
+		for i, idx := range idxs {
+			out[i] = s.atoms[idx]
+		}
+		return out
+	}
+	idxs := s.appendPredIndices(pred, 0, s.Len(), nil)
 	out := make([]Atom, len(idxs))
 	for i, idx := range idxs {
-		out[i] = s.atoms[idx]
+		out[i] = s.atomAt(idx)
 	}
 	return out
 }
 
 // CountPred returns the number of atoms with the given predicate.
-func (s *FactStore) CountPred(pred string) int { return len(s.byPred[pred]) }
+func (s *FactStore) CountPred(pred string) int {
+	if s.parent == nil {
+		return len(s.byPred[pred])
+	}
+	return s.countPredWindow(pred, 0, s.Len())
+}
+
+// countPredWindow returns the number of atoms with the given predicate
+// whose store index lies in [lo, hi).
+func (s *FactStore) countPredWindow(pred string, lo, hi int) int {
+	n := 0
+	s.forEachLayer(hi, func(st *FactStore, bound int) bool {
+		if bound <= lo {
+			return false
+		}
+		n += len(clipWindow(st.byPred[pred], lo, bound))
+		return true
+	})
+	return n
+}
 
 // AtomAt returns the atom with the given store index (insertion rank).
-func (s *FactStore) AtomAt(i int) Atom { return s.atoms[i] }
+func (s *FactStore) AtomAt(i int) Atom { return s.atomAt(i) }
+
+func (s *FactStore) atomAt(i int) Atom {
+	st := s
+	for i < st.base {
+		st = st.parent
+	}
+	return st.atoms[i-st.base]
+}
 
 // predIndices returns the store indices of atoms with the given
 // predicate, ascending. Shared with the store: callers must not modify.
+// Valid only for root stores; snapshot layers use appendPredIndices.
 func (s *FactStore) predIndices(pred string) []int { return s.byPred[pred] }
+
+// appendPredIndices appends the store indices of atoms with the given
+// predicate in [lo, hi) onto buf, ascending.
+func (s *FactStore) appendPredIndices(pred string, lo, hi int, buf []int) []int {
+	if s.parent != nil {
+		ph := hi
+		if s.base < ph {
+			ph = s.base
+		}
+		buf = s.parent.appendPredIndices(pred, lo, ph, buf)
+	}
+	return append(buf, clipWindow(s.byPred[pred], lo, hi)...)
+}
 
 // postings returns the store indices of atoms with predicate pred whose
 // argument at 0-based position pos equals the term with the given
-// canonical key, ascending. Shared with the store: callers must not
-// modify. A nil result means no atom matches.
+// canonical key, ascending. For a root store the result is shared with
+// the store and must not be modified (a nil result means no atom
+// matches); a snapshot layer materializes the merged list.
 func (s *FactStore) postings(pred string, pos int, termKey string) []int {
-	return s.byArg[argKey{pred: pred, pos: pos, term: termKey}]
+	if s.parent == nil {
+		return s.byArg[argKey{pred: pred, pos: pos, term: termKey}]
+	}
+	return s.appendPostings(pred, pos, termKey, 0, s.Len(), nil)
+}
+
+// appendPostings appends the posting-list entries in [lo, hi) onto buf,
+// ascending across the snapshot chain (ancestor indices always precede
+// this layer's own).
+func (s *FactStore) appendPostings(pred string, pos int, termKey string, lo, hi int, buf []int) []int {
+	if s.parent != nil {
+		ph := hi
+		if s.base < ph {
+			ph = s.base
+		}
+		buf = s.parent.appendPostings(pred, pos, termKey, lo, ph, buf)
+	}
+	return append(buf, clipWindow(s.byArg[argKey{pred: pred, pos: pos, term: termKey}], lo, hi)...)
+}
+
+// postingsCount returns the number of posting-list entries for
+// (pred, pos, termKey) with store index in [lo, hi).
+func (s *FactStore) postingsCount(pred string, pos int, termKey string, lo, hi int) int {
+	n := 0
+	s.forEachLayer(hi, func(st *FactStore, bound int) bool {
+		if bound <= lo {
+			return false
+		}
+		n += len(clipWindow(st.byArg[argKey{pred: pred, pos: pos, term: termKey}], lo, bound))
+		return true
+	})
+	return n
 }
 
 // Preds returns the sorted list of predicates occurring in the store.
 func (s *FactStore) Preds() []string {
-	out := make([]string, 0, len(s.byPred))
-	for p := range s.byPred {
+	if s.parent == nil {
+		out := make([]string, 0, len(s.byPred))
+		for p := range s.byPred {
+			out = append(out, p)
+		}
+		sort.Strings(out)
+		return out
+	}
+	set := make(map[string]bool)
+	s.forEachLayer(s.Len(), func(st *FactStore, bound int) bool {
+		for p, idxs := range st.byPred {
+			if !set[p] && len(clipWindow(idxs, 0, bound)) > 0 {
+				set[p] = true
+			}
+		}
+		return true
+	})
+	out := make([]string, 0, len(set))
+	for p := range set {
 		out = append(out, p)
 	}
 	sort.Strings(out)
 	return out
 }
 
-// Clone returns a deep-enough copy (atoms are immutable and shared).
+// Clone returns a deep, independent copy (atoms are immutable and
+// shared). The copy is always a root store, even when s is a snapshot
+// layer; use Snapshot for an O(1) copy-on-write child instead.
 func (s *FactStore) Clone() *FactStore {
+	if s.parent != nil {
+		return s.flatten(s.Len())
+	}
 	c := &FactStore{
 		byKey:  make(map[string]int, len(s.byKey)),
 		byPred: make(map[string][]int, len(s.byPred)),
 		byArg:  make(map[argKey][]int, len(s.byArg)),
+		dom:    make(map[string]domEntry, len(s.dom)),
 		atoms:  make([]Atom, len(s.atoms)),
 	}
 	copy(c.atoms, s.atoms)
@@ -158,46 +458,68 @@ func (s *FactStore) Clone() *FactStore {
 	for k, idxs := range s.byArg {
 		c.byArg[k] = append([]int(nil), idxs...)
 	}
+	for k, e := range s.dom {
+		c.dom[k] = e
+	}
 	return c
 }
 
 // Domain returns the set of constants and nulls occurring in the store
-// (recursing into function terms), sorted by canonical key.
+// (recursing into function terms), sorted by canonical key. The set is
+// maintained incrementally by Add, so a call costs O(domain), not
+// O(atoms).
 func (s *FactStore) Domain() []Term {
-	seen := make(map[string]Term)
-	var walk func(t Term)
-	walk = func(t Term) {
-		switch t.Kind {
-		case Const, Null:
-			seen[t.Key()] = t
-		case Func:
-			for _, a := range t.Args {
-				walk(a)
+	type entry struct {
+		key  string
+		term Term
+	}
+	seen := make(map[string]bool)
+	var entries []entry
+	s.forEachLayer(s.Len(), func(st *FactStore, bound int) bool {
+		for k, e := range st.dom {
+			if e.idx < bound && !seen[k] {
+				seen[k] = true
+				entries = append(entries, entry{key: k, term: e.term})
 			}
 		}
+		return true
+	})
+	// The map keys are already the canonical term keys: sorting by them
+	// avoids re-rendering every term per comparison.
+	sort.Slice(entries, func(i, j int) bool { return entries[i].key < entries[j].key })
+	out := make([]Term, len(entries))
+	for i, e := range entries {
+		out[i] = e.term
 	}
-	for _, a := range s.atoms {
-		for _, t := range a.Args {
-			walk(t)
-		}
-	}
-	out := make([]Term, 0, len(seen))
-	for _, t := range seen {
-		out = append(out, t)
-	}
-	SortTerms(out)
 	return out
 }
 
 // CanonicalString renders the store as a sorted comma-separated list of
 // atoms; equal sets of atoms produce equal strings.
 func (s *FactStore) CanonicalString() string {
-	keys := make([]string, 0, len(s.atoms))
-	for _, a := range s.atoms {
+	atoms := s.Atoms()
+	keys := make([]string, 0, len(atoms))
+	for _, a := range atoms {
 		keys = append(keys, a.String())
 	}
 	sort.Strings(keys)
 	return strings.Join(keys, ", ")
+}
+
+// eachKey invokes fn for every visible atom key; fn returning false
+// stops the walk (and makes eachKey return false).
+func (s *FactStore) eachKey(fn func(key string) bool) bool {
+	ok := true
+	s.forEachLayer(s.Len(), func(st *FactStore, bound int) bool {
+		for k, idx := range st.byKey {
+			if idx < bound && !fn(k) {
+				ok = false
+				return false
+			}
+		}
+		return true
+	})
+	return ok
 }
 
 // Equal reports whether two stores contain exactly the same atoms.
@@ -205,12 +527,7 @@ func (s *FactStore) Equal(o *FactStore) bool {
 	if s.Len() != o.Len() {
 		return false
 	}
-	for k := range s.byKey {
-		if !o.HasKey(k) {
-			return false
-		}
-	}
-	return true
+	return s.eachKey(o.HasKey)
 }
 
 // SubsetOf reports whether every atom of s is in o.
@@ -218,16 +535,11 @@ func (s *FactStore) SubsetOf(o *FactStore) bool {
 	if s.Len() > o.Len() {
 		return false
 	}
-	for k := range s.byKey {
-		if !o.HasKey(k) {
-			return false
-		}
-	}
-	return true
+	return s.eachKey(o.HasKey)
 }
 
 // Sorted returns the atoms sorted by canonical key (a fresh slice).
 func (s *FactStore) Sorted() []Atom {
-	out := append([]Atom(nil), s.atoms...)
+	out := append([]Atom(nil), s.Atoms()...)
 	return SortAtoms(out)
 }

@@ -181,6 +181,34 @@ func (t Term) writeKey(b *strings.Builder) {
 	}
 }
 
+// AppendKey appends the term's canonical key (see Key) to dst and
+// returns the extended slice, for callers that assemble compound keys
+// into a reused buffer without intermediate strings.
+func (t Term) AppendKey(dst []byte) []byte {
+	switch t.Kind {
+	case Const:
+		dst = append(dst, 'c')
+	case Null:
+		dst = append(dst, 'n')
+	case Var:
+		dst = append(dst, 'v')
+	case Func:
+		dst = append(dst, 'f')
+	}
+	dst = append(dst, t.Name...)
+	if t.Kind == Func {
+		dst = append(dst, '(')
+		for i, a := range t.Args {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = a.AppendKey(dst)
+		}
+		dst = append(dst, ')')
+	}
+	return dst
+}
+
 // Depth returns the nesting depth of the term: 0 for constants, nulls
 // and variables; 1 + max depth of arguments for function terms.
 func (t Term) Depth() int {

@@ -176,3 +176,25 @@ func TestSortTermsDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// TestAppendKeyMatchesKey pins the two canonical-key serializers to
+// each other: AppendKey (buffer-appending, used for compound keys like
+// the search's trigger identities) must render exactly what Key does,
+// for every term kind including nesting.
+func TestAppendKeyMatchesKey(t *testing.T) {
+	terms := []Term{
+		C("a"), C(""), N("n1"), V("X"),
+		F("f"), F("f", C("a")), F("f", C("a"), N("n2"), V("Y")),
+		F("f", F("g", F("h", C("x"), V("Z")), N("n3"))),
+	}
+	for _, tm := range terms {
+		if got, want := string(tm.AppendKey(nil)), tm.Key(); got != want {
+			t.Errorf("AppendKey(%s) = %q, Key = %q", tm, got, want)
+		}
+	}
+	// Appending must extend, not overwrite.
+	buf := []byte("prefix|")
+	if got := string(C("a").AppendKey(buf)); got != "prefix|ca" {
+		t.Errorf("AppendKey onto prefix = %q", got)
+	}
+}
