@@ -8,6 +8,7 @@ package ntgd_test
 // `go test -bench=. -benchmem`.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -446,4 +447,62 @@ func BenchmarkE16IndexedChaseScale(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkSolverReuse pins the compile-once amortization of the
+// Solver session API: N enumerations on one compiled Solver versus N
+// one-shot StableModels calls (each of which re-validates,
+// re-classifies, re-derives the chase budget, and recompiles the
+// search metadata).
+func BenchmarkSolverReuse(b *testing.B) {
+	src := ""
+	for i := 0; i < 24; i++ {
+		src += fmt.Sprintf("item(i%d).\n", i)
+	}
+	src += "item(X), not out(X) -> in(X).\nitem(X), not in(X) -> out(X).\n"
+	prog := ntgd.MustParse(src)
+	// Each enumeration stops at the first model, the session pattern of
+	// a consistency probe: the per-call cost is then dominated by what
+	// Compile can amortize (validation, classification, the
+	// chase-derived budget, the rule metadata).
+	opt := ntgd.Options{MaxModels: 1}
+	const runs = 8
+	count := func(b *testing.B, s *ntgd.Solver) {
+		n := 0
+		for _, err := range s.Models(context.Background()) {
+			if err != nil {
+				b.Fatal(err)
+			}
+			n++
+		}
+		if n != 1 {
+			b.Fatalf("models = %d, want 1", n)
+		}
+	}
+	b.Run("compiled-once", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s, err := ntgd.Compile(prog, ntgd.CompileOptions{Options: opt})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for r := 0; r < runs; r++ {
+				count(b, s)
+			}
+		}
+	})
+	b.Run("one-shot", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for r := 0; r < runs; r++ {
+				res, err := ntgd.StableModels(prog, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Models) != 1 {
+					b.Fatalf("models = %d, want 1", len(res.Models))
+				}
+			}
+		}
+	})
 }

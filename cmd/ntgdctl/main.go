@@ -1,8 +1,8 @@
 // Command ntgdctl is the command-line interface to the library:
 //
 //	ntgdctl classify file.ntgd          # WA / sticky / guarded report
-//	ntgdctl solve [-sem so|lp|op] [-n N] file.ntgd
-//	ntgdctl query [-sem so|lp|op] [-mode cautious|brave] file.ntgd
+//	ntgdctl solve [-sem so|lp|op] [-n N] [-timeout 5s] file.ntgd
+//	ntgdctl query [-sem so|lp|op] [-mode cautious|brave] [-timeout 5s] file.ntgd
 //	ntgdctl chase file.ntgd             # restricted chase (positive TGDs)
 //	ntgdctl ground file.ntgd            # Skolemize + ground, print program
 //	ntgdctl formula [-mm] file.ntgd     # print SM[D,Σ] (or MM[D,Σ])
@@ -12,9 +12,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"ntgd"
 	"ntgd/internal/chase"
@@ -101,26 +104,58 @@ func cmdClassify(args []string) {
 	}
 }
 
+// solveContext builds the run context from a -timeout flag value
+// (0 = no deadline).
+func solveContext(timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout > 0 {
+		return context.WithTimeout(context.Background(), timeout)
+	}
+	return context.Background(), func() {}
+}
+
+// printPartial reports a timed-out or budget-limited run's partial
+// effort on stderr.
+func printPartial(cause string, st ntgd.Stats) {
+	fmt.Fprintf(os.Stderr, "ntgdctl: %s; partial stats: nodes=%d branches=%d models=%d\n",
+		cause, st.Nodes, st.Branches, st.ModelsEmitted)
+}
+
 func cmdSolve(args []string) {
 	fs := flag.NewFlagSet("solve", flag.ExitOnError)
 	sem := fs.String("sem", "so", "semantics: so, lp, or op")
 	n := fs.Int("n", 0, "stop after N models (0 = all)")
 	maxAtoms := fs.Int("max-atoms", 0, "atom budget (0 = auto)")
+	timeout := fs.Duration("timeout", 0, "abort after this long, printing partial results (0 = none)")
 	_ = fs.Parse(args)
 	prog := loadProgram(fs)
-	res, err := ntgd.StableModelsUnder(prog, semFromFlag(*sem), ntgd.Options{
-		MaxModels: *n,
-		MaxAtoms:  *maxAtoms,
+	s, err := ntgd.Compile(prog, ntgd.CompileOptions{
+		Semantics: semFromFlag(*sem),
+		Options:   ntgd.Options{MaxModels: *n, MaxAtoms: *maxAtoms},
 	})
 	if err != nil {
 		fatal(err)
 	}
-	for i, m := range res.Models {
-		fmt.Printf("model %d: { %s }\n", i+1, m.CanonicalString())
+	ctx, cancel := solveContext(*timeout)
+	defer cancel()
+	count := 0
+	for m, err := range s.Models(ctx) {
+		if err != nil {
+			switch {
+			case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+				printPartial(fmt.Sprintf("timeout after %s", *timeout), s.Stats())
+			case errors.Is(err, ntgd.ErrBudget):
+				printPartial("search budget exhausted", s.Stats())
+			default:
+				fatal(err)
+			}
+			break
+		}
+		count++
+		fmt.Printf("model %d: { %s }\n", count, m.CanonicalString())
 	}
-	fmt.Printf("%d stable model(s)", len(res.Models))
-	if res.Exhausted {
-		fmt.Printf(" (budget exhausted: enumeration may be incomplete)")
+	fmt.Printf("%d stable model(s)", count)
+	if s.Exhausted() {
+		fmt.Printf(" (enumeration may be incomplete)")
 	}
 	fmt.Println()
 }
@@ -129,6 +164,7 @@ func cmdQuery(args []string) {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
 	sem := fs.String("sem", "so", "semantics: so, lp, or op")
 	mode := fs.String("mode", "cautious", "cautious or brave")
+	timeout := fs.Duration("timeout", 0, "abort after this long, printing partial results (0 = none)")
 	_ = fs.Parse(args)
 	prog := loadProgram(fs)
 	if len(prog.Queries) == 0 {
@@ -138,10 +174,22 @@ func cmdQuery(args []string) {
 	if *mode == "brave" {
 		m = ntgd.Brave
 	}
+	// One compiled Solver answers every query in the file.
+	s, err := ntgd.Compile(prog, ntgd.CompileOptions{Semantics: semFromFlag(*sem)})
+	if err != nil {
+		fatal(err)
+	}
+	ctx, cancel := solveContext(*timeout)
+	defer cancel()
 	for _, q := range prog.Queries {
 		if q.IsBoolean() {
-			v, err := ntgd.EntailsUnder(prog, q, m, semFromFlag(*sem), ntgd.Options{})
+			v, err := s.Entails(ctx, q, m)
 			if err != nil {
+				if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+					printPartial(fmt.Sprintf("timeout after %s", *timeout), s.Stats())
+					fmt.Printf("%s  %s: unknown (timed out)\n", q, m)
+					continue
+				}
 				fatal(err)
 			}
 			fmt.Printf("%s  %s: %v\n", q, m, v.Entailed)
@@ -150,11 +198,13 @@ func cmdQuery(args []string) {
 			}
 			continue
 		}
-		if semFromFlag(*sem) != ntgd.SO {
-			fatal(fmt.Errorf("n-ary answers are implemented for the SO semantics"))
-		}
-		tuples, complete, err := ntgd.Answers(prog, q, m, ntgd.Options{})
+		tuples, complete, err := s.Answers(ctx, q, m)
 		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+				printPartial(fmt.Sprintf("timeout after %s", *timeout), s.Stats())
+				fmt.Printf("%s  %s answers: unknown (timed out)\n", q, m)
+				continue
+			}
 			fatal(err)
 		}
 		fmt.Printf("%s  %s answers:", q, m)

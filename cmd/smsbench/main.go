@@ -15,6 +15,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -32,6 +34,7 @@ import (
 	"ntgd/internal/core"
 	"ntgd/internal/efwfs"
 	"ntgd/internal/encodings"
+	"ntgd/internal/engine"
 	"ntgd/internal/lp"
 	"ntgd/internal/qbf"
 	"ntgd/internal/soformula"
@@ -84,7 +87,13 @@ func run() (code int) {
 	runFlag := flag.String("run", "all", "comma-separated experiment ids (E1..E15) or 'all'")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	timeout := flag.Duration("timeout", 0, "abort the selected experiments after this long, printing partial stats (0 = none)")
 	flag.Parse()
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		benchCtx = ctx
+	}
 	// The heap-profile defer is registered first so that (defers being
 	// LIFO) the CPU profile has stopped before the forced GC and heap
 	// write happen — otherwise they would pollute the CPU profile's tail.
@@ -150,6 +159,82 @@ func must(err error) {
 	}
 }
 
+// benchCtx is the run context shared by every experiment: Background
+// unless -timeout installed a deadline, in which case mid-search
+// cancellation aborts the enumeration and the helpers below print the
+// partial effort instead of failing.
+var benchCtx = context.Background()
+
+func soEngine(db *ntgd.FactStore, rules []*ntgd.Rule, opt core.Options) engine.Engine {
+	c, err := core.Compile(db, rules, opt)
+	must(err)
+	return c
+}
+
+func opEngine(db *ntgd.FactStore, rules []*ntgd.Rule, opt core.Options) engine.Engine {
+	c, err := baget.Compile(db, rules, opt)
+	must(err)
+	return c
+}
+
+func lpEngine(db *ntgd.FactStore, rules []*ntgd.Rule) engine.Engine {
+	c, err := lp.Compile(db, rules, lp.Options{})
+	must(err)
+	return c
+}
+
+func ctxExpired(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
+}
+
+func reportPartial(st engine.Stats, err error) {
+	fmt.Printf("  [%v: partial results; nodes=%d models=%d]\n", err, st.Nodes, st.ModelsEmitted)
+}
+
+// checkRun reports context expiry as a partial-results note and treats
+// every other error — including budget exhaustion — as fatal: the
+// experiments are sized to complete, so a truncated enumeration would
+// silently corrupt their cross-checks. E9, which probes budgets on
+// purpose, uses modelsBudgeted instead.
+func checkRun(st engine.Stats, err error) {
+	switch {
+	case err == nil:
+	case ctxExpired(err):
+		reportPartial(st, err)
+	default:
+		must(err)
+	}
+}
+
+func cautiousCtx(e engine.Engine, q ntgd.Query) engine.QAResult {
+	res, err := engine.CautiousEntails(benchCtx, e, engine.Params{}, q)
+	checkRun(res.Stats, err)
+	return res
+}
+
+func braveCtx(e engine.Engine, q ntgd.Query) engine.QAResult {
+	res, err := engine.BraveEntails(benchCtx, e, engine.Params{}, q)
+	checkRun(res.Stats, err)
+	return res
+}
+
+func modelsCtx(e engine.Engine, maxModels int) *engine.Result {
+	res, err := engine.CollectModels(benchCtx, e, engine.Params{}, maxModels)
+	checkRun(res.Stats, err)
+	return res
+}
+
+// modelsBudgeted is modelsCtx for runs that deliberately exhaust a
+// budget (E9's divergence gadgets): ErrBudget passes through, with
+// Result.Exhausted marking the truncation.
+func modelsBudgeted(e engine.Engine, maxModels int) *engine.Result {
+	res, err := engine.CollectModels(benchCtx, e, engine.Params{}, maxModels)
+	if !errors.Is(err, engine.ErrBudget) {
+		checkRun(res.Stats, err)
+	}
+	return res
+}
+
 // E1 — Examples 1, 2, 4: the verdict matrix for the father program
 // under SO vs LP.
 func runE1() {
@@ -170,15 +255,15 @@ func runE1() {
 		{"not entailed", "not entailed"},
 	}
 	fmt.Printf("%-32s | %-14s | %-14s | paper(SO/LP)\n", "query", "SO", "LP")
+	db := prog.Database()
+	soEng := soEngine(db, prog.Rules, core.Options{})
+	lpEng := lpEngine(db, prog.Rules)
 	for i, q := range prog.Queries {
-		so, err := core.CautiousEntails(prog.Database(), prog.Rules, q, core.Options{})
-		must(err)
-		lpv, err := lp.CautiousEntails(prog.Database(), prog.Rules, q, lp.Options{})
-		must(err)
-		fmt.Printf("%-32s | %-14s | %-14s | %s/%s\n", names[i], verdict(so.Entailed), verdict(lpv), paper[i][0], paper[i][1])
+		so := cautiousCtx(soEng, q)
+		lpv := cautiousCtx(lpEng, q)
+		fmt.Printf("%-32s | %-14s | %-14s | %s/%s\n", names[i], verdict(so.Entailed), verdict(lpv.Entailed), paper[i][0], paper[i][1])
 	}
-	res, err := ntgd.StableModels(prog, ntgd.Options{})
-	must(err)
+	res := modelsCtx(soEng, 0)
 	fmt.Printf("SO stable models (no query constants): %d\n", len(res.Models))
 	for _, m := range res.Models {
 		fmt.Printf("  %s\n", m.CanonicalString())
@@ -189,11 +274,10 @@ func runE1() {
 func runE2() {
 	header("E2", "Example 2 under the operational semantics of [3]")
 	prog := ntgd.MustParse(fatherSrc + "?- person(alice), not hasFather(alice,bob).")
-	res, err := baget.CautiousEntails(prog.Database(), prog.Rules, prog.Queries[0], core.Options{})
-	must(err)
+	op := opEngine(prog.Database(), prog.Rules, core.Options{})
+	res := cautiousCtx(op, prog.Queries[0])
 	fmt.Printf("q = ¬hasFather(alice,bob): %s   (paper: unexpectedly entailed — fresh nulls only)\n", verdict(res.Entailed))
-	ms, err := baget.StableModels(prog.Database(), prog.Rules, core.Options{})
-	must(err)
+	ms := modelsCtx(op, 0)
 	for _, m := range ms.Models {
 		fmt.Printf("  operational model: %s\n", m.CanonicalString())
 	}
@@ -228,8 +312,7 @@ r(X) -> t(X).
 	j := ntgd.StoreOf(ntgd.A("p", ntgd.C("0")), ntgd.A("t", ntgd.C("0")))
 	fmt.Printf("J = {p(0), t(0)}: minimal model: %v, stable model: %v (paper: true / false)\n",
 		core.IsMinimalModel(db, prog.Rules, j), core.IsStableModel(db, prog.Rules, j))
-	res, err := core.StableModels(db, prog.Rules, core.Options{})
-	must(err)
+	res := modelsCtx(soEngine(db, prog.Rules, core.Options{}), 0)
 	fmt.Printf("stable models of (D,Σ): %d (paper: none)\n", len(res.Models))
 	fmt.Println("SM[D,Σ]:")
 	fmt.Println(indent(soformula.SM(db, prog.Rules)))
@@ -262,10 +345,8 @@ func runE6() {
 		src := randomNormalProgram(rng)
 		prog := ntgd.MustParse(src)
 		db := prog.Database()
-		lpRes, err := lp.StableModels(db, prog.Rules, lp.Options{})
-		must(err)
-		soRes, err := core.StableModels(db, prog.Rules, core.Options{})
-		must(err)
+		lpRes := modelsCtx(lpEngine(db, prog.Rules), 0)
+		soRes := modelsCtx(soEngine(db, prog.Rules, core.Options{}), 0)
 		if sameModelSets(lpRes.Models, soRes.Models) {
 			agree++
 		} else {
@@ -288,8 +369,7 @@ func runE7() {
 		src += "item(X), not out(X) -> in(X).\nitem(X), not in(X) -> out(X).\n"
 		prog := ntgd.MustParse(src)
 		start := time.Now()
-		res, err := core.StableModels(prog.Database(), prog.Rules, core.Options{})
-		must(err)
+		res := modelsCtx(soEngine(prog.Database(), prog.Rules, core.Options{}), 0)
 		fmt.Printf("%-10d %-14.2f %-14d\n", n, float64(time.Since(start).Microseconds())/1000, len(res.Models))
 	}
 	fmt.Printf("%-10s %-14s %-14s\n", "n", "chase(ms)", "atoms")
@@ -301,7 +381,11 @@ func runE7() {
 		src += "item(X) -> tagged(X,Y).\n"
 		prog := ntgd.MustParse(src)
 		start := time.Now()
-		res, err := chase.Run(prog.Database(), prog.Rules, chase.Options{})
+		res, err := chase.RunCtx(benchCtx, prog.Database(), prog.Rules, chase.Options{})
+		if ctxExpired(err) {
+			fmt.Printf("  [%v: chase aborted at %d atoms]\n", err, res.Instance.Len())
+			continue
+		}
 		must(err)
 		fmt.Printf("%-10d %-14.2f %-14d\n", n, float64(time.Since(start).Microseconds())/1000, res.Instance.Len())
 	}
@@ -326,8 +410,7 @@ func runE8() {
 		inst, err := encodings.EncodeQBF(f)
 		must(err)
 		start := time.Now()
-		res, err := core.CautiousEntails(inst.DB, inst.Rules, inst.Query, core.Options{})
-		must(err)
+		res := cautiousCtx(soEngine(inst.DB, inst.Rules, core.Options{}), inst.Query)
 		enc := !res.Entailed
 		fmt.Printf("%-34s %-8v %-10v %-10v %s\n", f, f.EvalBrute(), f.EvalSAT(), enc, time.Since(start).Round(time.Millisecond))
 	}
@@ -349,20 +432,20 @@ u(Y,Z) -> s(Z).
 	rep := classify.Classify(sticky.Rules)
 	fmt.Printf("cartesian gadget: sticky=%v weaklyAcyclic=%v (paper: sticky, not WA)\n", rep.Sticky, rep.WeaklyAcyclic)
 	for _, budget := range []int{16, 32, 64} {
-		res, _ := core.StableModels(sticky.Database(), sticky.Rules, core.Options{
-			MaxAtoms: budget, MaxNodes: 1 << 20, MaxModels: 1,
+		res := modelsBudgeted(soEngine(sticky.Database(), sticky.Rules, core.Options{
+			MaxAtoms: budget, MaxNodes: 1 << 20,
 			WitnessPolicy: core.WitnessFreshOnly,
-		})
+		}), 1)
 		fmt.Printf("  fresh-only, atom budget %2d: exhausted=%v nodes=%d\n", budget, res.Exhausted, res.Stats.Nodes)
 	}
 	guarded := ntgd.MustParse(`g(a,b). g(X,Y), not stop(Y) -> g(Y,Z).`)
 	grep := classify.Classify(guarded.Rules)
 	fmt.Printf("growing-guard gadget: guarded=%v weaklyAcyclic=%v (paper: guarded, not WA)\n", grep.Guarded, grep.WeaklyAcyclic)
 	for _, budget := range []int{16, 32, 64} {
-		res, _ := core.StableModels(guarded.Database(), guarded.Rules, core.Options{
-			MaxAtoms: budget, MaxNodes: 1 << 20, MaxModels: 1,
+		res := modelsBudgeted(soEngine(guarded.Database(), guarded.Rules, core.Options{
+			MaxAtoms: budget, MaxNodes: 1 << 20,
 			WitnessPolicy: core.WitnessFreshOnly,
-		})
+		}), 1)
 		fmt.Printf("  fresh-only, atom budget %2d: exhausted=%v nodes=%d models=%d\n",
 			budget, res.Exhausted, res.Stats.Nodes, len(res.Models))
 	}
@@ -381,12 +464,12 @@ edge(X,Y), green(X), green(Y) -> clash.
 	elim, err := transform.EliminateDisjunction(prog.Database(), prog.Rules)
 	must(err)
 	fmt.Printf("rules: %d disjunctive -> %d normal\n", len(prog.Rules), len(elim.Rules))
+	native := soEngine(prog.Database(), prog.Rules, core.Options{})
+	elimEng := soEngine(elim.DB, elim.Rules, core.Options{})
 	for _, qs := range []string{"?- clash.", "?- red(a).", "?- node(a), not clash."} {
 		q := ntgd.MustParse(qs).Queries[0]
-		a, err := core.CautiousEntails(prog.Database(), prog.Rules, q, core.Options{})
-		must(err)
-		b, err := core.CautiousEntails(elim.DB, elim.Rules, q, core.Options{})
-		must(err)
+		a := cautiousCtx(native, q)
+		b := cautiousCtx(elimEng, q)
 		fmt.Printf("  %-28s native=%-12s eliminated=%-12s agree=%v\n", qs, verdict(a.Entailed), verdict(b.Entailed), a.Entailed == b.Entailed)
 	}
 }
@@ -421,13 +504,11 @@ w -> bad.
 		prog := ntgd.MustParse(tc.src)
 		db := prog.Database()
 		q := ntgd.Query{Pos: []ntgd.Atom{ntgd.A("bad")}}
-		native, err := core.BraveEntails(db, prog.Rules, q, core.Options{})
-		must(err)
+		native := braveCtx(soEngine(db, prog.Rules, core.Options{}), q)
 		w, err := transform.DatalogToWATGD(transform.DatalogQuery{Rules: prog.Rules, QueryPred: "bad"}, 0)
 		must(err)
 		qT := ntgd.Query{Pos: []ntgd.Atom{ntgd.A(w.QueryPred)}}
-		trans, err := core.BraveEntails(db, w.Rules, qT, core.Options{})
-		must(err)
+		trans := braveCtx(soEngine(db, w.Rules, core.Options{}), qT)
 		fmt.Printf("  %-28s native=%v watgd=%v expected=%v weaklyAcyclic(translation)=%v\n",
 			tc.name, native.Entailed, trans.Entailed, tc.want, classify.IsWeaklyAcyclic(w.Rules))
 	}
@@ -442,8 +523,7 @@ func runE12() {
 		db, err := encodings.QBFDatabase(f)
 		must(err)
 		rules, q := encodings.QBFBraveQuery()
-		res, err := core.BraveEntails(db, rules, q, core.Options{})
-		must(err)
+		res := braveCtx(soEngine(db, rules, core.Options{}), q)
 		fmt.Printf("  %-34s brave ans=%v brute=%v\n", f, res.Entailed, f.EvalBrute())
 	}
 }
@@ -466,8 +546,7 @@ func runE13() {
 			g.Edges = append(g.Edges, encodings.LabeledEdge{
 				U: g.Vertices[u], W: g.Vertices[w], Var: "p", Neg: rng.Intn(2) == 1})
 		}
-		res, err := core.BraveEntails(g.Database(), g.DatalogProgram(), g.BadQuery(), core.Options{})
-		must(err)
+		res := braveCtx(soEngine(g.Database(), g.DatalogProgram(), core.Options{}), g.BadQuery())
 		fmt.Printf("  instance %d: encoding certain=%v brute=%v\n", i, !res.Entailed, g.BruteForce())
 	}
 }
@@ -509,10 +588,8 @@ func runE15() {
 	header("E15", "Theorems 19/20 — LP vs SO model spaces")
 	prog := ntgd.MustParse(fatherSrc)
 	db := prog.Database()
-	so, err := core.StableModels(db, prog.Rules, core.Options{ExtraConstants: []ntgd.Term{ntgd.C("bob")}})
-	must(err)
-	lpRes, err := lp.StableModels(db, prog.Rules, lp.Options{})
-	must(err)
+	so := modelsCtx(soEngine(db, prog.Rules, core.Options{ExtraConstants: []ntgd.Term{ntgd.C("bob")}}), 0)
+	lpRes := modelsCtx(lpEngine(db, prog.Rules), 0)
 	fmt.Printf("SO stable models (witness pool incl. bob): %d\n", len(so.Models))
 	fmt.Printf("LP stable models:                          %d (Skolemization collapses the witness space)\n", len(lpRes.Models))
 }

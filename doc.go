@@ -13,8 +13,8 @@
 // together with every baseline and construction the paper discusses:
 //
 //   - the new SO-based semantics (query answering, model enumeration,
-//     the Proposition 11 stability check) — ntgd.StableModels,
-//     ntgd.Entails, Semantics SO;
+//     the Proposition 11 stability check) — ntgd.Compile with
+//     Semantics SO;
 //   - the classical LP approach (Skolemization + grounding + ground
 //     ASP solving, Section 3.1) — Semantics LP;
 //   - the operational chase-based semantics of Baget et al. [3] —
@@ -46,12 +46,46 @@
 //
 // # Quick start
 //
+// Compile a program once into a Solver session, then stream models and
+// answer queries against the compiled artifacts:
+//
 //	prog, err := ntgd.Parse(src)
-//	res, err := ntgd.StableModels(prog, ntgd.Options{})
-//	verdict, err := ntgd.Entails(prog, prog.Queries[0], ntgd.Cautious, ntgd.Options{})
+//	solver, err := ntgd.Compile(prog, ntgd.CompileOptions{Semantics: ntgd.SO})
+//	for m, err := range solver.Models(ctx) {
+//		if err != nil { ... }         // ErrBudget or ctx.Err()
+//		fmt.Println(m.CanonicalString())
+//	}
+//	verdict, err := solver.Entails(ctx, prog.Queries[0], ntgd.Cautious)
 //
 // See the examples/ directory for runnable programs and EXPERIMENTS.md
 // for the paper-reproduction experiments.
+//
+// # Solver sessions
+//
+// ntgd.Compile performs everything derivable from the program alone
+// exactly once — validation, syntactic classification, per-rule search
+// metadata and chase-derived atom budgets (SO/Operational), and the
+// Skolemization + grounding pipeline (LP) — and returns a Solver bound
+// to one Semantics. All three semantics run behind one internal engine
+// interface, so Models, Entails, Answers, and Consistent behave
+// uniformly: the same options plumbing, the same Stats and Exhausted
+// reporting, the same budget error (ErrBudget).
+//
+// Solver.Models returns an iter.Seq2 stream: models are delivered as
+// the search finds them, breaking out of the range loop releases the
+// search immediately, and cancelling the context (or letting its
+// deadline expire) aborts mid-search, yielding the context error as
+// the stream's final element. Solver.Stats reports the cumulative
+// search effort — including runs cut short — and the Solver remains
+// reusable after a cancellation or budget hit. Per-query witness-pool
+// extension (the query's constants, Example 2's bob) is handled
+// automatically by Entails and Answers.
+//
+// The package-level one-shot functions (StableModels, Entails,
+// Answers, and their ...Under variants) are retained as deprecated
+// wrappers: each compiles a throwaway Solver per call and delegates,
+// so existing callers keep working but pay the compile cost every
+// time.
 //
 // # Evaluation engine
 //

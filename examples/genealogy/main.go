@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -43,17 +44,25 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep := ntgd.Classify(prog)
-	fmt.Printf("class: %s (weakly acyclic: %v)\n\n", rep.Class(), rep.WeaklyAcyclic)
-
-	ok, err := ntgd.StableModels(prog, ntgd.Options{MaxModels: 1})
+	// One compiled Solver serves every question about the knowledge
+	// base: consistency, n-ary answers, and entailment all reuse the
+	// compile-time artifacts (validation, classification, budgets).
+	s, err := ntgd.Compile(prog, ntgd.CompileOptions{Semantics: ntgd.SO})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("consistent: %v\n\n", len(ok.Models) > 0)
+	ctx := context.Background()
+	rep := s.Classification()
+	fmt.Printf("class: %s (weakly acyclic: %v)\n\n", rep.Class(), rep.WeaklyAcyclic)
+
+	ok, err := s.Consistent(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("consistent: %v\n\n", ok)
 
 	// Certain citizenship pairs: ada and bert inherit, cleo renounced.
-	tuples, _, err := ntgd.Answers(prog, prog.Queries[0], ntgd.Cautious, ntgd.Options{})
+	tuples, _, err := s.Answers(ctx, prog.Queries[0], ntgd.Cautious)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -62,7 +71,7 @@ func main() {
 		fmt.Printf("  %s\n", t)
 	}
 
-	tuples, _, err = ntgd.Answers(prog, prog.Queries[1], ntgd.Cautious, ntgd.Options{})
+	tuples, _, err = s.Answers(ctx, prog.Queries[1], ntgd.Cautious)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -73,11 +82,11 @@ func main() {
 
 	// local(ada) is possible (birthplace may coincide with residence)
 	// but not certain.
-	brave, err := ntgd.Entails(prog, prog.Queries[2], ntgd.Brave, ntgd.Options{})
+	brave, err := s.Entails(ctx, prog.Queries[2], ntgd.Brave)
 	if err != nil {
 		log.Fatal(err)
 	}
-	cautious, err := ntgd.Entails(prog, prog.Queries[2], ntgd.Cautious, ntgd.Options{})
+	cautious, err := s.Entails(ctx, prog.Queries[2], ntgd.Cautious)
 	if err != nil {
 		log.Fatal(err)
 	}

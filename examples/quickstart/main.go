@@ -1,10 +1,13 @@
 // Quickstart: the paper's running example (Examples 1, 2 and 4) end to
-// end — parse the father program, classify it, enumerate its stable
-// models under the new SO semantics, and contrast the answers with the
-// classical LP approach.
+// end — parse the father program, compile it once into a Solver,
+// stream its stable models under the new SO semantics, contrast the
+// answers with the classical LP approach, and show deadline-bounded
+// solving on the same compiled program.
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 
@@ -29,32 +32,73 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Println("== classification ==")
-	fmt.Print(ntgd.Classify(prog))
-
-	fmt.Println("\n== stable models (SO semantics) ==")
-	res, err := ntgd.StableModels(prog, ntgd.Options{})
+	// Compile validates, classifies, and derives the search budgets
+	// once; the Solver then amortizes that work across every call.
+	so, err := ntgd.Compile(prog, ntgd.CompileOptions{Semantics: ntgd.SO})
 	if err != nil {
 		log.Fatal(err)
 	}
-	for i, m := range res.Models {
-		fmt.Printf("model %d: { %s }\n", i+1, m.CanonicalString())
+	lp, err := ntgd.Compile(prog, ntgd.CompileOptions{Semantics: ntgd.LP})
+	if err != nil {
+		log.Fatal(err)
 	}
 
-	fmt.Println("\n== query answering ==")
+	fmt.Println("== classification (computed at compile time) ==")
+	fmt.Print(so.Classification())
+
+	// Models streams: breaking out of the loop releases the search,
+	// and a cancelled context aborts it mid-flight.
+	fmt.Println("\n== stable models (SO semantics, streamed) ==")
+	i := 0
+	for m, err := range so.Models(context.Background()) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		i++
+		fmt.Printf("model %d: { %s }\n", i, m.CanonicalString())
+	}
+
+	fmt.Println("\n== query answering (one compiled Solver per semantics) ==")
 	for _, q := range prog.Queries {
-		so, err := ntgd.Entails(prog, q, ntgd.Cautious, ntgd.Options{})
+		sov, err := so.Entails(context.Background(), q, ntgd.Cautious)
 		if err != nil {
 			log.Fatal(err)
 		}
-		lp, err := ntgd.EntailsUnder(prog, q, ntgd.Cautious, ntgd.LP, ntgd.Options{})
+		lpv, err := lp.Entails(context.Background(), q, ntgd.Cautious)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%s\n  SO (paper): %v   LP (Skolemized): %v\n", q, so.Entailed, lp.Entailed)
+		fmt.Printf("%s\n  SO (paper): %v   LP (Skolemized): %v\n", q, sov.Entailed, lpv.Entailed)
 	}
 
 	fmt.Println("\nThe disagreement on the first query is the heart of the paper:")
 	fmt.Println("under the SO semantics there is a stable model in which bob IS the")
 	fmt.Println("father of alice, so ¬hasFather(alice,bob) must not be entailed.")
+
+	// Deadline-bounded solving: an already-expired context aborts
+	// immediately, reporting the partial search effort; a real deadline
+	// (context.WithTimeout(ctx, time.Second)) aborts mid-search the
+	// same way. The Solver stays reusable afterwards.
+	ctx, cancel := context.WithTimeout(context.Background(), 0)
+	defer cancel()
+	for _, err := range so.Models(ctx) {
+		if errors.Is(err, context.DeadlineExceeded) {
+			fmt.Printf("\n== deadline demo ==\nexpired deadline aborted the search (cumulative nodes so far: %d)\n",
+				so.Stats().Nodes)
+		}
+	}
+	if n, err := countModels(so); err == nil {
+		fmt.Printf("after the timeout the same Solver still enumerates all %d models\n", n)
+	}
+}
+
+func countModels(s *ntgd.Solver) (int, error) {
+	n := 0
+	for _, err := range s.Models(context.Background()) {
+		if err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
 }

@@ -1,6 +1,7 @@
 package asp
 
 import (
+	"context"
 	"errors"
 )
 
@@ -17,6 +18,10 @@ type SolveOptions struct {
 	// well-founded model of normal programs first and fixes its true
 	// and false atoms, which prunes the search dramatically.
 	SeedWFS bool
+	// SkipValidation skips the per-call Program.Validate pass. Set it
+	// only when the program was validated once at compile time (the LP
+	// pipeline's compiled engine does this).
+	SkipValidation bool
 }
 
 // Stats reports search effort.
@@ -32,10 +37,20 @@ type Stats struct {
 // search stats and an error only on budget exhaustion (models already
 // delivered remain valid).
 func Solve(p *Program, opt SolveOptions, visit func(Model) bool) (Stats, error) {
-	if err := p.Validate(); err != nil {
-		return Stats{}, err
+	return SolveCtx(context.Background(), p, opt, visit)
+}
+
+// SolveCtx is Solve with cancellation: the search checks ctx
+// periodically (every 16 nodes, starting at the first) and aborts with
+// ctx.Err() and the partial stats when the context is cancelled or its
+// deadline expires.
+func SolveCtx(ctx context.Context, p *Program, opt SolveOptions, visit func(Model) bool) (Stats, error) {
+	if !opt.SkipValidation {
+		if err := p.Validate(); err != nil {
+			return Stats{}, err
+		}
 	}
-	s := &solver{p: p, opt: opt, visit: visit}
+	s := &solver{p: p, opt: opt, visit: visit, ctx: ctx}
 	if opt.MaxNodes <= 0 {
 		s.opt.MaxNodes = 4 << 20
 	}
@@ -52,6 +67,9 @@ func Solve(p *Program, opt SolveOptions, visit func(Model) bool) (Stats, error) 
 		}
 	}
 	s.dfs()
+	if s.ctxErr != nil {
+		return s.stats, s.ctxErr
+	}
 	if s.budgetHit {
 		return s.stats, ErrBudget
 	}
@@ -84,6 +102,8 @@ type solver struct {
 	stats     Stats
 	visit     func(Model) bool
 	budgetHit bool
+	ctx       context.Context
+	ctxErr    error
 }
 
 // dfs explores the assignment tree; it returns false when the visitor
@@ -93,6 +113,15 @@ func (s *solver) dfs() bool {
 	if s.stats.Nodes > s.opt.MaxNodes {
 		s.budgetHit = true
 		return false
+	}
+	// Assignment nodes are cheap relative to the SO search's, so the
+	// cancellation check is amortized over 16 of them — but it fires at
+	// the first node, so an already-cancelled context yields nothing.
+	if s.stats.Nodes&15 == 1 {
+		if err := s.ctx.Err(); err != nil {
+			s.ctxErr = err
+			return false
+		}
 	}
 	saved := append([]truthValue(nil), s.assign...)
 	ok, conflict := s.propagate()

@@ -16,27 +16,65 @@
 package baget
 
 import (
+	"context"
+
 	"ntgd/internal/core"
+	"ntgd/internal/engine"
 	"ntgd/internal/logic"
 )
+
+// Compiled is the operational semantics compiled for one program: the
+// SO search engine fixed to the fresh-only witness policy. It
+// implements the engine.Engine interface.
+type Compiled struct {
+	c *core.Compiled
+}
+
+// Compile validates the rules and precomputes the search metadata,
+// forcing the fresh-only witness policy of [3].
+func Compile(db *logic.FactStore, rules []*logic.Rule, opt core.Options) (*Compiled, error) {
+	opt.WitnessPolicy = core.WitnessFreshOnly
+	c, err := core.Compile(db, rules, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &Compiled{c: c}, nil
+}
+
+// Semantics implements engine.Engine.
+func (c *Compiled) Semantics() string { return "operational" }
+
+// Enumerate implements engine.Engine.
+func (c *Compiled) Enumerate(ctx context.Context, p engine.Params, visit func(*logic.FactStore) bool) (engine.Stats, bool, error) {
+	return c.c.Enumerate(ctx, p, visit)
+}
 
 // StableModels enumerates the stable models under the operational
 // semantics of [3].
 func StableModels(db *logic.FactStore, rules []*logic.Rule, opt core.Options) (*core.Result, error) {
-	opt.WitnessPolicy = core.WitnessFreshOnly
-	return core.StableModels(db, rules, opt)
+	c, err := Compile(db, rules, opt)
+	if err != nil {
+		return nil, err
+	}
+	return engine.CollectModels(context.Background(), c, engine.Params{}, opt.MaxModels)
 }
 
 // CautiousEntails decides certain entailment under the operational
 // semantics of [3].
 func CautiousEntails(db *logic.FactStore, rules []*logic.Rule, q logic.Query, opt core.Options) (core.QAResult, error) {
-	opt.WitnessPolicy = core.WitnessFreshOnly
-	return core.CautiousEntails(db, rules, q, opt)
+	c, err := Compile(db, rules, opt)
+	if err != nil {
+		return core.QAResult{}, err
+	}
+	return engine.CautiousEntails(context.Background(), c, engine.Params{}, q)
 }
 
 // BraveEntails decides brave entailment under the operational
 // semantics of [3].
 func BraveEntails(db *logic.FactStore, rules []*logic.Rule, q logic.Query, opt core.Options) (core.QAResult, error) {
-	opt.WitnessPolicy = core.WitnessFreshOnly
-	return core.BraveEntails(db, rules, q, opt)
+	c, err := Compile(db, rules, opt)
+	if err != nil {
+		return core.QAResult{}, err
+	}
+	return engine.BraveEntails(context.Background(), c, engine.Params{}, q)
 }

@@ -11,6 +11,7 @@
 package chase
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strconv"
@@ -85,6 +86,14 @@ type Result struct {
 // head-satisfied, which is monotone) in an earlier round. runNaive
 // keeps the recompute-everything loop as the differential-test oracle.
 func Run(db *logic.FactStore, rules []*logic.Rule, opt Options) (*Result, error) {
+	return RunCtx(context.Background(), db, rules, opt)
+}
+
+// RunCtx is Run with cancellation: the chase checks ctx between rounds
+// and periodically between trigger applications, returning ctx.Err()
+// alongside the partial instance when the context is cancelled or its
+// deadline expires.
+func RunCtx(ctx context.Context, db *logic.FactStore, rules []*logic.Rule, opt Options) (*Result, error) {
 	for _, r := range rules {
 		if !r.IsTGD() {
 			return nil, fmt.Errorf("chase: rule %s is not a plain TGD (negation or disjunction present)", r.Label)
@@ -112,6 +121,9 @@ func Run(db *logic.FactStore, rules []*logic.Rule, opt Options) (*Result, error)
 	// delta contains the trigger's newest body atom. (runNaive, which
 	// re-detects everything each round, keeps the applied map.)
 	for res.Rounds = 0; res.Rounds < opt.MaxRounds; res.Rounds++ {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		type trigger struct {
 			rule *logic.Rule
 			hom  logic.Subst
@@ -134,6 +146,11 @@ func Run(db *logic.FactStore, rules []*logic.Rule, opt Options) (*Result, error)
 		}
 		from = inst.Len()
 		for _, t := range triggers {
+			if res.Applications&63 == 0 {
+				if err := ctx.Err(); err != nil {
+					return res, err
+				}
+			}
 			if opt.Variant == Restricted {
 				// Another application this round may have satisfied it.
 				if logic.ExistsHom(t.rule.Heads[0], nil, inst, t.hom) {
@@ -269,6 +286,13 @@ func CertainBCQ(db *logic.FactStore, rules []*logic.Rule, q logic.Query, opt Opt
 // terminate; the internal budget then caps it and the returned bound is
 // that cap.
 func BudgetForStableSearch(db *logic.FactStore, rules []*logic.Rule, extraConsts []logic.Term, cap int) int {
+	return BudgetForStableSearchCtx(context.Background(), db, rules, extraConsts, cap)
+}
+
+// BudgetForStableSearchCtx is BudgetForStableSearch with cancellation:
+// when ctx is cancelled mid-probe the cap is returned, letting the
+// caller's own context check abort promptly.
+func BudgetForStableSearchCtx(ctx context.Context, db *logic.FactStore, rules []*logic.Rule, extraConsts []logic.Term, cap int) int {
 	if cap <= 0 {
 		cap = 1 << 14
 	}
@@ -302,7 +326,7 @@ func BudgetForStableSearch(db *logic.FactStore, rules []*logic.Rule, extraConsts
 		// instance size accounting sees them.
 		ext.Add(logic.A(fmt.Sprintf("$qconst%d", i), c))
 	}
-	res, err := Run(ext, positive, Options{Variant: Oblivious, MaxAtoms: cap, NullPrefix: "b"})
+	res, err := RunCtx(ctx, ext, positive, Options{Variant: Oblivious, MaxAtoms: cap, NullPrefix: "b"})
 	if err != nil {
 		return cap
 	}

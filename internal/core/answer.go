@@ -1,171 +1,61 @@
 package core
 
 import (
-	"sort"
+	"context"
 
+	"ntgd/internal/engine"
 	"ntgd/internal/logic"
 )
 
-// QAResult is the outcome of a Boolean query answering call.
-type QAResult struct {
-	// Entailed reports the verdict ((D,Σ) |=SMS q for cautious,
-	// ∃M ∈ SMS: M |= q for brave).
-	Entailed bool
-	// Witness is, for cautious answering, a counter-model (a stable
-	// model not satisfying q) when Entailed is false; for brave
-	// answering, a witnessing model when Entailed is true.
-	Witness *logic.FactStore
-	// ModelsChecked counts the stable models inspected.
-	ModelsChecked int64
-	// NoModels reports that SMS(D,Σ) is empty (cautious entailment is
-	// then vacuously true and brave entailment false).
-	NoModels bool
-	// Exhausted reports that a search budget was hit; the verdict may
-	// then be incomplete (for cautious answering a "true" verdict is
-	// unconfirmed; a "false" verdict with a witness remains sound).
-	Exhausted bool
-	Stats     Stats
-}
-
-// queryOptions extends the witness pool with the query constants,
-// without which the engine could miss stable models that distinguish
-// the query (Example 2: the model containing hasFather(alice, bob)
-// exists only if bob can witness the existential).
-func queryOptions(opt Options, q logic.Query) Options {
-	have := make(map[string]bool, len(opt.ExtraConstants))
-	for _, c := range opt.ExtraConstants {
-		have[c.Key()] = true
-	}
-	for _, c := range q.Constants() {
-		if !have[c.Key()] {
-			have[c.Key()] = true
-			opt.ExtraConstants = append(opt.ExtraConstants, c)
-		}
-	}
-	return opt
-}
+// QAResult is the outcome of a Boolean query answering call. It is the
+// engine-uniform report shared with the other semantics (see
+// internal/engine.QAResult for the field documentation).
+type QAResult = engine.QAResult
 
 // CautiousEntails decides (D,Σ) |=SMS q (Section 3.4): q must hold in
 // every stable model. The enumeration stops at the first
-// counter-model.
+// counter-model. The query's constants extend the witness pool
+// (Example 2: the model containing hasFather(alice, bob) exists only
+// if bob can witness the existential).
 func CautiousEntails(db *logic.FactStore, rules []*logic.Rule, q logic.Query, opt Options) (QAResult, error) {
-	if err := q.Validate(); err != nil {
+	c, err := Compile(db, rules, opt)
+	if err != nil {
 		return QAResult{}, err
 	}
-	opt = queryOptions(opt, q)
-	res := QAResult{Entailed: true, NoModels: true}
-	stats, exhausted, err := EnumStableModels(db, rules, opt, func(m *logic.FactStore) bool {
-		res.ModelsChecked++
-		res.NoModels = false
-		if !q.Holds(m) {
-			res.Entailed = false
-			res.Witness = m
-			return false
-		}
-		return true
-	})
-	res.Stats = stats
-	res.Exhausted = exhausted
-	if err == ErrBudget && !res.Entailed {
-		// A concrete counter-model keeps the negative verdict sound.
-		err = nil
-		res.Exhausted = true
-	}
-	return res, err
+	return engine.CautiousEntails(context.Background(), c, engine.Params{}, q)
 }
 
 // BraveEntails decides whether some stable model satisfies q
 // (Section 7.1's brave semantics). The enumeration stops at the first
 // witness.
 func BraveEntails(db *logic.FactStore, rules []*logic.Rule, q logic.Query, opt Options) (QAResult, error) {
-	if err := q.Validate(); err != nil {
+	c, err := Compile(db, rules, opt)
+	if err != nil {
 		return QAResult{}, err
 	}
-	opt = queryOptions(opt, q)
-	res := QAResult{NoModels: true}
-	stats, exhausted, err := EnumStableModels(db, rules, opt, func(m *logic.FactStore) bool {
-		res.ModelsChecked++
-		res.NoModels = false
-		if q.Holds(m) {
-			res.Entailed = true
-			res.Witness = m
-			return false
-		}
-		return true
-	})
-	res.Stats = stats
-	res.Exhausted = exhausted
-	if err == ErrBudget && res.Entailed {
-		err = nil
-		res.Exhausted = true
-	}
-	return res, err
+	return engine.BraveEntails(context.Background(), c, engine.Params{}, q)
 }
 
 // Answers computes the certain (cautious) or possible (brave) answers
-// of an n-ary NCQ: the intersection (resp. union) of q(M) over all
-// stable models (Sections 3.4 and 7.1). For cautious answering with an
-// empty SMS the answer set is ill-defined (every tuple qualifies
-// vacuously); ok=false is returned in that case.
+// of an n-ary query under the SO semantics (Sections 3.4 and 7.1). For
+// cautious answering with an empty SMS the answer set is ill-defined
+// (every tuple qualifies vacuously); ok=false is returned in that
+// case.
 func Answers(db *logic.FactStore, rules []*logic.Rule, q logic.Query, brave bool, opt Options) (tuples []logic.AnswerTuple, ok bool, err error) {
-	if err := q.Validate(); err != nil {
+	c, err := Compile(db, rules, opt)
+	if err != nil {
 		return nil, false, err
 	}
-	opt = queryOptions(opt, q)
-	var acc map[string]logic.AnswerTuple
-	models := 0
-	_, exhausted, err := EnumStableModels(db, rules, opt, func(m *logic.FactStore) bool {
-		models++
-		cur := make(map[string]logic.AnswerTuple)
-		for _, t := range q.Answers(m) {
-			cur[t.Key()] = t
-		}
-		if acc == nil {
-			acc = cur
-			return true
-		}
-		if brave {
-			for k, t := range cur {
-				acc[k] = t
-			}
-		} else {
-			for k := range acc {
-				if _, keep := cur[k]; !keep {
-					delete(acc, k)
-				}
-			}
-		}
-		return true
-	})
-	if err != nil && err != ErrBudget {
-		return nil, false, err
-	}
-	if models == 0 {
-		if brave {
-			return nil, true, err
-		}
-		return nil, false, err
-	}
-	keys := make([]string, 0, len(acc))
-	for k := range acc {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		tuples = append(tuples, acc[k])
-	}
-	return tuples, !exhausted, err
+	tuples, ok, _, _, err = engine.Answers(context.Background(), c, engine.Params{}, q, brave)
+	return tuples, ok, err
 }
 
 // Consistent reports whether SMS(D,Σ) is non-empty.
 func Consistent(db *logic.FactStore, rules []*logic.Rule, opt Options) (bool, error) {
-	found := false
-	_, _, err := EnumStableModels(db, rules, opt, func(*logic.FactStore) bool {
-		found = true
-		return false
-	})
-	if found {
-		return true, nil
+	c, err := Compile(db, rules, opt)
+	if err != nil {
+		return false, err
 	}
-	return false, err
+	ok, _, _, err := engine.Consistent(context.Background(), c, engine.Params{})
+	return ok, err
 }

@@ -20,8 +20,9 @@ func benchTrigger(b *testing.B) (*searcher, *trigger) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	s := &searcher{rules: prog.Rules}
-	s.initRules()
+	c := &Compiled{rules: prog.Rules}
+	c.initRules()
+	s := &searcher{rules: prog.Rules, ruleDet: c.ruleDet, ruleVars: c.ruleVars}
 	t := &trigger{
 		rule:    prog.Rules[0],
 		ruleIdx: 0,

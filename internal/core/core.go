@@ -27,12 +27,14 @@
 package core
 
 import (
-	"errors"
+	"context"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"ntgd/internal/chase"
+	"ntgd/internal/engine"
 	"ntgd/internal/logic"
 )
 
@@ -74,41 +76,184 @@ type Options struct {
 	MaxModels int
 }
 
-// Stats reports search effort.
-type Stats struct {
-	Nodes           int64
-	Branches        int64
-	Deterministic   int64
-	Completed       int64
-	StabilityChecks int64
-	StabilityFailed int64
-	ModelsEmitted   int64
-}
+// Stats reports search effort. It is the engine-uniform report shared
+// with the other semantics (see internal/engine).
+type Stats = engine.Stats
 
-// Result holds an enumeration outcome.
-type Result struct {
-	Models []*logic.FactStore
-	Stats  Stats
-	// Exhausted is true when a budget was hit, in which case the
-	// enumeration may be incomplete (additional stable models may
-	// exist).
-	Exhausted bool
-}
+// Result holds an enumeration outcome (see engine.Result: Exhausted is
+// true when a budget was hit or the context was cancelled, in which
+// case the enumeration may be incomplete).
+type Result = engine.Result
 
 // ErrBudget is reported (alongside partial results) when a budget was
-// hit.
-var ErrBudget = errors.New("core: search budget exhausted; enumeration may be incomplete")
+// hit. It is the engine-uniform budget error shared by all semantics.
+var ErrBudget = engine.ErrBudget
+
+// Compiled is the SO semantics compiled for one program: rules
+// validated, per-rule search metadata precomputed, and chase-derived
+// atom budgets cached per witness-pool extension. It implements the
+// engine.Engine interface and is safe for sequential reuse; concurrent
+// enumerations require external synchronization (the underlying fact
+// store snapshots are not synchronized).
+type Compiled struct {
+	db    *logic.FactStore
+	rules []*logic.Rule
+	opt   Options
+	// ruleDet[i] reports whether rules[i] fires without branching:
+	// single disjunct, no negation, no existential head variables.
+	ruleDet []bool
+	// ruleVars[i] is the sorted list of positive-body variables of
+	// rules[i] — exactly the domain of its trigger homomorphisms — used
+	// to build compact trigger keys.
+	ruleVars [][]string
+
+	mu sync.Mutex
+	// budgets caches the chase-derived MaxAtoms budget per canonical
+	// extra-constant set, so repeated runs (and repeated queries with
+	// the same constants) pay the oblivious-chase probe once.
+	budgets map[string]int
+}
+
+// Compile validates the rules and precomputes everything the search
+// needs that does not depend on the individual run: per-rule
+// determinism flags, trigger-key variable orders, and (when
+// opt.MaxAtoms is unset) the default chase-derived atom budget.
+func Compile(db *logic.FactStore, rules []*logic.Rule, opt Options) (*Compiled, error) {
+	for _, r := range rules {
+		if err := r.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if opt.MaxNodes <= 0 {
+		opt.MaxNodes = 8 << 20
+	}
+	c := &Compiled{db: db, rules: rules, opt: opt, budgets: make(map[string]int)}
+	c.initRules()
+	// Budgets are derived lazily by budgetFor on first use and cached
+	// per witness-pool extension: queries merge their constants into
+	// the extras, so an eager probe here would only duplicate the
+	// first query's probe under a different cache key.
+	return c, nil
+}
+
+// Semantics names the engine ("so", or "operational" under the
+// fresh-only witness policy of Baget et al.).
+func (c *Compiled) Semantics() string {
+	if c.opt.WitnessPolicy == WitnessFreshOnly {
+		return "operational"
+	}
+	return "so"
+}
+
+// extrasKey canonicalizes a witness-pool extension for budget caching.
+func extrasKey(extras []logic.Term) string {
+	if len(extras) == 0 {
+		return ""
+	}
+	keys := make([]string, len(extras))
+	for i, c := range extras {
+		keys[i] = c.Key()
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "|")
+}
+
+// budgetFor returns the chase-derived MaxAtoms budget for the given
+// witness-pool extension, caching per canonical extra-constant set.
+func (c *Compiled) budgetFor(ctx context.Context, extras []logic.Term) int {
+	key := extrasKey(extras)
+	c.mu.Lock()
+	b, ok := c.budgets[key]
+	c.mu.Unlock()
+	if ok {
+		return b
+	}
+	b = chase.BudgetForStableSearchCtx(ctx, c.db, c.rules, extras, 0)
+	if ctx.Err() != nil {
+		// The probe was cut short and returned its fallback cap; use it
+		// for this run but do not poison the cache — the next run with a
+		// healthy context derives the real bound.
+		return b
+	}
+	c.mu.Lock()
+	c.budgets[key] = b
+	c.mu.Unlock()
+	return b
+}
+
+// mergeExtras unions the compile-time extra constants with a run's,
+// deduplicating by term key.
+func mergeExtras(base, extra []logic.Term) []logic.Term {
+	if len(extra) == 0 {
+		return base
+	}
+	have := make(map[string]bool, len(base)+len(extra))
+	out := make([]logic.Term, 0, len(base)+len(extra))
+	for _, c := range base {
+		if !have[c.Key()] {
+			have[c.Key()] = true
+			out = append(out, c)
+		}
+	}
+	for _, c := range extra {
+		if !have[c.Key()] {
+			have[c.Key()] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Enumerate streams the stable models to visit (return false to stop,
+// which is not an error), implementing engine.Engine. The search
+// checks ctx at every node alongside the node budget; on cancellation
+// it returns ctx.Err() with the partial stats, and the Compiled engine
+// remains reusable for further runs.
+func (c *Compiled) Enumerate(ctx context.Context, p engine.Params, visit func(*logic.FactStore) bool) (Stats, bool, error) {
+	return c.enumerate(ctx, p, visit, false)
+}
+
+func (c *Compiled) enumerate(ctx context.Context, p engine.Params, visit func(*logic.FactStore) bool, naive bool) (Stats, bool, error) {
+	opt := c.opt
+	opt.ExtraConstants = mergeExtras(c.opt.ExtraConstants, p.ExtraConstants)
+	if opt.MaxAtoms <= 0 {
+		opt.MaxAtoms = c.budgetFor(ctx, opt.ExtraConstants)
+	}
+	s := &searcher{
+		rules:    c.rules,
+		db:       c.db,
+		opt:      opt,
+		visit:    visit,
+		seen:     make(map[string]bool),
+		naive:    naive,
+		ctx:      ctx,
+		ruleDet:  c.ruleDet,
+		ruleVars: c.ruleVars,
+	}
+	st := &state{
+		A:        c.db.Snapshot(),
+		mustIn:   map[string]logic.Atom{},
+		mustOut:  map[string]logic.Atom{},
+		deferred: map[string]bool{},
+	}
+	s.dfs(st)
+	if s.ctxErr != nil {
+		return s.stats, true, s.ctxErr
+	}
+	var err error
+	if s.exhausted {
+		err = ErrBudget
+	}
+	return s.stats, s.exhausted, err
+}
 
 // StableModels enumerates SMS(D,Σ).
 func StableModels(db *logic.FactStore, rules []*logic.Rule, opt Options) (*Result, error) {
-	res := &Result{}
-	stats, exhausted, err := EnumStableModels(db, rules, opt, func(m *logic.FactStore) bool {
-		res.Models = append(res.Models, m)
-		return opt.MaxModels == 0 || len(res.Models) < opt.MaxModels
-	})
-	res.Stats = stats
-	res.Exhausted = exhausted
-	return res, err
+	c, err := Compile(db, rules, opt)
+	if err != nil {
+		return nil, err
+	}
+	return engine.CollectModels(context.Background(), c, engine.Params{}, opt.MaxModels)
 }
 
 // EnumStableModels streams stable models to visit (return false to
@@ -127,42 +272,15 @@ func enumStableModelsNaive(db *logic.FactStore, rules []*logic.Rule, opt Options
 	return enumStableModels(db, rules, opt, visit, true)
 }
 
-// enumStableModels validates the rules, fills in the budget defaults,
-// and runs the search; naive selects the trigger-detection strategy
-// (delta-driven agenda vs full rescan).
+// enumStableModels compiles the program and runs one search; naive
+// selects the trigger-detection strategy (delta-driven agenda vs full
+// rescan).
 func enumStableModels(db *logic.FactStore, rules []*logic.Rule, opt Options, visit func(*logic.FactStore) bool, naive bool) (Stats, bool, error) {
-	for _, r := range rules {
-		if err := r.Validate(); err != nil {
-			return Stats{}, false, err
-		}
+	c, err := Compile(db, rules, opt)
+	if err != nil {
+		return Stats{}, false, err
 	}
-	if opt.MaxAtoms <= 0 {
-		opt.MaxAtoms = chase.BudgetForStableSearch(db, rules, opt.ExtraConstants, 0)
-	}
-	if opt.MaxNodes <= 0 {
-		opt.MaxNodes = 8 << 20
-	}
-	s := &searcher{
-		rules: rules,
-		db:    db,
-		opt:   opt,
-		visit: visit,
-		seen:  make(map[string]bool),
-		naive: naive,
-	}
-	s.initRules()
-	st := &state{
-		A:        db.Snapshot(),
-		mustIn:   map[string]logic.Atom{},
-		mustOut:  map[string]logic.Atom{},
-		deferred: map[string]bool{},
-	}
-	s.dfs(st)
-	var err error
-	if s.exhausted {
-		err = ErrBudget
-	}
-	return s.stats, s.exhausted, err
+	return c.enumerate(context.Background(), engine.Params{}, visit, naive)
 }
 
 // state is one node of the search: the derived atoms A (a copy-on-write
@@ -237,21 +355,22 @@ type searcher struct {
 	seen      map[string]bool
 	stopped   bool
 	exhausted bool
+	// ctx cancels the search; it is checked at every node alongside
+	// MaxNodes, and ctxErr records the cancellation cause.
+	ctx    context.Context
+	ctxErr error
 	// naive switches trigger detection to the full-rescan oracle
 	// (findTriggerNaive); used by the differential tests only.
 	naive bool
-	// ruleDet[i] reports whether rules[i] fires without branching:
-	// single disjunct, no negation, no existential head variables.
-	ruleDet []bool
-	// ruleVars[i] is the sorted list of positive-body variables of
-	// rules[i] — exactly the domain of its trigger homomorphisms — used
-	// to build compact trigger keys.
+	// ruleDet and ruleVars are shared read-only with the Compiled
+	// engine (see there for their meaning).
+	ruleDet  []bool
 	ruleVars [][]string
 	keyBuf   []byte // reused by triggerKey
 }
 
 // initRules precomputes the per-rule facts the hot trigger paths need.
-func (s *searcher) initRules() {
+func (s *Compiled) initRules() {
 	s.ruleDet = make([]bool, len(s.rules))
 	s.ruleVars = make([][]string, len(s.rules))
 	for i, r := range s.rules {
@@ -459,6 +578,10 @@ func (s *searcher) dfs(st *state) bool {
 	s.stats.Nodes++
 	if s.stats.Nodes > s.opt.MaxNodes {
 		s.exhausted = true
+		return false
+	}
+	if err := s.ctx.Err(); err != nil {
+		s.ctxErr = err
 		return false
 	}
 	// Deterministic closure: fire forced triggers without branching.

@@ -1,0 +1,182 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sort"
+
+	"ntgd/internal/logic"
+)
+
+// QAResult is the outcome of a Boolean query answering call, uniform
+// across the three semantics.
+type QAResult struct {
+	// Entailed reports the verdict ((D,Σ) |=SMS q for cautious,
+	// ∃M ∈ SMS: M |= q for brave).
+	Entailed bool
+	// Witness is, for cautious answering, a counter-model (a stable
+	// model not satisfying q) when Entailed is false; for brave
+	// answering, a witnessing model when Entailed is true.
+	Witness *logic.FactStore
+	// ModelsChecked counts the stable models inspected.
+	ModelsChecked int64
+	// NoModels reports that the stable model set is empty (cautious
+	// entailment is then vacuously true and brave entailment false).
+	NoModels bool
+	// Exhausted reports that a search budget was hit or the context
+	// was cancelled; the verdict may then be incomplete (for cautious
+	// answering a "true" verdict is unconfirmed; a "false" verdict with
+	// a witness remains sound).
+	Exhausted bool
+	Stats     Stats
+}
+
+// queryParams extends the witness pool with the query constants,
+// without which an engine could miss stable models that distinguish
+// the query (the paper's Example 2: the model containing
+// hasFather(alice, bob) exists only if bob can witness the
+// existential).
+func queryParams(p Params, q logic.Query) Params {
+	have := make(map[string]bool, len(p.ExtraConstants))
+	extras := append([]logic.Term(nil), p.ExtraConstants...)
+	for _, c := range extras {
+		have[c.Key()] = true
+	}
+	for _, c := range q.Constants() {
+		if !have[c.Key()] {
+			have[c.Key()] = true
+			extras = append(extras, c)
+		}
+	}
+	p.ExtraConstants = extras
+	return p
+}
+
+// CautiousEntails decides (D,Σ) |=SMS q under the engine's semantics:
+// q must hold in every stable model. The enumeration stops at the
+// first counter-model.
+func CautiousEntails(ctx context.Context, e Engine, p Params, q logic.Query) (QAResult, error) {
+	if err := q.Validate(); err != nil {
+		return QAResult{}, err
+	}
+	p = queryParams(p, q)
+	res := QAResult{Entailed: true, NoModels: true}
+	stats, exhausted, err := e.Enumerate(ctx, p, func(m *logic.FactStore) bool {
+		res.ModelsChecked++
+		res.NoModels = false
+		if !q.Holds(m) {
+			res.Entailed = false
+			res.Witness = m
+			return false
+		}
+		return true
+	})
+	res.Stats = stats
+	res.Exhausted = exhausted
+	if errors.Is(err, ErrBudget) && !res.Entailed {
+		// A concrete counter-model keeps the negative verdict sound.
+		err = nil
+		res.Exhausted = true
+	}
+	return res, err
+}
+
+// BraveEntails decides whether some stable model satisfies q. The
+// enumeration stops at the first witness.
+func BraveEntails(ctx context.Context, e Engine, p Params, q logic.Query) (QAResult, error) {
+	if err := q.Validate(); err != nil {
+		return QAResult{}, err
+	}
+	p = queryParams(p, q)
+	res := QAResult{NoModels: true}
+	stats, exhausted, err := e.Enumerate(ctx, p, func(m *logic.FactStore) bool {
+		res.ModelsChecked++
+		res.NoModels = false
+		if q.Holds(m) {
+			res.Entailed = true
+			res.Witness = m
+			return false
+		}
+		return true
+	})
+	res.Stats = stats
+	res.Exhausted = exhausted
+	if errors.Is(err, ErrBudget) && res.Entailed {
+		err = nil
+		res.Exhausted = true
+	}
+	return res, err
+}
+
+// Answers computes the certain (cautious) or possible (brave) answers
+// of an n-ary NCQ: the intersection (resp. union) of q(M) over all
+// stable models. For cautious answering with an empty stable model set
+// the answer set is ill-defined (every tuple qualifies vacuously);
+// ok=false is returned in that case, and also when the enumeration was
+// incomplete.
+func Answers(ctx context.Context, e Engine, p Params, q logic.Query, brave bool) (tuples []logic.AnswerTuple, ok bool, stats Stats, exhausted bool, err error) {
+	if err := q.Validate(); err != nil {
+		return nil, false, Stats{}, false, err
+	}
+	p = queryParams(p, q)
+	var acc map[string]logic.AnswerTuple
+	models := 0
+	stats, exhausted, err = e.Enumerate(ctx, p, func(m *logic.FactStore) bool {
+		models++
+		cur := make(map[string]logic.AnswerTuple)
+		for _, t := range q.Answers(m) {
+			cur[t.Key()] = t
+		}
+		if acc == nil {
+			acc = cur
+			return true
+		}
+		if brave {
+			for k, t := range cur {
+				acc[k] = t
+			}
+		} else {
+			for k := range acc {
+				if _, keep := cur[k]; !keep {
+					delete(acc, k)
+				}
+			}
+		}
+		return true
+	})
+	if err != nil && !errors.Is(err, ErrBudget) {
+		return nil, false, stats, exhausted, err
+	}
+	if models == 0 {
+		if brave {
+			// An empty possible-answer set is definitive only if the
+			// enumeration actually completed.
+			return nil, !exhausted, stats, exhausted, err
+		}
+		return nil, false, stats, exhausted, err
+	}
+	keys := make([]string, 0, len(acc))
+	for k := range acc {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		tuples = append(tuples, acc[k])
+	}
+	return tuples, !exhausted, stats, exhausted, err
+}
+
+// Consistent reports whether the stable model set is non-empty. A
+// found model makes the positive verdict definitive even if a budget
+// was hit afterwards.
+func Consistent(ctx context.Context, e Engine, p Params) (bool, Stats, bool, error) {
+	found := false
+	stats, exhausted, err := e.Enumerate(ctx, p, func(*logic.FactStore) bool {
+		found = true
+		return false
+	})
+	if found {
+		return true, stats, exhausted, nil
+	}
+	return false, stats, exhausted, err
+}

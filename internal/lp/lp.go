@@ -12,7 +12,11 @@
 package lp
 
 import (
+	"context"
+	"errors"
+
 	"ntgd/internal/asp"
+	"ntgd/internal/engine"
 	"ntgd/internal/ground"
 	"ntgd/internal/logic"
 )
@@ -38,22 +42,83 @@ type Result struct {
 	Stats     asp.Stats
 }
 
-// StableModels computes the stable models of (D, Σ) under the LP
-// approach: SMS_LP(Π_{D,Σ}).
-func StableModels(db *logic.FactStore, rules []*logic.Rule, opt Options) (*Result, error) {
+// Compiled is the LP pipeline compiled for one program: rules
+// Skolemized and the resulting normal program grounded over its
+// derivable Herbrand base, once. Enumeration runs replay the ground
+// program through the ASP solver without re-grounding. Compiled
+// implements the engine.Engine interface.
+type Compiled struct {
+	g     *ground.Grounding
+	solve asp.SolveOptions
+}
+
+// Compile Skolemizes and grounds the program. The grounding (and with
+// it the witness space — Skolem terms only) is fixed here; later
+// per-query constants cannot change it, which is exactly the
+// Skolemization weakness the paper's Examples 2 and 4 exhibit.
+func Compile(db *logic.FactStore, rules []*logic.Rule, opt Options) (*Compiled, error) {
 	sk := ground.Skolemize(rules)
 	g, err := ground.Ground(db, sk, opt.Ground)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Grounding: g}
+	if err := g.Prog.Validate(); err != nil {
+		return nil, err
+	}
+	solveOpt := opt.Solve
+	solveOpt.SeedWFS = true
+	solveOpt.MaxModels = 0         // enumeration is visitor-driven
+	solveOpt.SkipValidation = true // validated once just above
+	return &Compiled{g: g, solve: solveOpt}, nil
+}
+
+// Semantics implements engine.Engine.
+func (c *Compiled) Semantics() string { return "lp" }
+
+// Grounding exposes the intermediate ground program.
+func (c *Compiled) Grounding() *ground.Grounding { return c.g }
+
+// Enumerate streams the LP-stable models over the original vocabulary
+// (atoms may contain Skolem function terms), implementing
+// engine.Engine. Params.ExtraConstants is ignored: the witness space
+// was fixed by Skolemization at compile time.
+func (c *Compiled) Enumerate(ctx context.Context, _ engine.Params, visit func(*logic.FactStore) bool) (engine.Stats, bool, error) {
+	var emitted int64
+	stats, err := asp.SolveCtx(ctx, c.g.Prog, c.solve, func(m asp.Model) bool {
+		emitted++
+		return visit(c.g.ModelStore(m))
+	})
+	es := engine.Stats{
+		Nodes:           stats.Nodes,
+		Conflicts:       stats.Conflicts,
+		StabilityChecks: stats.Checks,
+		ModelsEmitted:   emitted,
+	}
+	exhausted := false
+	if errors.Is(err, asp.ErrBudget) {
+		err = engine.ErrBudget
+		exhausted = true
+	} else if err != nil && ctx.Err() != nil {
+		exhausted = true
+	}
+	return es, exhausted, err
+}
+
+// StableModels computes the stable models of (D, Σ) under the LP
+// approach: SMS_LP(Π_{D,Σ}).
+func StableModels(db *logic.FactStore, rules []*logic.Rule, opt Options) (*Result, error) {
+	c, err := Compile(db, rules, opt)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Grounding: c.g}
 	solveOpt := opt.Solve
 	if solveOpt.MaxModels == 0 {
 		solveOpt.MaxModels = opt.MaxModels
 	}
 	solveOpt.SeedWFS = true
-	stats, err := asp.Solve(g.Prog, solveOpt, func(m asp.Model) bool {
-		res.Models = append(res.Models, g.ModelStore(m))
+	stats, err := asp.Solve(c.g.Prog, solveOpt, func(m asp.Model) bool {
+		res.Models = append(res.Models, c.g.ModelStore(m))
 		return opt.MaxModels == 0 || len(res.Models) < opt.MaxModels
 	})
 	res.Stats = stats
@@ -65,34 +130,20 @@ func StableModels(db *logic.FactStore, rules []*logic.Rule, opt Options) (*Resul
 
 // CautiousEntails decides whether q holds in every LP-stable model.
 func CautiousEntails(db *logic.FactStore, rules []*logic.Rule, q logic.Query, opt Options) (bool, error) {
-	if err := q.Validate(); err != nil {
-		return false, err
-	}
-	res, err := StableModels(db, rules, opt)
+	c, err := Compile(db, rules, opt)
 	if err != nil {
 		return false, err
 	}
-	for _, m := range res.Models {
-		if !q.Holds(m) {
-			return false, nil
-		}
-	}
-	return true, nil
+	res, err := engine.CautiousEntails(context.Background(), c, engine.Params{}, q)
+	return res.Entailed, err
 }
 
 // BraveEntails decides whether q holds in some LP-stable model.
 func BraveEntails(db *logic.FactStore, rules []*logic.Rule, q logic.Query, opt Options) (bool, error) {
-	if err := q.Validate(); err != nil {
-		return false, err
-	}
-	res, err := StableModels(db, rules, opt)
+	c, err := Compile(db, rules, opt)
 	if err != nil {
 		return false, err
 	}
-	for _, m := range res.Models {
-		if q.Holds(m) {
-			return true, nil
-		}
-	}
-	return false, nil
+	res, err := engine.BraveEntails(context.Background(), c, engine.Params{}, q)
+	return res.Entailed, err
 }

@@ -1,15 +1,15 @@
 package ntgd
 
 import (
+	"context"
 	"fmt"
 
-	"ntgd/internal/baget"
 	"ntgd/internal/chase"
 	"ntgd/internal/classify"
 	"ntgd/internal/core"
 	"ntgd/internal/efwfs"
+	"ntgd/internal/engine"
 	"ntgd/internal/logic"
-	"ntgd/internal/lp"
 	"ntgd/internal/parser"
 	"ntgd/internal/soformula"
 	"ntgd/internal/transform"
@@ -37,9 +37,19 @@ type (
 	Result = core.Result
 	// QAResult is a query answering outcome.
 	QAResult = core.QAResult
+	// Stats is the uniform search-effort report shared by all three
+	// semantics.
+	Stats = core.Stats
+	// AnswerTuple is one answer of an n-ary query.
+	AnswerTuple = logic.AnswerTuple
 	// Report is a syntactic classification report.
 	Report = classify.Report
 )
+
+// ErrBudget is reported (alongside partial results) when a search
+// budget was hit; the enumeration may then be incomplete. All three
+// semantics report this same value.
+var ErrBudget = engine.ErrBudget
 
 // Constructors re-exported for building programs programmatically.
 var (
@@ -116,68 +126,86 @@ func (m Mode) String() string {
 // StableModels enumerates the stable models of the program under the
 // SO semantics. Use StableModelsUnder to select a different
 // semantics.
+//
+// Deprecated: use Compile and Solver.Models, which compile the program
+// once, stream the models, and support cancellation. This wrapper
+// compiles a fresh Solver per call.
 func StableModels(p *Program, opt Options) (*Result, error) {
-	return core.StableModels(p.Database(), p.Rules, opt)
+	return StableModelsUnder(p, SO, opt)
 }
 
 // StableModelsUnder enumerates stable models under the chosen
-// semantics. Under LP the options other than MaxModels are ignored
-// (the LP pipeline has its own bounded grounding).
+// semantics. On budget exhaustion the partial Result is returned
+// alongside ErrBudget.
+//
+// Deprecated: use Compile and Solver.Models, which compile the program
+// once, stream the models, and support cancellation. This wrapper
+// compiles a fresh Solver per call.
 func StableModelsUnder(p *Program, sem Semantics, opt Options) (*Result, error) {
-	switch sem {
-	case SO:
-		return core.StableModels(p.Database(), p.Rules, opt)
-	case Operational:
-		return baget.StableModels(p.Database(), p.Rules, opt)
-	case LP:
-		res, err := lp.StableModels(p.Database(), p.Rules, lp.Options{MaxModels: opt.MaxModels})
-		if err != nil {
-			return nil, err
-		}
-		return &Result{Models: res.Models}, nil
-	default:
-		return nil, fmt.Errorf("ntgd: unknown semantics %v", sem)
+	s, err := Compile(p, CompileOptions{Semantics: sem, Options: opt})
+	if err != nil {
+		return nil, err
 	}
+	res := &Result{}
+	for m, err := range s.Models(context.Background()) {
+		if err != nil {
+			res.Stats = s.Stats()
+			res.Exhausted = s.Exhausted()
+			return res, err
+		}
+		res.Models = append(res.Models, m)
+	}
+	res.Stats = s.Stats()
+	res.Exhausted = s.Exhausted()
+	return res, nil
 }
 
 // Entails answers a Boolean query under the SO semantics.
+//
+// Deprecated: use Compile and Solver.Entails, which compile the
+// program once per Solver and support cancellation. This wrapper
+// compiles a fresh Solver per call.
 func Entails(p *Program, q Query, mode Mode, opt Options) (QAResult, error) {
 	return EntailsUnder(p, q, mode, SO, opt)
 }
 
 // EntailsUnder answers a Boolean query under the chosen semantics and
 // reasoning mode.
+//
+// Deprecated: use Compile and Solver.Entails, which compile the
+// program once per Solver and support cancellation. This wrapper
+// compiles a fresh Solver per call.
 func EntailsUnder(p *Program, q Query, mode Mode, sem Semantics, opt Options) (QAResult, error) {
-	db := p.Database()
-	switch sem {
-	case SO:
-		if mode == Cautious {
-			return core.CautiousEntails(db, p.Rules, q, opt)
-		}
-		return core.BraveEntails(db, p.Rules, q, opt)
-	case Operational:
-		if mode == Cautious {
-			return baget.CautiousEntails(db, p.Rules, q, opt)
-		}
-		return baget.BraveEntails(db, p.Rules, q, opt)
-	case LP:
-		var entailed bool
-		var err error
-		if mode == Cautious {
-			entailed, err = lp.CautiousEntails(db, p.Rules, q, lp.Options{})
-		} else {
-			entailed, err = lp.BraveEntails(db, p.Rules, q, lp.Options{})
-		}
-		return QAResult{Entailed: entailed}, err
-	default:
-		return QAResult{}, fmt.Errorf("ntgd: unknown semantics %v", sem)
+	s, err := Compile(p, CompileOptions{Semantics: sem, Options: opt})
+	if err != nil {
+		return QAResult{}, err
 	}
+	return s.Entails(context.Background(), q, mode)
 }
 
 // Answers computes the certain (Cautious) or possible (Brave) answers
-// of an n-ary query under the SO semantics.
-func Answers(p *Program, q Query, mode Mode, opt Options) ([]logic.AnswerTuple, bool, error) {
-	return core.Answers(p.Database(), p.Rules, q, mode == Brave, opt)
+// of an n-ary query under the SO semantics. Use AnswersUnder to select
+// a different semantics.
+//
+// Deprecated: use Compile and Solver.Answers, which compile the
+// program once per Solver and support cancellation. This wrapper
+// compiles a fresh Solver per call.
+func Answers(p *Program, q Query, mode Mode, opt Options) ([]AnswerTuple, bool, error) {
+	return AnswersUnder(p, q, mode, SO, opt)
+}
+
+// AnswersUnder computes the certain (Cautious) or possible (Brave)
+// answers of an n-ary query under the chosen semantics.
+//
+// Deprecated: use Compile and Solver.Answers, which compile the
+// program once per Solver and support cancellation. This wrapper
+// compiles a fresh Solver per call.
+func AnswersUnder(p *Program, q Query, mode Mode, sem Semantics, opt Options) ([]AnswerTuple, bool, error) {
+	s, err := Compile(p, CompileOptions{Semantics: sem, Options: opt})
+	if err != nil {
+		return nil, false, err
+	}
+	return s.Answers(context.Background(), q, mode)
 }
 
 // IsStableModel checks Definition 1 for a candidate interpretation

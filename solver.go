@@ -1,0 +1,205 @@
+package ntgd
+
+import (
+	"context"
+	"fmt"
+	"iter"
+	"sync"
+
+	"ntgd/internal/asp"
+	"ntgd/internal/baget"
+	"ntgd/internal/classify"
+	"ntgd/internal/core"
+	"ntgd/internal/engine"
+	"ntgd/internal/lp"
+)
+
+// CompileOptions configures Compile.
+type CompileOptions struct {
+	// Semantics selects which stable model semantics interprets the
+	// program (SO, the default, is the paper's new semantics).
+	Semantics Semantics
+	// Options carries the search knobs. Under SO and Operational every
+	// field applies; under LP the pipeline honors MaxModels and
+	// MaxNodes (the witness space is fixed by Skolemization, so
+	// WitnessPolicy and ExtraConstants do not apply, and MaxAtoms is
+	// replaced by the grounder's own bounds).
+	Options Options
+}
+
+// Solver is a compiled program under one semantics: validation,
+// syntactic classification, Skolemization and grounding artifacts (LP),
+// per-rule search metadata, and chase-derived budgets (SO/Operational)
+// are computed once by Compile, then every enumeration and query runs
+// against the shared artifacts. All entry points take a
+// context.Context: cancellation or a deadline aborts the search
+// mid-flight with the partial Stats accumulated so far, and the Solver
+// remains reusable afterwards.
+//
+// A Solver is safe for sequential reuse. Concurrent calls require
+// external synchronization: the copy-on-write fact store layers the
+// search branches on are not synchronized.
+type Solver struct {
+	prog   *Program
+	sem    Semantics
+	opt    Options
+	report *Report
+	eng    engine.Engine
+
+	mu        sync.Mutex
+	stats     Stats
+	exhausted bool
+}
+
+// Compile validates the program, classifies it syntactically, and
+// compiles it under the chosen semantics. The returned Solver amortizes
+// that work across any number of Models, Entails, Answers, and
+// Consistent calls.
+func Compile(p *Program, opt CompileOptions) (*Solver, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	db := p.Database()
+	var eng engine.Engine
+	var err error
+	switch opt.Semantics {
+	case SO:
+		eng, err = core.Compile(db, p.Rules, opt.Options)
+	case Operational:
+		eng, err = baget.Compile(db, p.Rules, opt.Options)
+	case LP:
+		// MaxModels is enforced by Solver.Models' own counter (the
+		// engine contract is visitor-driven), so only the node budget
+		// reaches the pipeline.
+		eng, err = lp.Compile(db, p.Rules, lp.Options{
+			Solve: asp.SolveOptions{MaxNodes: opt.Options.MaxNodes},
+		})
+	default:
+		err = fmt.Errorf("ntgd: unknown semantics %v", opt.Semantics)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Solver{
+		prog:   p,
+		sem:    opt.Semantics,
+		opt:    opt.Options,
+		report: classify.Classify(p.Rules),
+		eng:    eng,
+	}, nil
+}
+
+// MustCompile compiles and panics on error; intended for tests and
+// examples.
+func MustCompile(p *Program, opt CompileOptions) *Solver {
+	s, err := Compile(p, opt)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// record folds one run's effort into the solver's cumulative stats.
+func (s *Solver) record(st Stats, exhausted bool) {
+	s.mu.Lock()
+	s.stats.Add(st)
+	s.exhausted = exhausted
+	s.mu.Unlock()
+}
+
+// Models streams the stable models of the program. Breaking out of the
+// range loop releases the search immediately; cancelling ctx (or its
+// deadline expiring) aborts mid-search, yielding the context error as
+// the final element. A budget hit yields ErrBudget the same way. In
+// every case Stats reports the partial effort and the Solver remains
+// reusable for further calls. Options.MaxModels, when set, bounds the
+// number of models yielded.
+func (s *Solver) Models(ctx context.Context) iter.Seq2[*FactStore, error] {
+	return func(yield func(*FactStore, error) bool) {
+		stopped := false
+		n := 0
+		stats, exhausted, err := s.eng.Enumerate(ctx, engine.Params{}, func(m *FactStore) bool {
+			n++
+			if !yield(m, nil) {
+				stopped = true
+				return false
+			}
+			if s.opt.MaxModels > 0 && n >= s.opt.MaxModels {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		s.record(stats, exhausted)
+		if err != nil && !stopped {
+			yield(nil, err)
+		}
+	}
+}
+
+// Entails answers a Boolean query under the solver's semantics and the
+// given reasoning mode. The query's constants extend the witness pool
+// where the semantics allows it (SO).
+func (s *Solver) Entails(ctx context.Context, q Query, mode Mode) (QAResult, error) {
+	var res QAResult
+	var err error
+	if mode == Brave {
+		res, err = engine.BraveEntails(ctx, s.eng, engine.Params{}, q)
+	} else {
+		res, err = engine.CautiousEntails(ctx, s.eng, engine.Params{}, q)
+	}
+	s.record(res.Stats, res.Exhausted)
+	return res, err
+}
+
+// Answers computes the certain (Cautious) or possible (Brave) answers
+// of an n-ary query under the solver's semantics. ok is false when the
+// answer set is ill-defined (cautious answering over an empty stable
+// model set) or the enumeration was incomplete.
+func (s *Solver) Answers(ctx context.Context, q Query, mode Mode) ([]AnswerTuple, bool, error) {
+	tuples, ok, stats, exhausted, err := engine.Answers(ctx, s.eng, engine.Params{}, q, mode == Brave)
+	s.record(stats, exhausted)
+	return tuples, ok, err
+}
+
+// Consistent reports whether the program has at least one stable model
+// under the solver's semantics. A found model makes the positive
+// verdict definitive even if a budget was hit afterwards.
+func (s *Solver) Consistent(ctx context.Context) (bool, error) {
+	ok, stats, exhausted, err := engine.Consistent(ctx, s.eng, engine.Params{})
+	s.record(stats, exhausted)
+	return ok, err
+}
+
+// Stats returns the cumulative search effort across every call made on
+// this Solver, including runs aborted by cancellation or a budget.
+func (s *Solver) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Exhausted reports whether the most recent call's enumeration was
+// possibly incomplete: a budget was hit or the context was cancelled.
+func (s *Solver) Exhausted() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.exhausted
+}
+
+// Classification returns the syntactic classification (weak-acyclicity,
+// stickiness, guardedness) computed at compile time.
+func (s *Solver) Classification() *Report { return s.report }
+
+// Semantics returns the semantics the program was compiled under.
+func (s *Solver) Semantics() Semantics { return s.sem }
+
+// Program returns the compiled program.
+func (s *Solver) Program() *Program { return s.prog }
+
+// ensure the engines satisfy the shared interface.
+var (
+	_ engine.Engine = (*core.Compiled)(nil)
+	_ engine.Engine = (*lp.Compiled)(nil)
+	_ engine.Engine = (*baget.Compiled)(nil)
+)
