@@ -1,0 +1,154 @@
+// Command benchdiff compares two `go test -bench` outputs and fails on
+// time regressions beyond a threshold. It is the CI gate behind the
+// bench-diff job (.github/workflows/ci.yml): benchstat renders the
+// human report that is uploaded as an artifact, while benchdiff makes
+// the pass/fail decision with a stable, dependency-free parser.
+//
+//	benchdiff [-threshold 25] base.txt head.txt
+//
+// Both files hold raw `go test -bench` output (any -count; multiple
+// packages are fine as long as benchmark names stay unique). Samples
+// are aggregated per benchmark by median ns/op, which tolerates the
+// odd noisy run without requiring benchstat's statistics. Benchmarks
+// present in only one file are reported but never gate. The exit code
+// is 1 when any benchmark present in both files regressed by more than
+// threshold percent.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// benchLine matches one result line, capturing the benchmark name
+// (with the trailing -GOMAXPROCS token stripped) and the ns/op figure.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9]+(?:\.[0-9]+)?) ns/op`)
+
+// parseBench extracts the ns/op samples per benchmark name from raw
+// `go test -bench` output.
+func parseBench(r io.Reader) (map[string][]float64, error) {
+	out := make(map[string][]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %v", sc.Text(), err)
+		}
+		out[m[1]] = append(out[m[1]], ns)
+	}
+	return out, sc.Err()
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// row is one benchmark's comparison.
+type row struct {
+	name       string
+	base, head float64 // median ns/op; 0 = absent on that side
+	delta      float64 // head/base - 1, in percent
+	regressed  bool
+}
+
+// compare aggregates both sides and flags every common benchmark whose
+// median slowed down by more than threshold percent.
+func compare(base, head map[string][]float64, threshold float64) []row {
+	names := make(map[string]bool, len(base)+len(head))
+	for n := range base {
+		names[n] = true
+	}
+	for n := range head {
+		names[n] = true
+	}
+	var rows []row
+	for n := range names {
+		r := row{name: n}
+		if b, ok := base[n]; ok {
+			r.base = median(b)
+		}
+		if h, ok := head[n]; ok {
+			r.head = median(h)
+		}
+		if r.base > 0 && r.head > 0 {
+			r.delta = (r.head/r.base - 1) * 100
+			r.regressed = r.delta > threshold
+		}
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	return rows
+}
+
+func loadFile(path string) (map[string][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return parseBench(f)
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 25, "fail when a benchmark's median ns/op regressed by more than this many percent")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] base.txt head.txt")
+		os.Exit(2)
+	}
+	base, err := loadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	head, err := loadFile(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	rows := compare(base, head, *threshold)
+	if len(rows) == 0 {
+		// An empty comparison almost always means a broken bench run;
+		// fail loudly rather than silently passing the gate.
+		fmt.Fprintln(os.Stderr, "benchdiff: no benchmark results found in either input")
+		os.Exit(2)
+	}
+	failed := false
+	fmt.Printf("%-56s %14s %14s %9s\n", "benchmark", "base ns/op", "head ns/op", "delta")
+	for _, r := range rows {
+		switch {
+		case r.base == 0:
+			fmt.Printf("%-56s %14s %14.0f %9s\n", r.name, "(new)", r.head, "-")
+		case r.head == 0:
+			fmt.Printf("%-56s %14.0f %14s %9s\n", r.name, r.base, "(gone)", "-")
+		default:
+			mark := ""
+			if r.regressed {
+				mark = "  REGRESSION"
+				failed = true
+			}
+			fmt.Printf("%-56s %14.0f %14.0f %+8.1f%%%s\n", r.name, r.base, r.head, r.delta, mark)
+		}
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchdiff: time regression beyond %.0f%% detected\n", *threshold)
+		os.Exit(1)
+	}
+}

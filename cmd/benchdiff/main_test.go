@@ -1,0 +1,85 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const baseOut = `
+goos: linux
+goarch: amd64
+pkg: ntgd/internal/core
+BenchmarkStableSearchChoiceWide/items=5/pad=64-8         	     100	   1000000 ns/op	  310 B/op	       5 allocs/op
+BenchmarkStableSearchChoiceWide/items=5/pad=64-8         	     100	   1200000 ns/op	  310 B/op	       5 allocs/op
+BenchmarkStableSearchChoiceWide/items=5/pad=64-8         	     100	   1100000 ns/op	  310 B/op	       5 allocs/op
+BenchmarkStoreBranch/snapshot-8                          	 5000000	       250 ns/op
+BenchmarkStoreBranch/snapshot-8                          	 5000000	       260 ns/op
+BenchmarkGone-8                                          	     100	     50000 ns/op
+PASS
+ok  	ntgd/internal/core	2.1s
+`
+
+const headOut = `
+pkg: ntgd/internal/core
+BenchmarkStableSearchChoiceWide/items=5/pad=64-8         	     100	   1050000 ns/op
+BenchmarkStableSearchChoiceWide/items=5/pad=64-8         	     100	   1150000 ns/op
+BenchmarkStableSearchChoiceWide/items=5/pad=64-8         	     100	   1100000 ns/op
+BenchmarkStoreBranch/snapshot-8                          	 5000000	       400 ns/op
+BenchmarkStoreBranch/snapshot-8                          	 5000000	       410 ns/op
+BenchmarkParallelSearch/workers=4-8                      	     100	    500000 ns/op
+PASS
+`
+
+func parse(t *testing.T, s string) map[string][]float64 {
+	t.Helper()
+	m, err := parseBench(strings.NewReader(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestParseBenchStripsGomaxprocsAndAggregates(t *testing.T) {
+	m := parse(t, baseOut)
+	if got := len(m["BenchmarkStableSearchChoiceWide/items=5/pad=64"]); got != 3 {
+		t.Fatalf("samples = %d, want 3 (names must strip the -N suffix); keys: %v", got, m)
+	}
+	if med := median(m["BenchmarkStableSearchChoiceWide/items=5/pad=64"]); med != 1100000 {
+		t.Fatalf("median = %v, want 1100000", med)
+	}
+	if med := median(m["BenchmarkStoreBranch/snapshot"]); med != 255 {
+		t.Fatalf("even-count median = %v, want 255", med)
+	}
+}
+
+func TestCompareFlagsOnlyRealRegressions(t *testing.T) {
+	rows := compare(parse(t, baseOut), parse(t, headOut), 25)
+	byName := map[string]row{}
+	for _, r := range rows {
+		byName[r.name] = r
+	}
+	if r := byName["BenchmarkStableSearchChoiceWide/items=5/pad=64"]; r.regressed {
+		t.Fatalf("within-threshold change flagged as regression: %+v", r)
+	}
+	if r := byName["BenchmarkStoreBranch/snapshot"]; !r.regressed {
+		t.Fatalf("~59%% slowdown not flagged: %+v", r)
+	}
+	if r := byName["BenchmarkParallelSearch/workers=4"]; r.base != 0 || r.regressed {
+		t.Fatalf("benchmark new on head must not gate: %+v", r)
+	}
+	if r := byName["BenchmarkGone"]; r.head != 0 || r.regressed {
+		t.Fatalf("benchmark missing on head must not gate: %+v", r)
+	}
+}
+
+func TestCompareThresholdBoundary(t *testing.T) {
+	base := map[string][]float64{"BenchmarkX": {100}}
+	head := map[string][]float64{"BenchmarkX": {125}}
+	if rows := compare(base, head, 25); rows[0].regressed {
+		t.Fatalf("exactly +25%% must not fail a 25%% threshold: %+v", rows[0])
+	}
+	head["BenchmarkX"] = []float64{126}
+	if rows := compare(base, head, 25); !rows[0].regressed {
+		t.Fatalf("+26%% must fail a 25%% threshold: %+v", rows[0])
+	}
+}

@@ -1,8 +1,8 @@
 // Command ntgdctl is the command-line interface to the library:
 //
 //	ntgdctl classify file.ntgd          # WA / sticky / guarded report
-//	ntgdctl solve [-sem so|lp|op] [-n N] [-timeout 5s] file.ntgd
-//	ntgdctl query [-sem so|lp|op] [-mode cautious|brave] [-timeout 5s] file.ntgd
+//	ntgdctl solve [-sem so|lp|op] [-n N] [-timeout 5s] [-workers N] file.ntgd
+//	ntgdctl query [-sem so|lp|op] [-mode cautious|brave] [-timeout 5s] [-workers N] file.ntgd
 //	ntgdctl chase file.ntgd             # restricted chase (positive TGDs)
 //	ntgdctl ground file.ntgd            # Skolemize + ground, print program
 //	ntgdctl formula [-mm] file.ntgd     # print SM[D,Σ] (or MM[D,Σ])
@@ -126,11 +126,12 @@ func cmdSolve(args []string) {
 	n := fs.Int("n", 0, "stop after N models (0 = all)")
 	maxAtoms := fs.Int("max-atoms", 0, "atom budget (0 = auto)")
 	timeout := fs.Duration("timeout", 0, "abort after this long, printing partial results (0 = none)")
+	workers := fs.Int("workers", 1, "search worker pool size (1 = sequential, deterministic output order; 0 = GOMAXPROCS)")
 	_ = fs.Parse(args)
 	prog := loadProgram(fs)
 	s, err := ntgd.Compile(prog, ntgd.CompileOptions{
 		Semantics: semFromFlag(*sem),
-		Options:   ntgd.Options{MaxModels: *n, MaxAtoms: *maxAtoms},
+		Options:   ntgd.Options{MaxModels: *n, MaxAtoms: *maxAtoms, Workers: *workers},
 	})
 	if err != nil {
 		fatal(err)
@@ -165,6 +166,7 @@ func cmdQuery(args []string) {
 	sem := fs.String("sem", "so", "semantics: so, lp, or op")
 	mode := fs.String("mode", "cautious", "cautious or brave")
 	timeout := fs.Duration("timeout", 0, "abort after this long, printing partial results (0 = none)")
+	workers := fs.Int("workers", 1, "search worker pool size (1 = sequential, deterministic output order; 0 = GOMAXPROCS)")
 	_ = fs.Parse(args)
 	prog := loadProgram(fs)
 	if len(prog.Queries) == 0 {
@@ -175,7 +177,10 @@ func cmdQuery(args []string) {
 		m = ntgd.Brave
 	}
 	// One compiled Solver answers every query in the file.
-	s, err := ntgd.Compile(prog, ntgd.CompileOptions{Semantics: semFromFlag(*sem)})
+	s, err := ntgd.Compile(prog, ntgd.CompileOptions{
+		Semantics: semFromFlag(*sem),
+		Options:   ntgd.Options{Workers: *workers},
+	})
 	if err != nil {
 		fatal(err)
 	}

@@ -7,6 +7,12 @@
 //	smsbench            # all
 //	smsbench -run E1,E5
 //
+// -workers sets the worker-pool size of the SO/operational searches
+// (default 1 so experiment output stays reproducible; 0 = GOMAXPROCS).
+// After each experiment one machine-readable JSON line is printed —
+// {"name","ns_op","models","nodes","workers"} — for the CI bench-diff
+// job and BENCH_*.json trajectories to consume.
+//
 // For performance work, -cpuprofile and -memprofile write pprof
 // profiles covering the selected experiments:
 //
@@ -16,6 +22,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -88,6 +95,7 @@ func run() (code int) {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	timeout := flag.Duration("timeout", 0, "abort the selected experiments after this long, printing partial stats (0 = none)")
+	flag.IntVar(&workers, "workers", 1, "worker pool size for the SO/operational searches (1 = sequential, reproducible output order; 0 = GOMAXPROCS)")
 	flag.Parse()
 	if *timeout > 0 {
 		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
@@ -127,15 +135,46 @@ func run() (code int) {
 		ids = strings.Split(*runFlag, ",")
 	}
 	for _, id := range ids {
-		fn, ok := experiments[strings.TrimSpace(id)]
+		id = strings.TrimSpace(id)
+		fn, ok := experiments[id]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
 			return 2
 		}
+		expStats = engine.Stats{}
+		start := time.Now()
 		fn()
+		printExperimentJSON(id, time.Since(start))
 		fmt.Println()
 	}
 	return 0
+}
+
+// workers is the -workers flag, threaded into every SO/operational
+// engine the experiments compile (0 = GOMAXPROCS).
+var workers int
+
+// expStats accumulates the engine effort of the experiment currently
+// running; the context-aware helpers below feed it.
+var expStats engine.Stats
+
+// printExperimentJSON emits one machine-readable line per experiment —
+// name, wall time, and the aggregated engine effort — for the CI
+// bench-diff job and BENCH_*.json trajectories to consume.
+func printExperimentJSON(id string, elapsed time.Duration) {
+	w := workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	line, err := json.Marshal(struct {
+		Name    string `json:"name"`
+		NsOp    int64  `json:"ns_op"`
+		Models  int64  `json:"models"`
+		Nodes   int64  `json:"nodes"`
+		Workers int    `json:"workers"`
+	}{id, elapsed.Nanoseconds(), expStats.ModelsEmitted, expStats.Nodes, w})
+	must(err)
+	fmt.Printf("%s\n", line)
 }
 
 func header(id, title string) {
@@ -166,12 +205,14 @@ func must(err error) {
 var benchCtx = context.Background()
 
 func soEngine(db *ntgd.FactStore, rules []*ntgd.Rule, opt core.Options) engine.Engine {
+	opt.Workers = workers
 	c, err := core.Compile(db, rules, opt)
 	must(err)
 	return c
 }
 
 func opEngine(db *ntgd.FactStore, rules []*ntgd.Rule, opt core.Options) engine.Engine {
+	opt.Workers = workers
 	c, err := baget.Compile(db, rules, opt)
 	must(err)
 	return c
@@ -208,18 +249,21 @@ func checkRun(st engine.Stats, err error) {
 
 func cautiousCtx(e engine.Engine, q ntgd.Query) engine.QAResult {
 	res, err := engine.CautiousEntails(benchCtx, e, engine.Params{}, q)
+	expStats.Add(res.Stats)
 	checkRun(res.Stats, err)
 	return res
 }
 
 func braveCtx(e engine.Engine, q ntgd.Query) engine.QAResult {
 	res, err := engine.BraveEntails(benchCtx, e, engine.Params{}, q)
+	expStats.Add(res.Stats)
 	checkRun(res.Stats, err)
 	return res
 }
 
 func modelsCtx(e engine.Engine, maxModels int) *engine.Result {
 	res, err := engine.CollectModels(benchCtx, e, engine.Params{}, maxModels)
+	expStats.Add(res.Stats)
 	checkRun(res.Stats, err)
 	return res
 }
@@ -229,6 +273,7 @@ func modelsCtx(e engine.Engine, maxModels int) *engine.Result {
 // Result.Exhausted marking the truncation.
 func modelsBudgeted(e engine.Engine, maxModels int) *engine.Result {
 	res, err := engine.CollectModels(benchCtx, e, engine.Params{}, maxModels)
+	expStats.Add(res.Stats)
 	if !errors.Is(err, engine.ErrBudget) {
 		checkRun(res.Stats, err)
 	}

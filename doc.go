@@ -130,6 +130,17 @@
 //     a satisfied head disjunct, a derived negative body instance, or a
 //     deferral retires a trigger permanently, since all three are
 //     monotone along a branch.
+//   - Branch exploration is parallel: because every branch child is an
+//     isolated snapshot with its own agenda, independent sibling
+//     subtrees are explored by a bounded worker pool
+//     (Options.Workers; 0 = GOMAXPROCS, 1 = sequential). Idle workers
+//     pick up branch children as they are created; a shared
+//     deduplicating sink delivers models on the caller's goroutine.
+//     Per-node branch-trigger selection order — which is part of the
+//     semantics, since witness pools are drawn from the domain at
+//     branch time — is unchanged, so a complete enumeration emits a
+//     canonical model set bit-identical to the sequential search;
+//     only Workers == 1 additionally fixes the delivery order.
 //
 // The pre-index code paths are retained package-privately
 // (logic.naiveFindHoms, chase.runNaive, asp.gammaNaive, the naive

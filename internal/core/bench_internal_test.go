@@ -22,7 +22,7 @@ func benchTrigger(b *testing.B) (*searcher, *trigger) {
 	}
 	c := &Compiled{rules: prog.Rules}
 	c.initRules()
-	s := &searcher{rules: prog.Rules, ruleDet: c.ruleDet, ruleVars: c.ruleVars}
+	s := &searcher{run: &run{rules: prog.Rules, ruleDet: c.ruleDet, ruleVars: c.ruleVars}}
 	t := &trigger{
 		rule:    prog.Rules[0],
 		ruleIdx: 0,
@@ -53,7 +53,7 @@ func BenchmarkTriggerKey(b *testing.B) {
 	b.Run("compact", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			t.key = "" // force a rebuild
+			t.key.Store(nil) // force a rebuild
 			if s.triggerKey(t) == "" {
 				b.Fatal("empty key")
 			}
@@ -61,7 +61,7 @@ func BenchmarkTriggerKey(b *testing.B) {
 	})
 	b.Run("compact-cached", func(b *testing.B) {
 		b.ReportAllocs()
-		t.key = ""
+		t.key.Store(nil)
 		for i := 0; i < b.N; i++ {
 			if s.triggerKey(t) == "" {
 				b.Fatal("empty key")
@@ -88,7 +88,7 @@ func BenchmarkWitnessPool(b *testing.B) {
 	for i := 0; i < 8; i++ {
 		extras = append(extras, logic.C(fmt.Sprintf("c%d", 60+i))) // half duplicate the domain
 	}
-	s := &searcher{opt: Options{ExtraConstants: extras}}
+	s := &searcher{run: &run{opt: Options{ExtraConstants: extras}}}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tuples := s.witnessTuples(st, []string{"Z"})

@@ -55,6 +55,36 @@ func BenchmarkStableSearchChoiceWide(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelSearch pins the worker pool on a branch-heavy
+// search (512 models over a padded store): workers=1 is the sequential
+// baseline; larger pools must emit the identical model set while
+// spreading the subtree exploration and the per-model stability checks
+// across cores. On a multi-core runner workers=4 is the headline
+// speedup number; on a single core it measures the pool's overhead.
+func BenchmarkParallelSearch(b *testing.B) {
+	prog, err := parser.Parse(benchChoiceProgram(9, 64))
+	if err != nil {
+		b.Fatal(err)
+	}
+	db := prog.Database()
+	const want = 1 << 9
+	for _, workers := range []int{1, 2, 4} {
+		opt := core.Options{MaxAtoms: 4096, Workers: workers}
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := core.StableModels(db, prog.Rules, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Models) != want {
+					b.Fatalf("models = %d, want %d", len(res.Models), want)
+				}
+			}
+		})
+	}
+}
+
 // benchDisjExistProgram combines disjunctive branching with existential
 // witnesses (fresh-only policy, so the witness pool stays canonical):
 // 2-coloring an even cycle of nNodes nodes, where every red node grows

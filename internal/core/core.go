@@ -32,6 +32,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"ntgd/internal/chase"
 	"ntgd/internal/engine"
@@ -74,6 +75,15 @@ type Options struct {
 	ExtraConstants []logic.Term
 	// MaxModels stops enumeration after this many models (0 = all).
 	MaxModels int
+	// Workers bounds the worker pool of the search: sibling branch
+	// subtrees are explored concurrently by up to Workers goroutines,
+	// each on its own store snapshot and trigger agenda. 0 defaults to
+	// runtime.GOMAXPROCS(0); 1 forces the sequential depth-first
+	// search. The canonical stable-model set is identical for every
+	// setting (see parallel.go); enumeration order is deterministic
+	// only when the effective worker count is 1. Overridable per run
+	// via engine.Params.Workers.
+	Workers int
 }
 
 // Stats reports search effort. It is the engine-uniform report shared
@@ -219,32 +229,23 @@ func (c *Compiled) enumerate(ctx context.Context, p engine.Params, visit func(*l
 	if opt.MaxAtoms <= 0 {
 		opt.MaxAtoms = c.budgetFor(ctx, opt.ExtraConstants)
 	}
-	s := &searcher{
+	r := &run{
 		rules:    c.rules,
 		db:       c.db,
 		opt:      opt,
-		visit:    visit,
-		seen:     make(map[string]bool),
-		naive:    naive,
-		ctx:      ctx,
 		ruleDet:  c.ruleDet,
 		ruleVars: c.ruleVars,
+		naive:    naive,
+		ctx:      ctx,
+		seen:     make(map[string]bool),
 	}
-	st := &state{
+	root := &state{
 		A:        c.db.Snapshot(),
 		mustIn:   map[string]logic.Atom{},
 		mustOut:  map[string]logic.Atom{},
 		deferred: map[string]bool{},
 	}
-	s.dfs(st)
-	if s.ctxErr != nil {
-		return s.stats, true, s.ctxErr
-	}
-	var err error
-	if s.exhausted {
-		err = ErrBudget
-	}
-	return s.stats, s.exhausted, err
+	return r.execute(root, resolveWorkers(opt.Workers, p.Workers, naive), visit)
 }
 
 // StableModels enumerates SMS(D,Σ).
@@ -346,27 +347,18 @@ func (a agenda) clone() agenda {
 	}
 }
 
+// searcher is one worker of the pool: the compiled artifacts and the
+// run-wide sink/counters are promoted from the embedded run (shared by
+// every worker); stats and keyBuf are worker-local. A sequential
+// enumeration is simply a run with a single worker and no pool.
 type searcher struct {
-	rules     []*logic.Rule
-	db        *logic.FactStore
-	opt       Options
-	visit     func(*logic.FactStore) bool
-	stats     Stats
-	seen      map[string]bool
-	stopped   bool
-	exhausted bool
-	// ctx cancels the search; it is checked at every node alongside
-	// MaxNodes, and ctxErr records the cancellation cause.
-	ctx    context.Context
-	ctxErr error
-	// naive switches trigger detection to the full-rescan oracle
-	// (findTriggerNaive); used by the differential tests only.
-	naive bool
-	// ruleDet and ruleVars are shared read-only with the Compiled
-	// engine (see there for their meaning).
-	ruleDet  []bool
-	ruleVars [][]string
-	keyBuf   []byte // reused by triggerKey
+	*run
+	// stats is the worker-local effort, merged into run.stats when the
+	// worker exits (Nodes and ModelsEmitted are tracked on the run
+	// itself: the node counter doubles as the global MaxNodes budget,
+	// and emission is owned by the sink).
+	stats  Stats
+	keyBuf []byte // reused by triggerKey
 }
 
 // initRules precomputes the per-rule facts the hot trigger paths need.
@@ -401,7 +393,11 @@ type trigger struct {
 	rule    *logic.Rule
 	ruleIdx int
 	hom     logic.Subst
-	key     string // compact identity, filled lazily by triggerKey
+	// key caches the compact identity, filled lazily by triggerKey. It
+	// is an atomic pointer because cloned agendas share triggers across
+	// sibling subtrees: two workers may race to fill the cache, but
+	// both compute the same bytes, so either store may win.
+	key atomic.Pointer[string]
 }
 
 // triggerKey returns a compact identity for the trigger: the rule index
@@ -410,16 +406,18 @@ type trigger struct {
 // replaces the old Label + "|" + hom.String() key, which sorted the
 // variable names and rendered every term per call.
 func (s *searcher) triggerKey(t *trigger) string {
-	if t.key == "" {
-		buf := strconv.AppendInt(s.keyBuf[:0], int64(t.ruleIdx), 10)
-		for _, v := range s.ruleVars[t.ruleIdx] {
-			buf = append(buf, '|')
-			buf = t.hom[v].AppendKey(buf)
-		}
-		s.keyBuf = buf
-		t.key = string(buf)
+	if k := t.key.Load(); k != nil {
+		return *k
 	}
-	return t.key
+	buf := strconv.AppendInt(s.keyBuf[:0], int64(t.ruleIdx), 10)
+	for _, v := range s.ruleVars[t.ruleIdx] {
+		buf = append(buf, '|')
+		buf = t.hom[v].AppendKey(buf)
+	}
+	s.keyBuf = buf
+	k := string(buf)
+	t.key.Store(&k)
+	return k
 }
 
 // deterministic reports whether handling the trigger requires no
@@ -573,15 +571,19 @@ func (s *searcher) findTriggerNaive(st *state) *trigger {
 }
 
 // dfs explores the state; returns false if the search should stop
-// globally (visitor stop or budget).
+// globally (visitor stop, budget, or cancellation — all recorded in
+// the shared run so sibling workers unwind too).
 func (s *searcher) dfs(st *state) bool {
-	s.stats.Nodes++
-	if s.stats.Nodes > s.opt.MaxNodes {
-		s.exhausted = true
+	if s.stop.Load() {
+		return false
+	}
+	if s.nodes.Add(1) > s.opt.MaxNodes {
+		s.exhausted.Store(true)
+		s.stop.Store(true)
 		return false
 	}
 	if err := s.ctx.Err(); err != nil {
-		s.ctxErr = err
+		s.cancelWith(err)
 		return false
 	}
 	// Deterministic closure: fire forced triggers without branching.
@@ -602,7 +604,8 @@ func (s *searcher) dfs(st *state) bool {
 
 // branch handles a non-deterministic trigger: one child per
 // (disjunct, witness tuple) plus one deferral child per negative body
-// literal instance.
+// literal instance. st is frozen from here on — children only snapshot
+// it — so sibling subtrees may be explored concurrently (see explore).
 func (s *searcher) branch(st *state, t *trigger) bool {
 	s.stats.Branches++
 	for i := range t.rule.Heads {
@@ -628,7 +631,7 @@ func (s *searcher) branch(st *state, t *trigger) bool {
 				}
 			}
 			if s.applyTo(child, t, i, full) {
-				if !s.dfs(child) {
+				if !s.explore(child) {
 					return false
 				}
 			}
@@ -650,7 +653,7 @@ func (s *searcher) branch(st *state, t *trigger) bool {
 		}
 		child.mustIn[k] = g
 		child.deferred[s.triggerKey(t)] = true
-		if !s.dfs(child) {
+		if !s.explore(child) {
 			return false
 		}
 	}
@@ -756,14 +759,17 @@ func (s *searcher) applyTo(st *state, t *trigger, disjunct int, full logic.Subst
 		st.A.Add(g)
 	}
 	if st.A.Len() > s.opt.MaxAtoms {
-		s.exhausted = true
+		s.exhausted.Store(true)
 		return false
 	}
 	return true
 }
 
 // complete validates a fixpoint state and, if it passes the paper's
-// stability condition, emits the model.
+// stability condition, emits the model through the run's deduplicating
+// sink. The stability check — the dominant per-model cost — runs
+// outside the sink lock, so workers validate candidate models
+// concurrently.
 func (s *searcher) complete(st *state) bool {
 	s.stats.Completed++
 	for k := range st.mustIn {
@@ -780,7 +786,7 @@ func (s *searcher) complete(st *state) bool {
 		return true
 	}
 	key := canonicalModelKey(st.A)
-	if s.seen[key] {
+	if s.seenKey(key) {
 		return true
 	}
 	s.stats.StabilityChecks++
@@ -788,9 +794,7 @@ func (s *searcher) complete(st *state) bool {
 		s.stats.StabilityFailed++
 		return true
 	}
-	s.seen[key] = true
-	s.stats.ModelsEmitted++
-	return s.visit(st.A.Clone())
+	return s.emit(key, st.A.Clone())
 }
 
 // canonicalModelKey renders the model with nulls renamed by first

@@ -1,0 +1,289 @@
+package core
+
+// This file holds the run-scoped machinery of one enumeration: the
+// state shared by every worker of the pool (cumulative counters, the
+// global stop flag, the deduplicating model sink) and the fork-join
+// worker pool that explores independent branch subtrees concurrently.
+//
+// Parallelism model. The search tree's branch children are mutually
+// independent: PR 2 made every child an O(1) copy-on-write snapshot of
+// its parent's fact store plus its own agenda, so sibling subtrees
+// share nothing they write. The pool exploits exactly that: whenever a
+// worker creates a branch child and a pool slot is free, the child
+// subtree is handed to a fresh worker goroutine (idle capacity steals
+// the work); otherwise the worker descends inline, preserving plain
+// depth-first order. Per-node behavior is untouched — branch-trigger
+// selection order, witness-pool construction, and the deterministic
+// closure are identical to the sequential search, which is what makes
+// the canonical model set invariant (see below).
+//
+// Safety rests on a freeze discipline, not on store locks: a state's
+// layer stops growing before its children are snapshotted, and the
+// goroutine spawn that hands a child to a worker establishes the
+// happens-before edge covering every earlier write to the parent
+// chain. See the concurrency notes on logic.FactStore. The only
+// mutable state shared between workers is in this file (atomics and
+// the mutex-guarded sink) plus the lazily cached trigger key, which is
+// an atomic pointer (see triggerKey).
+//
+// Determinism. A complete run (no cancellation, no budget, no visitor
+// stop) explores exactly the same set of search nodes for every worker
+// count, so the canonical stable-model set is bit-identical to the
+// sequential search. Only the delivery order — and, for models whose
+// canonical keys collide across different subtrees, which concrete
+// null labeling is delivered first — depends on scheduling; Workers ==
+// 1 additionally guarantees the exact sequential order.
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ntgd/internal/logic"
+)
+
+// run is the state of one enumeration shared by every worker: the
+// compiled artifacts (read-only for the duration of the run), the
+// pool, the deduplicating model sink, and the cumulative counters.
+type run struct {
+	rules    []*logic.Rule
+	db       *logic.FactStore
+	opt      Options
+	ruleDet  []bool
+	ruleVars [][]string
+	// naive switches trigger detection to the full-rescan oracle
+	// (findTriggerNaive); used by the differential tests only, and
+	// always sequential.
+	naive bool
+	// ctx cancels the search; it is checked at every node alongside
+	// MaxNodes.
+	ctx context.Context
+
+	// nodes is the shared node counter: it is both the Nodes stat and
+	// the MaxNodes budget, so the budget is global across workers.
+	nodes atomic.Int64
+	// stop asks every worker to unwind: set on visitor stop, node
+	// budget exhaustion, and cancellation.
+	stop atomic.Bool
+	// exhausted records that a budget was hit (MaxNodes, or MaxAtoms on
+	// some branch); unlike stop it does not end the search by itself —
+	// a MaxAtoms hit only kills its branch.
+	exhausted atomic.Bool
+
+	// tokens is the pool: capacity Workers-1 (the root worker holds an
+	// implicit slot), nil for a sequential run. A worker forks a branch
+	// child only when a token is free, bounding live goroutines.
+	tokens chan struct{}
+	wg     sync.WaitGroup
+	// models carries stability-checked, deduplicated models from the
+	// workers to the caller goroutine, which owns the visitor — user
+	// code must never run on a pool goroutine. nil for a sequential
+	// run, where the single worker calls the visitor in place.
+	models chan *logic.FactStore
+	// done is closed when the visitor stops the enumeration, releasing
+	// workers blocked on a models send.
+	done chan struct{}
+
+	mu sync.Mutex
+	// seen deduplicates models by canonical key across all workers.
+	// Marking happens after the stability check, just before delivery,
+	// exactly as in the sequential search.
+	seen map[string]bool
+	// visit is the sequential-mode visitor (parallel mode delivers via
+	// the models channel instead).
+	visit func(*logic.FactStore) bool
+	// stats accumulates finished workers' local counters.
+	stats Stats
+	// ctxErr records the first cancellation cause.
+	ctxErr error
+	// stopped records that the visitor ended the enumeration (which is
+	// not an error, unlike ctxErr).
+	stopped bool
+	// emitted counts models delivered to the visitor. Sequential mode
+	// writes it from the single worker; parallel mode only from the
+	// caller goroutine draining the models channel.
+	emitted int64
+}
+
+// resolveWorkers picks the pool size: an explicit per-run override
+// wins over the compiled option, 0 defaults to GOMAXPROCS, and the
+// naive differential oracle is always sequential.
+func resolveWorkers(compiled, perRun int, naive bool) int {
+	w := compiled
+	if perRun != 0 {
+		w = perRun
+	}
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if naive || w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// cancelWith records the first cancellation cause and stops the pool.
+func (r *run) cancelWith(err error) {
+	r.mu.Lock()
+	if r.ctxErr == nil {
+		r.ctxErr = err
+	}
+	r.mu.Unlock()
+	r.stop.Store(true)
+}
+
+// mergeStats folds a finished worker's local counters into the run.
+func (r *run) mergeStats(st Stats) {
+	r.mu.Lock()
+	r.stats.Add(st)
+	r.mu.Unlock()
+}
+
+// seenKey reports whether a canonical model key was already emitted.
+func (r *run) seenKey(key string) bool {
+	r.mu.Lock()
+	ok := r.seen[key]
+	r.mu.Unlock()
+	return ok
+}
+
+// emit delivers a stability-checked model. Two workers may reach the
+// same canonical key concurrently (each paying its own stability
+// check); the seen map is re-checked under the lock so exactly one
+// wins — the same first-wins dedup the sequential search performs,
+// which keeps the emitted canonical model set identical. Reports
+// false when the enumeration should stop.
+func (r *run) emit(key string, m *logic.FactStore) bool {
+	r.mu.Lock()
+	if r.seen[key] || r.stopped {
+		stopped := r.stopped
+		r.mu.Unlock()
+		return !stopped
+	}
+	r.seen[key] = true
+	r.mu.Unlock()
+	if r.models == nil {
+		// Sequential: the single worker runs on the caller goroutine
+		// and may call the visitor directly.
+		r.emitted++
+		if !r.visit(m) {
+			r.stopped = true
+			r.stop.Store(true)
+			return false
+		}
+		return true
+	}
+	select {
+	case r.models <- m:
+		return !r.stop.Load()
+	case <-r.done:
+		return false
+	}
+}
+
+// consume runs on the caller goroutine, feeding the visitor from the
+// models channel until the pool drains. After the visitor stops, the
+// loop keeps discarding queued models so blocked workers wind down;
+// the channel is closed once every worker has exited.
+func (r *run) consume(visit func(*logic.FactStore) bool) {
+	for m := range r.models {
+		r.mu.Lock()
+		stopped := r.stopped
+		r.mu.Unlock()
+		if stopped {
+			continue
+		}
+		r.emitted++
+		if !visit(m) {
+			r.mu.Lock()
+			r.stopped = true
+			r.mu.Unlock()
+			r.stop.Store(true)
+			close(r.done)
+		}
+	}
+}
+
+// explore runs a branch child subtree: inline (plain depth-first
+// order) unless a pool slot is free, in which case the subtree is
+// handed to a fresh worker goroutine and explored concurrently with
+// its siblings. Forked subtrees report failure through the shared
+// stop flag rather than the return value.
+func (s *searcher) explore(child *state) bool {
+	r := s.run
+	if r.stop.Load() {
+		return false
+	}
+	if r.tokens != nil {
+		select {
+		case r.tokens <- struct{}{}:
+			r.wg.Add(1)
+			go func() {
+				defer func() {
+					<-r.tokens
+					r.wg.Done()
+				}()
+				w := &searcher{run: r}
+				w.dfs(child)
+				r.mergeStats(w.stats)
+			}()
+			return true
+		default:
+		}
+	}
+	return s.dfs(child)
+}
+
+// finalStats assembles the run's Stats after every worker has joined.
+func (r *run) finalStats() (Stats, error) {
+	r.mu.Lock()
+	st := r.stats
+	err := r.ctxErr
+	r.mu.Unlock()
+	st.Nodes = r.nodes.Load()
+	st.ModelsEmitted = r.emitted
+	return st, err
+}
+
+// execute runs the search from the root state with the given pool
+// size, delivering models to visit on the caller's goroutine, and
+// returns the uniform (Stats, exhausted, error) triple of
+// engine.Engine.Enumerate.
+func (r *run) execute(root *state, workers int, visit func(*logic.FactStore) bool) (Stats, bool, error) {
+	if workers <= 1 {
+		r.visit = visit
+		w := &searcher{run: r}
+		w.dfs(root)
+		r.mergeStats(w.stats)
+	} else {
+		r.tokens = make(chan struct{}, workers-1)
+		r.models = make(chan *logic.FactStore, workers)
+		r.done = make(chan struct{})
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			w := &searcher{run: r}
+			w.dfs(root)
+			r.mergeStats(w.stats)
+		}()
+		go func() {
+			// Close the sink only after the root worker and every
+			// forked subtree have exited; consume then terminates and
+			// no goroutine outlives the enumeration.
+			r.wg.Wait()
+			close(r.models)
+		}()
+		r.consume(visit)
+	}
+	stats, ctxErr := r.finalStats()
+	if ctxErr != nil {
+		return stats, true, ctxErr
+	}
+	var err error
+	exhausted := r.exhausted.Load()
+	if exhausted {
+		err = ErrBudget
+	}
+	return stats, exhausted, err
+}

@@ -122,6 +122,21 @@ func TestAgendaMatchesNaiveRandomized(t *testing.T) {
 			t.Fatalf("model sets diverge on program #%d:\n%s\nagenda: %d models %v\nnaive:  %d models %v",
 				generated, progString(prog), len(agendaKeys), agendaKeys, len(naiveKeys), naiveKeys)
 		}
+		// Parallel pinning: the worker pool must emit exactly the
+		// sequential canonical model set at every pool size (delivery
+		// order may differ; the set may not).
+		for _, w := range []int{2, 8} {
+			popt := opt
+			popt.Workers = w
+			parKeys, exP := canonicalModelSet(t, db, prog.Rules, popt, false)
+			if exP {
+				continue
+			}
+			if fmt.Sprint(parKeys) != fmt.Sprint(naiveKeys) {
+				t.Fatalf("parallel model set diverges at workers=%d on program #%d:\n%s\nparallel: %d models %v\nnaive:    %d models %v",
+					w, generated, progString(prog), len(parKeys), parKeys, len(naiveKeys), naiveKeys)
+			}
+		}
 		compared++
 	}
 	if compared < 180 {
@@ -166,6 +181,14 @@ hasFather(X,Y), hasFather(X,Z), not sameAs(Y,Z) -> abnormal(X).
 			}
 			if len(agendaKeys) == 0 && tc.name != "no-models" {
 				t.Fatalf("expected at least one model")
+			}
+			for _, w := range []int{2, 8} {
+				popt := opt
+				popt.Workers = w
+				parKeys, _ := canonicalModelSet(t, db, prog.Rules, popt, false)
+				if fmt.Sprint(parKeys) != fmt.Sprint(naiveKeys) {
+					t.Fatalf("parallel model set diverges at workers=%d:\nparallel: %v\nnaive:    %v", w, parKeys, naiveKeys)
+				}
 			}
 		})
 	}

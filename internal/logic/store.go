@@ -20,6 +20,21 @@ import (
 // every read merges the layers transparently. Store indices are global
 // across a chain — a layer's first own atom has index base — so delta
 // windows taken against a parent remain valid against its snapshots.
+//
+// Concurrency. A FactStore is not synchronized; what makes concurrent
+// use of snapshot chains safe is a freeze discipline, not locks. Every
+// read path (Has/HasKey, the posting lists behind FindHoms, Domain,
+// Atoms, Len, Snapshot, Clone, CanonicalString, ...) is mutation-free,
+// so any number of goroutines may read through a chain concurrently
+// provided no layer of that chain is being written. Add may only be
+// called by the single goroutine owning the topmost layer, and only
+// while no other goroutine is reading through that layer. The parallel
+// stable-model search satisfies this structurally: a search node's
+// layer stops growing before its branch children are snapshotted, each
+// child layer has exactly one owning worker, and handing a child to a
+// worker (a goroutine spawn or channel send) establishes the
+// happens-before edge covering the parent chain's earlier writes.
+// TestSnapshotConcurrentBranchReaders pins the discipline under -race.
 type FactStore struct {
 	// parent is the layer below in a copy-on-write snapshot chain; nil
 	// for a root store. This layer sees exactly the first base atoms of
@@ -86,6 +101,10 @@ func StoreOf(atoms ...Atom) *FactStore {
 // frozen at the snapshot length. Taking a snapshot is O(1) (layers that
 // never grew are collapsed away; a chain deeper than maxSnapshotDepth
 // is flattened into a fresh root, costing one deep copy).
+//
+// Sibling snapshots may be used from different goroutines once their
+// shared ancestors stop growing; see the concurrency notes on
+// FactStore.
 func (s *FactStore) Snapshot() *FactStore {
 	base := s.Len()
 	parent := s

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Runs the gate benchmarks for the CI bench-diff job and writes the raw
+# `go test -bench` output to the given file. The job copies this script
+# to /tmp before checking out the merge-base, so head and base run the
+# exact same harness even when the script itself changed in the PR.
+#
+#   scripts/bench.sh /tmp/bench-head.txt
+#
+# BENCH_COUNT (default 6) controls the sample count benchstat and
+# cmd/benchdiff aggregate over; BENCH_TIME (default 300ms) the per-run
+# benchtime.
+set -euo pipefail
+
+out="${1:?usage: bench.sh <output-file>}"
+count="${BENCH_COUNT:-6}"
+benchtime="${BENCH_TIME:-300ms}"
+
+# The gate set: the branch-heavy search (sequential and parallel), the
+# Solver-session amortization, and the store branching primitive.
+# Names must stay unique across packages — cmd/benchdiff and benchstat
+# aggregate on the bare benchmark name.
+pattern='StableSearchChoiceWide|ParallelSearch|SolverReuse|StoreBranch'
+
+go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -count "$count" \
+  ./ ./internal/core/ ./internal/logic/ | tee "$out"

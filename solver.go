@@ -20,10 +20,12 @@ type CompileOptions struct {
 	// program (SO, the default, is the paper's new semantics).
 	Semantics Semantics
 	// Options carries the search knobs. Under SO and Operational every
-	// field applies; under LP the pipeline honors MaxModels and
+	// field applies — including Options.Workers, which sizes the
+	// parallel branch-exploration pool (0 = GOMAXPROCS, 1 =
+	// sequential). Under LP the pipeline honors MaxModels and
 	// MaxNodes (the witness space is fixed by Skolemization, so
-	// WitnessPolicy and ExtraConstants do not apply, and MaxAtoms is
-	// replaced by the grounder's own bounds).
+	// WitnessPolicy, ExtraConstants, and Workers do not apply, and
+	// MaxAtoms is replaced by the grounder's own bounds).
 	Options Options
 }
 
@@ -38,7 +40,10 @@ type CompileOptions struct {
 //
 // A Solver is safe for sequential reuse. Concurrent calls require
 // external synchronization: the copy-on-write fact store layers the
-// search branches on are not synchronized.
+// search branches on are not synchronized across calls. Within one
+// call the search itself may run parallel — Options.Workers sizes a
+// worker pool that explores independent branch subtrees concurrently
+// (see Models for the ordering guarantee).
 type Solver struct {
 	prog   *Program
 	sem    Semantics
@@ -114,6 +119,13 @@ func (s *Solver) record(st Stats, exhausted bool) {
 // every case Stats reports the partial effort and the Solver remains
 // reusable for further calls. Options.MaxModels, when set, bounds the
 // number of models yielded.
+//
+// Ordering: with Options.Workers == 1 the stream is the deterministic
+// sequential depth-first order; with a larger pool (the default is
+// GOMAXPROCS) sibling subtrees are explored concurrently and a
+// complete enumeration yields the same canonical model set in a
+// scheduling-dependent order. Models are always delivered on the
+// caller's goroutine, whatever the pool size.
 func (s *Solver) Models(ctx context.Context) iter.Seq2[*FactStore, error] {
 	return func(yield func(*FactStore, error) bool) {
 		stopped := false

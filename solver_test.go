@@ -311,6 +311,102 @@ func TestSolverMaxModels(t *testing.T) {
 	}
 }
 
+// TestSolverParallelMatchesSequential pins the public ordering
+// guarantee: Workers == 1 yields the deterministic sequential stream;
+// any larger pool yields the same model set (the program is null-free,
+// so canonical strings compare exactly).
+func TestSolverParallelMatchesSequential(t *testing.T) {
+	prog := subsetProgram(7) // 128 models
+	seq := ntgd.MustCompile(prog, ntgd.CompileOptions{Options: ntgd.Options{Workers: 1}})
+	seqModels, err := collectModels(context.Background(), seq)
+	if err != nil {
+		t.Fatalf("sequential enumeration: %v", err)
+	}
+	for _, w := range []int{2, 4} {
+		par := ntgd.MustCompile(prog, ntgd.CompileOptions{Options: ntgd.Options{Workers: w}})
+		parModels, err := collectModels(context.Background(), par)
+		if err != nil {
+			t.Fatalf("workers=%d enumeration: %v", w, err)
+		}
+		if !equalStringSlices(canonicalSet(seqModels), canonicalSet(parModels)) {
+			t.Fatalf("workers=%d: model set diverges from sequential (%d vs %d models)",
+				w, len(parModels), len(seqModels))
+		}
+	}
+}
+
+// TestSolverParallelCancellationMidSearch repeats the cancellation
+// contract with a 4-worker pool: prompt termination with
+// context.Canceled, partial stats, no leaked pool goroutines, and a
+// fully reusable Solver.
+func TestSolverParallelCancellationMidSearch(t *testing.T) {
+	prog := subsetProgram(10) // 1024 models
+	baseline := runtime.NumGoroutine()
+	s := ntgd.MustCompile(prog, ntgd.CompileOptions{Options: ntgd.Options{Workers: 4}})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	got := 0
+	var terminal error
+	for m, err := range s.Models(ctx) {
+		if err != nil {
+			terminal = err
+			continue
+		}
+		if m == nil {
+			t.Fatal("nil model without error")
+		}
+		got++
+		if got == 3 {
+			cancel()
+		}
+	}
+	if !errors.Is(terminal, context.Canceled) {
+		t.Fatalf("terminal error = %v, want context.Canceled", terminal)
+	}
+	if got < 3 || got >= 1024 {
+		t.Fatalf("models before cancellation = %d, want a small prefix", got)
+	}
+	if !s.Exhausted() {
+		t.Fatal("Exhausted() must report the cancelled run as incomplete")
+	}
+	awaitGoroutines(t, baseline)
+	models, err := collectModels(context.Background(), s)
+	if err != nil {
+		t.Fatalf("second enumeration: %v", err)
+	}
+	if len(models) != 1024 {
+		t.Fatalf("second enumeration found %d models, want 1024", len(models))
+	}
+	awaitGoroutines(t, baseline)
+}
+
+// TestSolverParallelEarlyBreakReleasesSearch breaks out of a 4-worker
+// stream after one model: the pool must wind down without an error or
+// leaked goroutines, and the Solver must then enumerate the full set.
+func TestSolverParallelEarlyBreakReleasesSearch(t *testing.T) {
+	prog := subsetProgram(8) // 256 models
+	baseline := runtime.NumGoroutine()
+	s := ntgd.MustCompile(prog, ntgd.CompileOptions{Options: ntgd.Options{Workers: 4}})
+	for m, err := range s.Models(context.Background()) {
+		if err != nil {
+			t.Fatalf("unexpected error on early break: %v", err)
+		}
+		if m == nil {
+			t.Fatal("nil model")
+		}
+		break
+	}
+	awaitGoroutines(t, baseline)
+	models, err := collectModels(context.Background(), s)
+	if err != nil {
+		t.Fatalf("full enumeration after break: %v", err)
+	}
+	if len(models) != 256 {
+		t.Fatalf("full enumeration found %d models, want 256", len(models))
+	}
+	awaitGoroutines(t, baseline)
+}
+
 // TestLegacyLPOptionsRouted pins the satellite bug fix: under LP the
 // wrappers must honor Options.MaxModels and report Stats/Exhausted
 // instead of silently dropping them.
