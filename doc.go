@@ -141,12 +141,30 @@
 //     branch time — is unchanged, so a complete enumeration emits a
 //     canonical model set bit-identical to the sequential search;
 //     only Workers == 1 additionally fixes the delivery order.
+//   - Stability checking is session-based: the Proposition 11 check
+//     (no J with D ⊆ J ⊊ M⁺ satisfies the τ-translation) is encoded
+//     into CNF incrementally along the search tree instead of from
+//     scratch per candidate model. A per-state stability session
+//     mirrors the snapshot chain — each layer owns the clauses and
+//     atom variables of its store window, keyed by global store index,
+//     and a child extends its parent by encoding only the delta:
+//     FindHomsFrom above the parent's high-water mark for new body
+//     homomorphisms, plus completion joins that chain newly visible
+//     head witnesses onto existing clauses through extension-tail
+//     literals. One CDCL SAT solver instance (internal/sat:
+//     solve-under-assumptions leaving clauses intact, first-UIP clause
+//     learning, copy-on-extend Clone at worker forks) serves every
+//     model emitted beneath a branch; the per-model conditions — which
+//     homomorphisms are unblocked in M, each clause's latest witness
+//     set, and the proper-subset requirement — are assumptions and
+//     activation literals, never rebuilt formulas.
 //
 // The pre-index code paths are retained package-privately
 // (logic.naiveFindHoms, chase.runNaive, asp.gammaNaive, the naive
-// minimality enumerations, and core.findTriggerNaive — the full-rescan
-// trigger detection behind the agenda-based search) as oracles:
-// randomized differential tests pin the optimized engines to them, so
-// future changes to the index or the delta discipline are caught by
-// `go test ./...`.
+// minimality enumerations, core.findTriggerNaive — the full-rescan
+// trigger detection behind the agenda-based search — and
+// core.stableAgainstSubsetsNaive, the full-rebuild stability encoder
+// behind the sessions) as oracles: randomized differential tests pin
+// the optimized engines to them, so future changes to the index or
+// the delta discipline are caught by `go test ./...`.
 package ntgd

@@ -137,3 +137,51 @@ func BenchmarkStableSearchDisjunctiveExistential(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkStabilitySession pins the incremental stability sessions on
+// the two shapes they were built for. deep-pad grows a store that is
+// very large relative to its per-branch deltas (few choices over a big
+// inert prefix): pre-session, every emitted model re-encoded the whole
+// prefix for its stability check; the session encodes it once at the
+// root and each model pays only its delta window plus one
+// solve-under-assumptions. wide-choice is branch-heavy (2^10 models
+// over a small prefix), stressing per-branch window encoding, arena
+// sharing down the tree, and the dead-encoding pinning that keeps each
+// solve confined to its own path. Workers=8 additionally exercises the
+// copy-on-extend arena cloning at forks (on a multi-core runner it
+// also spreads the per-model solves).
+func BenchmarkStabilitySession(b *testing.B) {
+	shapes := []struct {
+		name       string
+		items, pad int
+		wantModels int
+	}{
+		{"deep-pad", 4, 1024, 1 << 4},
+		{"wide-choice", 10, 32, 1 << 10},
+	}
+	for _, shape := range shapes {
+		prog, err := parser.Parse(benchChoiceProgram(shape.items, shape.pad))
+		if err != nil {
+			b.Fatal(err)
+		}
+		db := prog.Database()
+		for _, workers := range []int{1, 8} {
+			opt := core.Options{MaxAtoms: 8192, Workers: workers}
+			b.Run(fmt.Sprintf("%s/workers=%d", shape.name, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res, err := core.StableModels(db, prog.Rules, opt)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(res.Models) != shape.wantModels {
+						b.Fatalf("models = %d, want %d", len(res.Models), shape.wantModels)
+					}
+					if res.Stats.StabilityChecks < int64(shape.wantModels) {
+						b.Fatalf("stability checks = %d, want >= %d", res.Stats.StabilityChecks, shape.wantModels)
+					}
+				}
+			})
+		}
+	}
+}

@@ -84,6 +84,12 @@ type Options struct {
 	// only when the effective worker count is 1. Overridable per run
 	// via engine.Params.Workers.
 	Workers int
+
+	// stabOracle, when non-nil, cross-checks every session-based
+	// stability verdict against the full-rebuild oracle
+	// (stableAgainstSubsetsNaive) and counts mismatches. Package-private:
+	// only the differential tests set it.
+	stabOracle *atomic.Int64
 }
 
 // Stats reports search effort. It is the engine-uniform report shared
@@ -116,6 +122,12 @@ type Compiled struct {
 	// rules[i] — exactly the domain of its trigger homomorphisms — used
 	// to build compact trigger keys.
 	ruleVars [][]string
+	// rulePosPreds[i] lists the distinct positive-body predicates of
+	// rules[i]: a delta sweep (agenda refresh or stability-session
+	// window) can skip the rule outright when none of them occurs in
+	// the window, because every new homomorphism must seed from a
+	// window atom matching a positive body atom.
+	rulePosPreds [][]string
 
 	mu sync.Mutex
 	// budgets caches the chase-derived MaxAtoms budget per canonical
@@ -230,20 +242,37 @@ func (c *Compiled) enumerate(ctx context.Context, p engine.Params, visit func(*l
 		opt.MaxAtoms = c.budgetFor(ctx, opt.ExtraConstants)
 	}
 	r := &run{
-		rules:    c.rules,
-		db:       c.db,
-		opt:      opt,
-		ruleDet:  c.ruleDet,
-		ruleVars: c.ruleVars,
-		naive:    naive,
-		ctx:      ctx,
-		seen:     make(map[string]bool),
+		rules:        c.rules,
+		db:           c.db,
+		opt:          opt,
+		ruleDet:      c.ruleDet,
+		ruleVars:     c.ruleVars,
+		rulePosPreds: c.rulePosPreds,
+		naive:        naive,
+		ctx:          ctx,
+		seen:         make(map[string]bool),
+	}
+	// Filled before the pool spawns: the session encoder and the model
+	// keyer read these caches from every worker.
+	r.initRuleBodies()
+	r.dbAtomStr = make([]string, 0, c.db.Len())
+	for _, a := range c.db.Atoms() {
+		r.dbAtomStr = append(r.dbAtomStr, a.String())
+		if a.HasNull() {
+			r.dbHasNulls = true
+		}
+	}
+	for _, t := range opt.ExtraConstants {
+		if t.HasNull() {
+			r.dbHasNulls = true
+		}
 	}
 	root := &state{
 		A:        c.db.Snapshot(),
 		mustIn:   map[string]logic.Atom{},
 		mustOut:  map[string]logic.Atom{},
 		deferred: map[string]bool{},
+		owns:     ownsMustIn | ownsMustOut | ownsDeferred,
 	}
 	return r.execute(root, resolveWorkers(opt.Workers, p.Workers, naive), visit)
 }
@@ -291,33 +320,85 @@ func enumStableModels(db *logic.FactStore, rules []*logic.Rule, opt Options, vis
 // made when deferring a trigger (mustIn: atoms that must eventually be
 // derived), the set of deferred trigger keys, and the trigger agenda.
 type state struct {
-	A        *logic.FactStore
+	A *logic.FactStore
+	// mustIn/mustOut/deferred are shared copy-on-write with the parent
+	// state: clone hands the child the parent's maps read-only, and the
+	// ensure* helpers copy on the first write (owns tracks which maps
+	// this state owns). Reads need no chain walk — a state always sees
+	// one complete map.
 	mustIn   map[string]logic.Atom
 	mustOut  map[string]logic.Atom
 	deferred map[string]bool
+	owns     ownedMaps
 	nullCtr  int
 	agenda   agenda
+	// sess is the state's stability-session layer, mirroring the store
+	// snapshot chain (see stability.go): extended to the state's store
+	// length before children snapshot it, then frozen. nil until the
+	// first branch point (and always nil in naive mode, which uses the
+	// full-rebuild oracle instead).
+	sess *stabSession
 }
+
+// ownedMaps flags which assumption maps a state owns (may write).
+type ownedMaps uint8
+
+const (
+	ownsMustIn ownedMaps = 1 << iota
+	ownsMustOut
+	ownsDeferred
+)
 
 func (st *state) clone() *state {
 	c := &state{
 		A:        st.A.Snapshot(),
-		mustIn:   make(map[string]logic.Atom, len(st.mustIn)),
-		mustOut:  make(map[string]logic.Atom, len(st.mustOut)),
-		deferred: make(map[string]bool, len(st.deferred)),
+		mustIn:   st.mustIn,
+		mustOut:  st.mustOut,
+		deferred: st.deferred,
 		nullCtr:  st.nullCtr,
 		agenda:   st.agenda.clone(),
 	}
-	for k, v := range st.mustIn {
-		c.mustIn[k] = v
-	}
-	for k, v := range st.mustOut {
-		c.mustOut[k] = v
-	}
-	for k := range st.deferred {
-		c.deferred[k] = true
+	if st.sess != nil {
+		c.sess = st.sess.child()
 	}
 	return c
+}
+
+// ensureMustIn/ensureMustOut/ensureDeferred make the state's map
+// private before a write: the parent's map is copied once, then owned.
+// The parent is frozen while children run (the same discipline the
+// store snapshots rely on), so sharing the maps read-only is safe.
+func (st *state) ensureMustIn() {
+	if st.owns&ownsMustIn == 0 {
+		m := make(map[string]logic.Atom, len(st.mustIn)+1)
+		for k, v := range st.mustIn {
+			m[k] = v
+		}
+		st.mustIn = m
+		st.owns |= ownsMustIn
+	}
+}
+
+func (st *state) ensureMustOut() {
+	if st.owns&ownsMustOut == 0 {
+		m := make(map[string]logic.Atom, len(st.mustOut)+1)
+		for k, v := range st.mustOut {
+			m[k] = v
+		}
+		st.mustOut = m
+		st.owns |= ownsMustOut
+	}
+}
+
+func (st *state) ensureDeferred() {
+	if st.owns&ownsDeferred == 0 {
+		m := make(map[string]bool, len(st.deferred)+1)
+		for k := range st.deferred {
+			m[k] = true
+		}
+		st.deferred = m
+		st.owns |= ownsDeferred
+	}
 }
 
 // agenda is the per-state queue of candidate triggers. It is seeded
@@ -357,14 +438,19 @@ type searcher struct {
 	// worker exits (Nodes and ModelsEmitted are tracked on the run
 	// itself: the node counter doubles as the global MaxNodes budget,
 	// and emission is owned by the sink).
-	stats  Stats
-	keyBuf []byte // reused by triggerKey
+	stats    Stats
+	keyBuf   []byte   // reused by triggerKey
+	partsBuf []string // reused by modelKey
+	// stab holds the worker-local scratch buffers of the stability
+	// session encoder and solver (stability.go).
+	stab stabScratch
 }
 
 // initRules precomputes the per-rule facts the hot trigger paths need.
 func (s *Compiled) initRules() {
 	s.ruleDet = make([]bool, len(s.rules))
 	s.ruleVars = make([][]string, len(s.rules))
+	s.rulePosPreds = make([][]string, len(s.rules))
 	for i, r := range s.rules {
 		// A rule needs no branching when it has a single disjunct, no
 		// negation, and no existential head variables — or when it is a
@@ -382,7 +468,34 @@ func (s *Compiled) initRules() {
 		}
 		sort.Strings(vars)
 		s.ruleVars[i] = vars
+		preds := make([]string, 0, 4)
+		for _, a := range r.PosBody() {
+			dup := false
+			for _, p := range preds {
+				if p == a.Pred {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				preds = append(preds, a.Pred)
+			}
+		}
+		s.rulePosPreds[i] = preds
 	}
+}
+
+// predsIntersect reports whether the two small predicate lists share an
+// element.
+func predsIntersect(a, b []string) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // trigger is an active trigger: a rule, a homomorphism of its positive
@@ -439,10 +552,39 @@ func (s *searcher) refreshAgenda(st *state) {
 		return
 	}
 	from := st.agenda.scanned
+	seeded := st.agenda.seeded
 	st.agenda.seeded = true
+	// For a delta sweep, collect the window's predicates once: rules
+	// with no positive body predicate in the window cannot gain a new
+	// trigger, so their homomorphism searches are skipped outright.
+	// (The root sweep must run every rule — including empty-positive-
+	// body rules, which no delta ever covers.)
+	var winPreds []string
+	if seeded {
+		winPreds = s.stab.preds[:0]
+		seen := s.stab.predSeen
+		if seen == nil {
+			seen = make(map[string]bool)
+			s.stab.predSeen = seen
+		}
+		st.A.EachAtomIn(from, n, func(_ int, a logic.Atom) bool {
+			if !seen[a.Pred] {
+				seen[a.Pred] = true
+				winPreds = append(winPreds, a.Pred)
+			}
+			return true
+		})
+		for _, p := range winPreds {
+			delete(seen, p)
+		}
+		s.stab.preds = winPreds[:0]
+	}
 	for i, r := range s.rules {
 		rule, idx := r, i
-		logic.FindHomsFrom(rule.PosBody(), rule.NegBody(), st.A, from, logic.Subst{}, func(h logic.Subst) bool {
+		if seeded && !predsIntersect(s.rulePosPreds[i], winPreds) {
+			continue
+		}
+		logic.FindHomsFrom(s.rulePos[idx], s.ruleNeg[idx], st.A, from, logic.Subst{}, func(h logic.Subst) bool {
 			// Satisfied heads need no action.
 			for d := range rule.Heads {
 				if logic.ExistsHom(rule.Heads[d], nil, st.A, h) {
@@ -473,7 +615,7 @@ func (s *searcher) triggerActive(st *state, t *trigger) bool {
 	if len(st.deferred) > 0 && st.deferred[s.triggerKey(t)] {
 		return false
 	}
-	for _, n := range t.rule.NegBody() {
+	for _, n := range s.ruleNeg[t.ruleIdx] {
 		if st.A.HasUnder(t.hom, n) {
 			return false
 		}
@@ -608,6 +750,12 @@ func (s *searcher) dfs(st *state) bool {
 // it — so sibling subtrees may be explored concurrently (see explore).
 func (s *searcher) branch(st *state, t *trigger) bool {
 	s.stats.Branches++
+	if !s.naive {
+		// Freeze discipline: encode this state's stability window before
+		// any child snapshots the session chain. Every model emitted
+		// below shares this segment of the encoding.
+		s.extendStability(st)
+	}
 	for i := range t.rule.Heads {
 		exist := t.rule.ExistVars(i)
 		for _, mu := range s.witnessTuples(st, exist) {
@@ -639,8 +787,12 @@ func (s *searcher) branch(st *state, t *trigger) bool {
 	}
 	// Deferral branches: assume one negative body instance will be in
 	// the final model, blocking the trigger.
+	negBody := s.ruleNeg[t.ruleIdx]
+	if len(negBody) == 0 {
+		return true
+	}
 	seenNeg := map[string]bool{}
-	for _, n := range t.rule.NegBody() {
+	for _, n := range negBody {
 		g := t.hom.ApplyAtom(n)
 		k := g.Key()
 		if seenNeg[k] {
@@ -651,7 +803,9 @@ func (s *searcher) branch(st *state, t *trigger) bool {
 		if _, conflict := child.mustOut[k]; conflict {
 			continue
 		}
+		child.ensureMustIn()
 		child.mustIn[k] = g
+		child.ensureDeferred()
 		child.deferred[s.triggerKey(t)] = true
 		if !s.explore(child) {
 			return false
@@ -740,7 +894,7 @@ func (s *searcher) applyTo(st *state, t *trigger, disjunct int, full logic.Subst
 	if t.rule.IsConstraint() {
 		return false
 	}
-	for _, n := range t.rule.NegBody() {
+	for _, n := range s.ruleNeg[t.ruleIdx] {
 		g := t.hom.ApplyAtom(n)
 		k := g.Key()
 		if st.A.HasKey(k) {
@@ -749,6 +903,7 @@ func (s *searcher) applyTo(st *state, t *trigger, disjunct int, full logic.Subst
 		if _, promised := st.mustIn[k]; promised {
 			return false
 		}
+		st.ensureMustOut()
 		st.mustOut[k] = g
 	}
 	for _, a := range t.rule.Heads[disjunct] {
@@ -769,7 +924,13 @@ func (s *searcher) applyTo(st *state, t *trigger, disjunct int, full logic.Subst
 // stability condition, emits the model through the run's deduplicating
 // sink. The stability check — the dominant per-model cost — runs
 // outside the sink lock, so workers validate candidate models
-// concurrently.
+// concurrently. The session path relies on the agenda invariant that a
+// fixpoint state passing the mustIn/mustOut checks is a model of Σ
+// (every body homomorphism was discovered by some sweep and either
+// fired, had a head disjunct satisfied, or was deferred with its
+// promised negative instance now derived); the naive oracle keeps the
+// explicit logic.IsModel check, so the differential suites would
+// surface any violation as a model-set mismatch.
 func (s *searcher) complete(st *state) bool {
 	s.stats.Completed++
 	for k := range st.mustIn {
@@ -782,19 +943,55 @@ func (s *searcher) complete(st *state) bool {
 			return true // a negative assumption was violated
 		}
 	}
-	if !logic.IsModel(s.rules, st.A) {
+	if s.naive && !logic.IsModel(s.rules, st.A) {
 		return true
 	}
-	key := canonicalModelKey(st.A)
+	key := s.modelKey(st)
 	if s.seenKey(key) {
 		return true
 	}
 	s.stats.StabilityChecks++
-	if !stableAgainstSubsets(s.db, s.rules, st.A) {
+	var stable bool
+	if s.naive {
+		stable = stableAgainstSubsetsNaive(s.db, s.rules, st.A)
+	} else {
+		s.extendStability(st)
+		stable = s.stableSession(st)
+		if s.opt.stabOracle != nil && stable != stableAgainstSubsetsNaive(s.db, s.rules, st.A) {
+			s.opt.stabOracle.Add(1)
+		}
+	}
+	if !stable {
 		s.stats.StabilityFailed++
 		return true
 	}
-	return s.emit(key, st.A.Clone())
+	// The emitted store is an O(1) snapshot of the leaf: the leaf layer
+	// and its frozen ancestors are never written again (complete is
+	// terminal for the state, and parent layers froze when their
+	// children were snapshotted), so the chain may be shared with the
+	// caller instead of flattened into a deep copy.
+	return s.emit(key, st.A.Snapshot())
+}
+
+// modelKey returns canonicalModelKey(st.A), through a fast path for
+// the common null-free candidate: without nulls the canonical key is
+// just the sorted atom renders, and the database prefix — shared by
+// every leaf of the search — is rendered once per run instead of once
+// per candidate. st.nullCtr counts the nulls invented along the path,
+// so nullCtr == 0 with a null-free database certifies a null-free
+// store.
+func (s *searcher) modelKey(st *state) string {
+	if s.dbHasNulls || st.nullCtr > 0 {
+		return canonicalModelKey(st.A)
+	}
+	n := st.A.Len()
+	parts := append(s.partsBuf[:0], s.dbAtomStr...)
+	for i := len(s.dbAtomStr); i < n; i++ {
+		parts = append(parts, st.A.AtomAt(i).String())
+	}
+	sort.Strings(parts)
+	s.partsBuf = parts[:0]
+	return strings.Join(parts, ";")
 }
 
 // canonicalModelKey renders the model with nulls renamed by first

@@ -28,14 +28,42 @@ type compiledModelCheck struct {
 	instances []groundInstance
 }
 
+// universeIndex addresses the universe by global store index instead of
+// rendered atom keys: dbAt[i] reports database membership of the atom
+// at universe index i, and bitAt[i] is its bitmask position (-1 for
+// database atoms). One pass over the universe replaces the per-instance
+// inDB/bit string-map lookups of the old compiler — instance atoms
+// resolve through IndexUnder, which probes the store's existing key
+// index without building per-call maps.
+type universeIndex struct {
+	dbAt  []bool
+	bitAt []int
+}
+
+// indexUniverse partitions the universe against the database by store
+// index, returning the index tables and the non-database atoms in
+// insertion order.
+func indexUniverse(db, universe *logic.FactStore) (universeIndex, []logic.Atom) {
+	n := universe.Len()
+	u := universeIndex{dbAt: make([]bool, n), bitAt: make([]int, n)}
+	var extra []logic.Atom
+	universe.EachAtomIn(0, n, func(i int, a logic.Atom) bool {
+		if db.Has(a) {
+			u.dbAt[i] = true
+			u.bitAt[i] = -1
+		} else {
+			u.bitAt[i] = len(extra)
+			extra = append(extra, a)
+		}
+		return true
+	})
+	return u, extra
+}
+
 // compileModelCheck materializes all rule instances of rules over the
-// universe. extra lists the non-database atoms of the universe (bit i
-// of a mask = extra[i] ∈ J); inDB tells database membership by key.
-func compileModelCheck(rules []*logic.Rule, universe *logic.FactStore, extra []logic.Atom, inDB map[string]bool) *compiledModelCheck {
-	bit := make(map[string]int, len(extra))
-	for i, a := range extra {
-		bit[a.Key()] = i
-	}
+// universe, with instance atoms addressed by store index (see
+// universeIndex).
+func compileModelCheck(rules []*logic.Rule, universe *logic.FactStore, u universeIndex) *compiledModelCheck {
 	c := &compiledModelCheck{}
 	for _, r := range rules {
 		rule := r
@@ -47,21 +75,20 @@ func compileModelCheck(rules []*logic.Rule, universe *logic.FactStore, extra []l
 		logic.FindHoms(pos, nil, universe, logic.Subst{}, func(h logic.Subst) bool {
 			inst := groundInstance{}
 			for _, b := range pos {
-				k := h.ApplyAtom(b).Key()
-				if inDB[k] {
+				idx, _ := universe.IndexUnder(h, b)
+				if u.dbAt[idx] {
 					continue // always in J
 				}
-				inst.posMask |= 1 << bit[k]
+				inst.posMask |= 1 << u.bitAt[idx]
 			}
 			blocked := false
 			for _, n := range neg {
-				g := h.ApplyAtom(n)
-				k := g.Key()
+				idx, inU := universe.IndexUnder(h, n)
 				switch {
-				case inDB[k]:
+				case inU && u.dbAt[idx]:
 					blocked = true // always in J: the instance never fires
-				case universe.Has(g):
-					inst.negMask |= 1 << bit[k]
+				case inU:
+					inst.negMask |= 1 << u.bitAt[idx]
 				}
 				// Atoms outside U can never be in J: vacuously absent.
 				if blocked {
@@ -77,11 +104,11 @@ func compileModelCheck(rules []*logic.Rule, universe *logic.FactStore, extra []l
 				logic.FindHoms(head, nil, universe, h, func(mu logic.Subst) bool {
 					var ext uint32
 					for _, a := range head {
-						k := mu.ApplyAtom(a).Key()
-						if inDB[k] {
+						idx, _ := universe.IndexUnder(mu, a)
+						if u.dbAt[idx] {
 							continue
 						}
-						ext |= 1 << bit[k]
+						ext |= 1 << u.bitAt[idx]
 					}
 					if ext == 0 {
 						// The extension lands entirely in D: satisfied
@@ -127,19 +154,16 @@ func (c *compiledModelCheck) isModel(jmask uint32) bool {
 	return true
 }
 
-// splitExtra partitions the universe into database atoms (by key) and
-// the non-database rest, preserving insertion order.
-func splitExtra(db, universe *logic.FactStore) (extra []logic.Atom, inDB map[string]bool) {
-	inDB = make(map[string]bool, db.Len())
-	for _, a := range db.Atoms() {
-		inDB[a.Key()] = true
-	}
+// splitExtra returns the non-database atoms of the universe, preserving
+// insertion order (the naive oracles' helper).
+func splitExtra(db, universe *logic.FactStore) []logic.Atom {
+	var extra []logic.Atom
 	for _, a := range universe.Atoms() {
-		if !inDB[a.Key()] {
+		if !db.Has(a) {
 			extra = append(extra, a)
 		}
 	}
-	return extra, inDB
+	return extra
 }
 
 // IsMinimalModel checks the circumscription condition MM[D,Σ] of
@@ -158,7 +182,7 @@ func IsMinimalModel(db *logic.FactStore, rules []*logic.Rule, m *logic.FactStore
 	if !db.SubsetOf(m) || !logic.IsModel(rules, m) {
 		return false
 	}
-	extra, inDB := splitExtra(db, m)
+	u, extra := indexUniverse(db, m)
 	n := len(extra)
 	if n == 0 {
 		return true
@@ -168,7 +192,7 @@ func IsMinimalModel(db *logic.FactStore, rules []*logic.Rule, m *logic.FactStore
 		// brute-force circumscription check at this size.
 		panic("core: IsMinimalModel is limited to 24 non-database atoms")
 	}
-	c := compileModelCheck(rules, m, extra, inDB)
+	c := compileModelCheck(rules, m, u)
 	// Enumerate proper subsets.
 	for mask := uint32(0); mask < 1<<n-1; mask++ {
 		if c.isModel(mask) {
@@ -185,7 +209,7 @@ func isMinimalModelNaive(db *logic.FactStore, rules []*logic.Rule, m *logic.Fact
 	if !db.SubsetOf(m) || !logic.IsModel(rules, m) {
 		return false
 	}
-	extra, _ := splitExtra(db, m)
+	extra := splitExtra(db, m)
 	n := len(extra)
 	if n == 0 {
 		return true
@@ -213,12 +237,12 @@ func isMinimalModelNaive(db *logic.FactStore, rules []*logic.Rule, m *logic.Fact
 // MM[D,Σ] with SM[D,Σ] on small instances. Model checking per subset
 // uses the same compiled instances as IsMinimalModel.
 func MinimalModels(db *logic.FactStore, rules []*logic.Rule, universe *logic.FactStore) []*logic.FactStore {
-	extra, inDB := splitExtra(db, universe)
+	u, extra := indexUniverse(db, universe)
 	n := len(extra)
 	if n > 20 {
 		panic("core: MinimalModels is limited to 20 non-database atoms")
 	}
-	c := compileModelCheck(rules, universe, extra, inDB)
+	c := compileModelCheck(rules, universe, u)
 	// A proper subset of a bitmask is numerically smaller, so the
 	// ascending enumeration meets every minimal model before any model
 	// it is contained in: one subset check against the kept masks is
@@ -255,7 +279,7 @@ func MinimalModels(db *logic.FactStore, rules []*logic.Rule, universe *logic.Fac
 // minimalModelsNaive is the original enumeration kept as the
 // differential-test oracle for MinimalModels.
 func minimalModelsNaive(db *logic.FactStore, rules []*logic.Rule, universe *logic.FactStore) []*logic.FactStore {
-	extra, _ := splitExtra(db, universe)
+	extra := splitExtra(db, universe)
 	n := len(extra)
 	if n > 20 {
 		panic("core: MinimalModels is limited to 20 non-database atoms")

@@ -47,11 +47,22 @@ import (
 // compiled artifacts (read-only for the duration of the run), the
 // pool, the deduplicating model sink, and the cumulative counters.
 type run struct {
-	rules    []*logic.Rule
-	db       *logic.FactStore
-	opt      Options
-	ruleDet  []bool
-	ruleVars [][]string
+	rules        []*logic.Rule
+	db           *logic.FactStore
+	opt          Options
+	ruleDet      []bool
+	ruleVars     [][]string
+	rulePosPreds [][]string
+	// rulePos/ruleNeg cache each rule's split body literals for the
+	// stability-session encoder (filled lazily by initRuleBodies).
+	rulePos [][]logic.Atom
+	ruleNeg [][]logic.Atom
+	// dbAtomStr caches the rendered database atoms — the prefix of every
+	// leaf store — and dbHasNulls records whether the database or the
+	// witness-pool extras contain labeled nulls; together they feed the
+	// null-free fast path of modelKey.
+	dbAtomStr  []string
+	dbHasNulls bool
 	// naive switches trigger detection to the full-rescan oracle
 	// (findTriggerNaive); used by the differential tests only, and
 	// always sequential.
@@ -104,6 +115,15 @@ type run struct {
 	// writes it from the single worker; parallel mode only from the
 	// caller goroutine draining the models channel.
 	emitted int64
+}
+
+// initRuleBodies fills the run's per-rule split-body caches.
+func (r *run) initRuleBodies() {
+	r.rulePos = make([][]logic.Atom, len(r.rules))
+	r.ruleNeg = make([][]logic.Atom, len(r.rules))
+	for i, rule := range r.rules {
+		r.rulePos[i], r.ruleNeg[i] = logic.SplitLiterals(rule.Body)
+	}
 }
 
 // resolveWorkers picks the pool size: an explicit per-run override
@@ -210,6 +230,15 @@ func (r *run) consume(visit func(*logic.FactStore) bool) {
 // handed to a fresh worker goroutine and explored concurrently with
 // its siblings. Forked subtrees report failure through the shared
 // stop flag rather than the return value.
+//
+// A forked child takes a clone of the stability-session arena
+// (copy-on-extend): the parent worker keeps extending and solving its
+// own arena for the remaining siblings, so the two goroutines must not
+// share the mutable solver. The frozen ancestor session layers are
+// shared by both chains — their variable and homomorphism identities
+// are valid in the clone, which copies the arena as a prefix. The
+// clone happens before the goroutine spawn, on the parent's goroutine,
+// so the spawn's happens-before edge covers it.
 func (s *searcher) explore(child *state) bool {
 	r := s.run
 	if r.stop.Load() {
@@ -218,6 +247,9 @@ func (s *searcher) explore(child *state) bool {
 	if r.tokens != nil {
 		select {
 		case r.tokens <- struct{}{}:
+			if child.sess != nil {
+				child.sess.arena = child.sess.arena.clone()
+			}
 			r.wg.Add(1)
 			go func() {
 				defer func() {

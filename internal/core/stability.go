@@ -1,26 +1,684 @@
 package core
 
+// This file implements the stability condition of Proposition 11 — M is
+// stable iff no J with D ⊆ J ⊊ M⁺ satisfies the τ_{p▷s}-translation,
+// where positive literals are evaluated in J and negative literals are
+// fixed to their value in M (Section 3.3) — twice over:
+//
+//   - stableAgainstSubsetsNaive re-encodes the condition from scratch
+//     for one candidate model, exactly as the pre-session engine did. It
+//     is kept verbatim as the differential-test oracle.
+//   - The stability session (stabSession/stabArena) builds the same
+//     encoding incrementally along the search tree, mirroring the
+//     copy-on-write store snapshots of PR 2: a session layer owns the
+//     clauses and variables derived from its state's store delta, and a
+//     child layer extends the chain by encoding only the new index
+//     window. One SAT solver instance per branch then serves every
+//     model emitted beneath it; the per-model conditions (which body
+//     homomorphisms are unblocked in M, the latest witness set of each
+//     homomorphism, and the proper-subset requirement) are expressed as
+//     assumptions and activation literals, never as rebuilt clauses.
+//
+// Encoding invariants of the session (see also the package docs):
+//
+//   - Database atoms are exactly the store indices < dbLen (the root
+//     state snapshots the database store), so "fixed true in J" is an
+//     index comparison, not a key-map lookup. Every non-database atom
+//     of the prefix has one subset variable, registered in the layer
+//     that encoded its window.
+//   - Each body homomorphism h of a rule into the prefix (negative
+//     instances absent at discovery time — permanent, since stores only
+//     grow) becomes one clause ¬act ∨ ¬pos ∨ w₁ ∨ … ∨ wₖ ∨ e₀: act is
+//     the activation literal assumed only while h's negative instances
+//     are still absent from the candidate M (omitted when h has no
+//     negative body), the wᵢ are the head-witness extensions found in
+//     the prefix so far, and e₀ is the extension tail. When a deeper
+//     layer's window completes h with new witnesses w', it adds
+//     ¬e ∨ w' ∨ e' and records e' as the path-latest tail; assuming
+//     ¬e_latest at solve time enforces the full accumulated clause,
+//     while stale tails from sibling subtrees stay free and neutralize
+//     their links. Constraints (no heads) carry no tail: their clauses
+//     are valid for every candidate sharing the prefix.
+//   - A solve asserts one fresh guarded proper-subset clause
+//     (¬g ∨ ⋁ ¬xᵢ over the path's non-database atoms) and assumes g;
+//     retired guards are never assumed again, so the clause database
+//     only grows. UNSAT under the assumptions means M is stable.
+//
+// Sessions respect the search's freeze discipline: a state's layer is
+// extended before its children snapshot it, and a subtree handed to
+// another goroutine clones the arena first (copy-on-extend), so arenas
+// are always single-goroutine.
+
 import (
+	"sort"
+
 	"ntgd/internal/logic"
 	"ntgd/internal/sat"
 )
 
-// stableAgainstSubsets decides the second conjunct of SM[D,Σ]
-// (Section 3.3): M is stable iff there is no tuple of predicate
-// extensions s < p — equivalently, no set of atoms J with
-// D ⊆ J ⊊ M⁺ — such that J satisfies τ_{p▷s}(D) ∧ τ_{p▷s}(Σ), where
-// positive literals are evaluated in J and negative literals are
-// evaluated in M (that is the essential difference from plain
-// circumscription/minimal models: the negative predicates are fixed to
-// their value in M, cf. Section 3.3's discussion of MM vs SM).
+// maxStabSessionDepth bounds a session chain: extendStability rebuilds
+// a fresh root layer (one full re-encode of the current prefix) once
+// the chain would exceed it, so per-lookup chain walks stay O(1)
+// amortized — the same discipline as logic.FactStore snapshots.
+const maxStabSessionDepth = 32
+
+// stabArena owns the mutable substrate of a session tree: the SAT
+// solver holding every clause encoded so far and the homomorphism
+// registry. An arena is single-goroutine by construction — a worker
+// that forks a subtree hands the child a clone (see searcher.explore),
+// so no lock guards it.
 //
-// Following Proposition 11, the check is encoded propositionally: one
-// variable per atom of M⁺ \ D, one clause per body homomorphism of a
+// The arena also registers every activation, extension-tail and
+// subset-guard variable ever allocated: a solve pins all of them that
+// are not live on the current path (activations false, tails true,
+// retired guards false), so clauses encoded for sibling subtrees are
+// satisfied outright and the DPLL search never branches — let alone
+// conflicts — inside dead encoding. Without this, chronological
+// backtracking interleaves irrelevant flips with the real conflict and
+// goes exponential in the amount of dead encoding.
+type stabArena struct {
+	dbLen int
+	sat   *sat.Solver
+	homs  []stabHom
+	// falseVar is a constant-false variable (pinned by a top-level unit
+	// clause) used to pad single-literal session clauses: the solver
+	// stores 1-literal clauses as global facts enqueued at every solve,
+	// which would turn an assumption-switchable literal — an extension
+	// tail meant to be assumed false — into a permanent truth and
+	// poison every later query on the arena.
+	falseVar int
+	// actVars, extVars and guardVars list every allocated activation,
+	// extension-tail and proper-subset-guard variable, for the
+	// dead-encoding pinning described above.
+	actVars   []int
+	extVars   []int
+	guardVars []int
+}
+
+func newStabArena(dbLen int) *stabArena {
+	a := &stabArena{dbLen: dbLen, sat: sat.New()}
+	a.falseVar = a.sat.NewVar()
+	a.sat.AddClause(-a.falseVar)
+	return a
+}
+
+// addClause inserts a session clause, padding single-literal clauses
+// with the constant-false variable so they stay ordinary watched
+// clauses (see falseVar). Empty clauses pass through: they mark the
+// instance genuinely unsatisfiable.
+func (a *stabArena) addClause(lits ...int) {
+	if len(lits) == 1 {
+		a.sat.AddClause(lits[0], a.falseVar)
+		return
+	}
+	a.sat.AddClause(lits...)
+}
+
+// clone returns an independent copy for a subtree explored on another
+// goroutine. Homomorphism entries are immutable after registration, so
+// the registry is a shallow slice copy; variable and homomorphism
+// identities carry over unchanged, which is what lets the frozen
+// ancestor layers of the forked session chain serve both arenas.
+func (a *stabArena) clone() *stabArena {
+	return &stabArena{
+		dbLen:     a.dbLen,
+		falseVar:  a.falseVar,
+		sat:       a.sat.Clone(),
+		homs:      append([]stabHom(nil), a.homs...),
+		actVars:   append([]int(nil), a.actVars...),
+		extVars:   append([]int(nil), a.extVars...),
+		guardVars: append([]int(nil), a.guardVars...),
+	}
+}
+
+// oversized reports whether the arena has accumulated so much dead
+// sibling encoding relative to the live prefix that a rebuild is
+// cheaper than dragging it along.
+func (a *stabArena) oversized(storeLen int) bool {
+	n := a.sat.NVars()
+	return n > 4096 && n > 8*storeLen
+}
+
+// stabHom is one registered body homomorphism of a rule into the store
+// prefix. Entries are immutable once registered (arenas clone the
+// registry shallowly); all per-path mutable state lives in the session
+// layers.
+type stabHom struct {
+	rule *logic.Rule
+	hom  logic.Subst
+	// negKeys are the ground negative-body instance keys, re-evaluated
+	// against the candidate M at every solve: the homomorphism's clause
+	// is enforced only while none of them is in M.
+	negKeys []string
+	// act is the activation variable assumed while the homomorphism is
+	// unblocked; 0 when negKeys is empty (the clause carries no guard).
+	act int
+	// ext is the initial extension tail e₀; 0 for constraints, whose
+	// clauses never grow.
+	ext int
+}
+
+// headOcc locates one head disjunct of a registered homomorphism for
+// the completion joins: when a window introduces atoms of pred, every
+// (hom, disjunct) occurrence under pred is re-joined against the delta.
+type headOcc struct {
+	hom      int
+	disjunct int
+	// groundKey, when non-empty, marks a single-atom disjunct fully
+	// ground under the homomorphism: its only possible witness is the
+	// concrete atom with this canonical key, so the completion join is
+	// one allocation-free index probe instead of a homomorphism search.
+	groundKey string
+}
+
+// stabSession is one layer of a session chain, mirroring a search
+// state's store layer: it records the subset variables, homomorphisms
+// and head occurrences its window introduced, plus the path-latest
+// extension tails it overrode. A layer is mutable only between its
+// creation and its state's freeze (the first child snapshot); every
+// read merges the chain.
+type stabSession struct {
+	parent *stabSession
+	arena  *stabArena
+	depth  int
+	// hi is the store prefix [0, hi) encoded by the chain up to and
+	// including this layer.
+	hi int
+	// vars maps global store index -> subset variable for the
+	// non-database atoms of this layer's window.
+	vars map[int]int
+	// ext maps homomorphism id -> latest extension tail var for chains
+	// this layer extended (0 marks a homomorphism permanently satisfied
+	// along this path).
+	ext map[int]int
+	// links lists every extension tail this layer allocated — including
+	// interior tails superseded within the same window when several
+	// disjuncts of one homomorphism completed — so a solve can keep the
+	// whole path chain free instead of pinning interior links.
+	links []int
+	// homs lists the homomorphism ids this layer registered.
+	homs []int
+	// occ indexes this layer's registered head occurrences by head
+	// predicate, for the completion joins of deeper windows.
+	occ map[string][]headOcc
+}
+
+// child returns a fresh empty layer extending ss, created when a search
+// state is cloned; ss must be frozen (extended) first.
+func (ss *stabSession) child() *stabSession {
+	return &stabSession{parent: ss, arena: ss.arena, depth: ss.depth + 1, hi: ss.hi}
+}
+
+// varOf resolves a non-database store index to its subset variable
+// through the chain.
+func (ss *stabSession) varOf(idx int) int {
+	for s := ss; s != nil; s = s.parent {
+		if v, ok := s.vars[idx]; ok {
+			return v
+		}
+	}
+	return 0
+}
+
+// latestExt resolves a homomorphism's path-latest extension tail
+// through the chain, defaulting to its registration tail.
+func (ss *stabSession) latestExt(hid int) (int, bool) {
+	for s := ss; s != nil; s = s.parent {
+		if e, ok := s.ext[hid]; ok {
+			return e, true
+		}
+	}
+	return ss.arena.homs[hid].ext, false
+}
+
+// stabScratch holds the reusable buffers of session encoding and
+// solving; each searcher owns one.
+type stabScratch struct {
+	assumps  []int
+	clause   []int
+	conj     []int
+	extSeen  map[int]int
+	liveVars map[int]bool
+	predSeen map[string]bool
+	preds    []string
+	occSeen  map[headOcc]bool
+}
+
+// extendStability brings st's session chain up to the state's current
+// store length, encoding only the new index window. It is called at a
+// branch point — before the children snapshot st, per the freeze
+// discipline — and at a fixpoint candidate before solving. Chains past
+// maxStabSessionDepth and arenas dominated by dead sibling encodings
+// are rebuilt into a fresh root layer covering the whole prefix.
+func (s *searcher) extendStability(st *state) {
+	sess := st.sess
+	if sess == nil || sess.depth >= maxStabSessionDepth || sess.arena.oversized(st.A.Len()) {
+		sess = &stabSession{arena: newStabArena(s.db.Len())}
+		st.sess = sess
+	}
+	s.extendSession(sess, st.A)
+}
+
+// extendSession encodes the window [ss.hi, store.Len()) into the
+// session: new subset variables, completion joins of ancestor
+// homomorphisms against the window, and the window's new body
+// homomorphisms. A root layer (parent == nil, hi == 0) always runs its
+// sweep even over an empty store, because rules with empty positive
+// bodies have homomorphisms no delta would ever cover.
+func (s *searcher) extendSession(ss *stabSession, store *logic.FactStore) {
+	from, to := ss.hi, store.Len()
+	if from >= to && !(ss.parent == nil && from == 0 && ss.vars == nil) {
+		ss.hi = to
+		return
+	}
+	ar := ss.arena
+	if ss.vars == nil {
+		ss.vars = make(map[int]int)
+	}
+	// New subset variables, and the window's predicate set for the
+	// completion joins.
+	sc := &s.stab
+	sc.preds = sc.preds[:0]
+	if sc.predSeen == nil {
+		sc.predSeen = make(map[string]bool)
+	}
+	store.EachAtomIn(from, to, func(idx int, a logic.Atom) bool {
+		if idx >= ar.dbLen {
+			ss.vars[idx] = ar.sat.NewVar()
+		}
+		if !sc.predSeen[a.Pred] {
+			sc.predSeen[a.Pred] = true
+			sc.preds = append(sc.preds, a.Pred)
+		}
+		return true
+	})
+	for _, p := range sc.preds {
+		delete(sc.predSeen, p)
+	}
+	sort.Strings(sc.preds)
+
+	// Completion joins: ancestor homomorphisms whose head predicates
+	// occur in the window may have gained witness extensions using at
+	// least one window atom; chain them onto the path-latest tail.
+	// (Homomorphisms registered in this very call search the full
+	// prefix below and need no completion. A rebuilt or true root layer
+	// has no ancestors; note the gate must be on ancestry, not on
+	// from > 0 — an empty database leaves ancestor layers at hi == 0.)
+	if ss.parent != nil {
+		if sc.occSeen == nil {
+			sc.occSeen = make(map[headOcc]bool)
+		}
+		for layer := ss.parent; layer != nil; layer = layer.parent {
+			for _, p := range sc.preds {
+				for _, oc := range layer.occ[p] {
+					if sc.occSeen[oc] {
+						continue
+					}
+					sc.occSeen[oc] = true
+					s.completeHom(ss, store, from, oc)
+				}
+			}
+		}
+		for oc := range sc.occSeen {
+			delete(sc.occSeen, oc)
+		}
+	}
+
+	// New body homomorphisms: exactly those using at least one window
+	// atom (all of them, for a root sweep). Negative instances present
+	// in the store block a homomorphism permanently — the store only
+	// grows — so FindHomsFrom's filter is final; instances derived
+	// later are handled per solve through the activation literal.
+	if s.rulePos == nil {
+		s.initRuleBodies()
+	}
+	for i, r := range s.rules {
+		rule := r
+		if ss.parent != nil && !predsIntersect(s.rulePosPreds[i], sc.preds) {
+			// No positive body predicate in the window: no homomorphism
+			// can seed here. (Root and rebuilt layers sweep every rule —
+			// only they may register empty-positive-body homomorphisms.)
+			continue
+		}
+		pos, neg := s.rulePos[i], s.ruleNeg[i]
+		logic.FindHomsFrom(pos, neg, store, from, logic.Subst{}, func(h logic.Subst) bool {
+			s.registerHom(ss, store, rule, pos, neg, h)
+			return true
+		})
+	}
+	ss.hi = to
+}
+
+// witLit compiles one witness extension mu of a head disjunct into a
+// single literal: the subset variable for a single non-database atom, a
+// fresh defined auxiliary variable for a conjunction, or 0 when the
+// extension lands entirely in the database (the rule instance is then
+// satisfied in every J ⊇ D).
+func (s *searcher) witLit(ss *stabSession, store *logic.FactStore, head []logic.Atom, mu logic.Subst) int {
+	ar := ss.arena
+	conj := s.stab.conj[:0]
+	for _, a := range head {
+		idx, ok := store.IndexUnder(mu, a)
+		if !ok || idx < ar.dbLen {
+			continue // database atoms are in every candidate J
+		}
+		lit := ss.varOf(idx)
+		dup := false
+		for _, c := range conj {
+			if c == lit {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			conj = append(conj, lit)
+		}
+	}
+	s.stab.conj = conj
+	switch len(conj) {
+	case 0:
+		return 0
+	case 1:
+		return conj[0]
+	default:
+		aux := ar.sat.NewVar()
+		for _, lit := range conj {
+			ar.sat.AddClause(-aux, lit)
+		}
+		return aux
+	}
+}
+
+// registerHom encodes one new body homomorphism: clause construction,
+// witness search over the full prefix, activation and extension
+// variables, and the occurrence index entries for future completions.
+func (s *searcher) registerHom(ss *stabSession, store *logic.FactStore, rule *logic.Rule, pos, neg []logic.Atom, h logic.Subst) {
+	ar := ss.arena
+	sc := &s.stab
+	clause := sc.clause[:0]
+	act := 0
+	if len(neg) > 0 {
+		act = ar.sat.NewVar()
+		ar.actVars = append(ar.actVars, act)
+		clause = append(clause, -act)
+	}
+	for _, b := range pos {
+		if idx, ok := store.IndexUnder(h, b); ok && idx >= ar.dbLen {
+			clause = append(clause, -ss.varOf(idx))
+		}
+	}
+	trivial := false
+	for i := range rule.Heads {
+		head := rule.Heads[i]
+		if len(head) == 1 && logic.BoundUnder(h, head[0]) {
+			// The disjunct's only possible witness is h(head[0]):
+			// one index probe replaces the homomorphism search.
+			if idx, ok := store.IndexUnder(h, head[0]); ok {
+				if idx < ar.dbLen {
+					trivial = true
+					break
+				}
+				clause = append(clause, ss.varOf(idx))
+			}
+			continue
+		}
+		logic.FindHoms(head, nil, store, h, func(mu logic.Subst) bool {
+			lit := s.witLit(ss, store, head, mu)
+			if lit == 0 {
+				trivial = true
+				return false
+			}
+			clause = append(clause, lit)
+			return true
+		})
+		if trivial {
+			break
+		}
+	}
+	if trivial {
+		sc.clause = clause[:0]
+		return // satisfied in every J ⊇ D, for every descendant
+	}
+	hid := len(ar.homs)
+	hm := stabHom{rule: rule, hom: h.Clone()}
+	if len(neg) > 0 {
+		hm.negKeys = make([]string, 0, len(neg))
+		for _, n := range neg {
+			hm.negKeys = append(hm.negKeys, h.ApplyAtom(n).Key())
+		}
+		hm.act = act
+	}
+	if !rule.IsConstraint() {
+		hm.ext = ar.sat.NewVar()
+		ar.extVars = append(ar.extVars, hm.ext)
+		clause = append(clause, hm.ext)
+		if ss.occ == nil {
+			ss.occ = make(map[string][]headOcc)
+		}
+		for d := range rule.Heads {
+			groundKey := ""
+			if len(rule.Heads[d]) == 1 && logic.BoundUnder(h, rule.Heads[d][0]) {
+				groundKey = h.ApplyAtom(rule.Heads[d][0]).Key()
+			}
+			seen := sc.predSeen
+			for _, a := range rule.Heads[d] {
+				if !seen[a.Pred] {
+					seen[a.Pred] = true
+					ss.occ[a.Pred] = append(ss.occ[a.Pred], headOcc{hom: hid, disjunct: d, groundKey: groundKey})
+				}
+			}
+			for _, a := range rule.Heads[d] {
+				delete(seen, a.Pred)
+			}
+		}
+	}
+	ar.homs = append(ar.homs, hm)
+	ss.homs = append(ss.homs, hid)
+	ar.addClause(clause...)
+	sc.clause = clause[:0]
+}
+
+// completeHom joins one registered (hom, disjunct) occurrence against
+// the window: witness extensions using at least one atom with index ≥
+// from are chained onto the homomorphism's path-latest extension tail
+// as ¬e ∨ w₁ ∨ … ∨ wₖ ∨ e'.
+func (s *searcher) completeHom(ss *stabSession, store *logic.FactStore, from int, oc headOcc) {
+	ar := ss.arena
+	hm := &ar.homs[oc.hom]
+	eOld, overridden := ss.latestExt(oc.hom)
+	if overridden && eOld == 0 {
+		return // permanently satisfied along this path
+	}
+	sc := &s.stab
+	clause := sc.clause[:0]
+	head := hm.rule.Heads[oc.disjunct]
+	if oc.groundKey != "" {
+		// Single possible witness: a window probe replaces the join.
+		idx, ok := store.IndexOfKey(oc.groundKey)
+		if !ok || idx < from {
+			return // absent, or already encoded by an earlier window
+		}
+		eNew := ar.sat.NewVar()
+		ar.extVars = append(ar.extVars, eNew)
+		ss.links = append(ss.links, eNew)
+		ar.addClause(-eOld, ss.varOf(idx), eNew)
+		if ss.ext == nil {
+			ss.ext = make(map[int]int)
+		}
+		ss.ext[oc.hom] = eNew
+		return
+	}
+	satisfied := false
+	logic.FindHomsFrom(head, nil, store, from, hm.hom, func(mu logic.Subst) bool {
+		lit := s.witLit(ss, store, head, mu)
+		if lit == 0 {
+			// Unreachable for window extensions (every window atom is
+			// non-database), but a satisfied instance would simply end
+			// the chain for every state below this one.
+			satisfied = true
+			return false
+		}
+		clause = append(clause, lit)
+		return true
+	})
+	if satisfied {
+		if ss.ext == nil {
+			ss.ext = make(map[int]int)
+		}
+		ss.ext[oc.hom] = 0
+		sc.clause = clause[:0]
+		return
+	}
+	if len(clause) == 0 {
+		sc.clause = clause
+		return // no new witnesses in the window
+	}
+	eNew := ar.sat.NewVar()
+	ar.extVars = append(ar.extVars, eNew)
+	ss.links = append(ss.links, eNew)
+	clause = append(clause, -eOld, eNew)
+	ar.addClause(clause...)
+	sc.clause = clause[:0]
+	if ss.ext == nil {
+		ss.ext = make(map[int]int)
+	}
+	ss.ext[oc.hom] = eNew
+}
+
+// stableSession decides the stability of the fixpoint candidate st.A
+// against its session chain. Enforced path homomorphisms — registered
+// along the path and with every negative instance still absent from M
+// — get their activation literal assumed and their path-latest
+// extension tail assumed false, which switches the full accumulated
+// clause on. Everything else in the arena is pinned to its satisfying
+// polarity (activations false, tails true, retired subset guards
+// false): dead encoding from sibling subtrees and earlier solves is
+// then satisfied by the assumptions alone, so the DPLL search never
+// branches inside it. One fresh guarded proper-subset clause over the
+// path's non-database atoms completes the query; UNSAT means no J with
+// D ⊆ J ⊊ M⁺ satisfies the τ-translation — M is stable.
+func (s *searcher) stableSession(st *state) bool {
+	ss := st.sess
+	ar := ss.arena
+	sc := &s.stab
+	if sc.extSeen == nil {
+		sc.extSeen = make(map[int]int)
+		sc.liveVars = make(map[int]bool)
+	}
+	ext := sc.extSeen   // homID -> path-latest extension tail
+	live := sc.liveVars // act/ext vars that must not be pinned to junk polarity
+	for layer := ss; layer != nil; layer = layer.parent {
+		for hid, e := range layer.ext {
+			if _, ok := ext[hid]; !ok {
+				ext[hid] = e
+			}
+		}
+		// Every chain link allocated along the path stays free —
+		// including interior links superseded within their own window:
+		// the solver walks them to reach the enforced tail, and a free
+		// link can always satisfy its own clause through its successor.
+		for _, e := range layer.links {
+			live[e] = true
+		}
+	}
+	assumps := sc.assumps[:0]
+	for layer := ss; layer != nil; layer = layer.parent {
+		for _, hid := range layer.homs {
+			hm := &ar.homs[hid]
+			e, overridden := ext[hid]
+			if !overridden {
+				e = hm.ext
+			}
+			if overridden && e == 0 {
+				continue // permanently satisfied along this path
+			}
+			blocked := false
+			for _, k := range hm.negKeys {
+				if st.A.HasKey(k) {
+					blocked = true
+					break
+				}
+			}
+			if blocked {
+				continue // negatives are fixed to M: the clause is off
+			}
+			if hm.act != 0 {
+				assumps = append(assumps, hm.act)
+				live[hm.act] = true
+			}
+			if e != 0 {
+				assumps = append(assumps, -e)
+				live[e] = true // assumed false: exempt from the true-pin
+				if hm.ext != e {
+					live[hm.ext] = true // first link of the enforced chain
+				}
+			}
+		}
+	}
+	for hid := range ext {
+		delete(ext, hid)
+	}
+	// Pin the dead encoding: inactive activations false, non-live
+	// extension tails true, every earlier solve's subset guard false.
+	for _, v := range ar.actVars {
+		if !live[v] {
+			assumps = append(assumps, -v)
+		}
+	}
+	for _, v := range ar.extVars {
+		if !live[v] {
+			assumps = append(assumps, v)
+		}
+	}
+	for _, v := range ar.guardVars {
+		assumps = append(assumps, -v)
+	}
+	for v := range live {
+		delete(live, v)
+	}
+	// Proper subset: at least one non-database atom of M is dropped.
+	// The clause is guarded by a fresh variable assumed only now; later
+	// solves pin the guard false, so the clause goes permanently inert.
+	guard := ar.sat.NewVar()
+	clause := append(sc.clause[:0], -guard)
+	for layer := ss; layer != nil; layer = layer.parent {
+		for _, v := range layer.vars {
+			clause = append(clause, -v)
+		}
+	}
+	ar.addClause(clause...)
+	sc.clause = clause[:0]
+	ar.guardVars = append(ar.guardVars, guard)
+	assumps = append(assumps, guard)
+	sc.assumps = assumps[:0]
+	return !ar.sat.Solve(assumps...)
+}
+
+// stableAgainstSubsets decides the stability condition for one
+// standalone candidate via a throwaway session: the candidate is
+// re-rooted over a copy of the database so that the database is exactly
+// the store prefix the session encoder keys on. The search itself never
+// calls this — it extends per-state sessions instead.
+func stableAgainstSubsets(db *logic.FactStore, rules []*logic.Rule, m *logic.FactStore) bool {
+	store := db.Clone()
+	for _, a := range m.Atoms() {
+		store.Add(a)
+	}
+	s := &searcher{run: &run{rules: rules, db: db}}
+	sess := &stabSession{arena: newStabArena(db.Len())}
+	s.extendSession(sess, store)
+	return s.stableSession(&state{A: store, sess: sess})
+}
+
+// stableAgainstSubsetsNaive is the pre-session check kept verbatim as
+// the differential-test oracle: it re-encodes the whole condition from
+// scratch for every candidate model — one variable per atom of M⁺ \ D
+// keyed by rendered atom strings, one clause per body homomorphism of a
 // τ-rule into M⁺ (the head alternatives are the witness extensions of
 // Definition 4, materialized over M⁺), plus a clause requiring J to be
-// a proper subset. The formula is handed to the DPLL solver; UNSAT
+// a proper subset — and hands the formula to a fresh solver; UNSAT
 // means M is stable.
-func stableAgainstSubsets(db *logic.FactStore, rules []*logic.Rule, m *logic.FactStore) bool {
+func stableAgainstSubsetsNaive(db *logic.FactStore, rules []*logic.Rule, m *logic.FactStore) bool {
 	if m.Len() == db.Len() {
 		// J must satisfy D ⊆ J ⊊ M⁺; no such J exists.
 		return true

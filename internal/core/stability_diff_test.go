@@ -1,0 +1,213 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"ntgd/internal/logic"
+	"ntgd/internal/parser"
+)
+
+// sessionModelSet enumerates all stable models through the session
+// path with the per-candidate oracle cross-check armed: every
+// session verdict is compared against stableAgainstSubsetsNaive, and
+// any disagreement counts as a mismatch.
+func sessionModelSet(t *testing.T, db *logic.FactStore, rules []*logic.Rule, opt Options, workers int) ([]string, bool, int64) {
+	t.Helper()
+	var mismatches atomic.Int64
+	opt.stabOracle = &mismatches
+	opt.Workers = workers
+	var keys []string
+	_, exhausted, err := EnumStableModels(db, rules, opt, func(m *logic.FactStore) bool {
+		keys = append(keys, canonicalModelKey(m))
+		return true
+	})
+	if err != nil && !exhausted {
+		t.Fatalf("search error: %v", err)
+	}
+	sortStrings(keys)
+	return keys, exhausted, mismatches.Load()
+}
+
+func sortStrings(ss []string) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j] < ss[j-1]; j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}
+
+// TestStabilitySessionMatchesNaiveRandomized pins the incremental
+// stability sessions to the full-rebuild oracle on 200 random programs
+// with negation, disjunction, and existentials, at Workers 1 and 8:
+// every per-candidate session verdict must equal the naive verdict
+// (counted via the stabOracle hook), and the emitted canonical model
+// set must equal the naive enumeration's. Run under -race it also
+// exercises the copy-on-extend arena cloning at forks.
+func TestStabilitySessionMatchesNaiveRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(5417))
+	opt := Options{MaxAtoms: 48, MaxNodes: 1 << 17}
+	compared, generated := 0, 0
+	for generated < 200 {
+		prog := randomSearchProgram(rng)
+		if prog == nil {
+			continue
+		}
+		generated++
+		db := prog.Database()
+		naiveKeys, exN := canonicalModelSet(t, db, prog.Rules, opt, true)
+		for _, workers := range []int{1, 8} {
+			sessKeys, exS, mismatches := sessionModelSet(t, db, prog.Rules, opt, workers)
+			if mismatches != 0 {
+				t.Fatalf("program %d (workers=%d): %d session/naive verdict mismatches\nprogram:\n%v",
+					generated, workers, mismatches, prog)
+			}
+			if exS || exN {
+				continue // incomplete enumerations are order-dependent
+			}
+			if len(sessKeys) != len(naiveKeys) {
+				t.Fatalf("program %d (workers=%d): session %d models, naive %d\nprogram:\n%v",
+					generated, workers, len(sessKeys), len(naiveKeys), prog)
+			}
+			for i := range sessKeys {
+				if sessKeys[i] != naiveKeys[i] {
+					t.Fatalf("program %d (workers=%d): model %d differs\nsession: %s\nnaive:   %s",
+						generated, workers, i, sessKeys[i], naiveKeys[i])
+				}
+			}
+			compared++
+		}
+	}
+	if compared < 150 {
+		t.Fatalf("only %d complete comparisons out of %d programs; budgets too tight", compared, generated)
+	}
+}
+
+// saturationProgram builds the classic DATALOG∨ saturation encoding of
+// certain-K-colorability for a labeled triangle: the saturated
+// candidate (every color on every vertex plus w) is a model whose
+// stability holds exactly when no proper coloring avoids w. It is the
+// worked example that exposed two historical session bugs — a
+// single-literal base clause stored as a global unit (poisoning the
+// assumption ¬e₀), and an interior extension link superseded within
+// its own window being pinned to true.
+func saturationProgram(t *testing.T, colors int) *logic.Program {
+	t.Helper()
+	src := `
+vtx(a). vtx(b). vtx(c).
+bvar(p).
+edgp(a,b,p). edgn(a,b,p).
+edgp(b,c,p). edgn(b,c,p).
+edgp(a,c,p). edgn(a,c,p).
+bvar(V) -> tt(V) | ff(V).
+w -> bad.
+`
+	guess := "vtx(X) -> "
+	for c := 1; c <= colors; c++ {
+		if c > 1 {
+			guess += " | "
+		}
+		guess += fmt.Sprintf("col%d(X)", c)
+	}
+	src += guess + ".\n"
+	for c := 1; c <= colors; c++ {
+		src += fmt.Sprintf("edgp(X,Y,V), tt(V), col%d(X), col%d(Y) -> w.\n", c, c)
+		src += fmt.Sprintf("edgn(X,Y,V), ff(V), col%d(X), col%d(Y) -> w.\n", c, c)
+		src += fmt.Sprintf("w, vtx(X) -> col%d(X).\n", c)
+	}
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// TestStabilitySessionSaturationWorkedExample pins the session against
+// the naive enumeration on the saturation triangle: with 3 colors the
+// saturated candidates are unstable (proper colorings exist below
+// them) and must be rejected; with 2 colors they are stable. Both the
+// canonical model sets and the per-candidate verdicts must agree at
+// Workers 1 and 8.
+func TestStabilitySessionSaturationWorkedExample(t *testing.T) {
+	for _, colors := range []int{2, 3} {
+		prog := saturationProgram(t, colors)
+		db := prog.Database()
+		opt := Options{MaxAtoms: 256, MaxNodes: 1 << 20}
+		naiveKeys, exN := canonicalModelSet(t, db, prog.Rules, opt, true)
+		if exN {
+			t.Fatalf("colors=%d: naive enumeration exhausted", colors)
+		}
+		for _, workers := range []int{1, 8} {
+			sessKeys, exS, mismatches := sessionModelSet(t, db, prog.Rules, opt, workers)
+			if exS {
+				t.Fatalf("colors=%d workers=%d: session enumeration exhausted", colors, workers)
+			}
+			if mismatches != 0 {
+				t.Fatalf("colors=%d workers=%d: %d verdict mismatches", colors, workers, mismatches)
+			}
+			if len(sessKeys) != len(naiveKeys) {
+				t.Fatalf("colors=%d workers=%d: session %d models, naive %d",
+					colors, workers, len(sessKeys), len(naiveKeys))
+			}
+			for i := range sessKeys {
+				if sessKeys[i] != naiveKeys[i] {
+					t.Fatalf("colors=%d workers=%d: model %d differs", colors, workers, i)
+				}
+			}
+		}
+	}
+}
+
+// TestOneShotSessionMatchesNaive pins the standalone
+// stableAgainstSubsets (the throwaway-session path behind
+// IsStableModel) to the naive oracle, both on genuine stable models
+// and on adversarial non-model supersets — the stability condition is
+// defined for any candidate atom set, so the two encoders must agree
+// everywhere.
+func TestOneShotSessionMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(9291))
+	opt := Options{MaxAtoms: 40, MaxNodes: 1 << 16}
+	checked := 0
+	for generated := 0; generated < 120; {
+		prog := randomSearchProgram(rng)
+		if prog == nil {
+			continue
+		}
+		generated++
+		db := prog.Database()
+		var candidates []*logic.FactStore
+		_, _, err := enumStableModelsNaive(db, prog.Rules, opt, func(m *logic.FactStore) bool {
+			candidates = append(candidates, m)
+			return len(candidates) < 4
+		})
+		if err != nil {
+			continue
+		}
+		for _, m := range candidates {
+			if got, want := stableAgainstSubsets(db, prog.Rules, m), stableAgainstSubsetsNaive(db, prog.Rules, m); got != want {
+				t.Fatalf("verdicts differ on emitted model: session=%v naive=%v\nmodel: %s\nprogram:\n%v",
+					got, want, m.CanonicalString(), prog)
+			}
+			checked++
+			// Adversarial superset: add atoms over the model's domain.
+			sup := m.Clone()
+			dom := sup.Domain()
+			if len(dom) == 0 {
+				continue
+			}
+			for i := 0; i < 3; i++ {
+				sup.Add(logic.A("p", dom[rng.Intn(len(dom))]))
+			}
+			if got, want := stableAgainstSubsets(db, prog.Rules, sup), stableAgainstSubsetsNaive(db, prog.Rules, sup); got != want {
+				t.Fatalf("verdicts differ on superset: session=%v naive=%v\ncandidate: %s\nprogram:\n%v",
+					got, want, sup.CanonicalString(), prog)
+			}
+			checked++
+		}
+	}
+	if checked < 100 {
+		t.Fatalf("only %d candidate comparisons; generator too weak", checked)
+	}
+}

@@ -350,6 +350,26 @@ func (s *FactStore) HasUnder(h Subst, a Atom) bool {
 	return ok
 }
 
+// BoundUnder reports whether h(a) is ground: every variable of a is
+// bound by h to a ground term. It is the boundness test behind
+// HasUnder/IndexUnder, exported for encoders that must distinguish
+// "instance absent" from "instance not yet determined".
+func BoundUnder(h Subst, a Atom) bool { return atomBoundUnder(h, a) }
+
+// IndexUnder returns the global store index of h(a), where a is
+// expected to be ground under h; ok is false when h(a) is non-ground or
+// absent. It is the index-based companion of HasUnder for encoders that
+// address atoms by store index instead of allocated key strings — the
+// index is stable across the snapshot chain and across the store's
+// later growth, so it can key long-lived per-atom state (e.g. SAT
+// variables) without retaining the rendered key.
+func (s *FactStore) IndexUnder(h Subst, a Atom) (int, bool) {
+	if !atomBoundUnder(h, a) {
+		return 0, false
+	}
+	return s.lookupKey(boundAtomKey(h, a))
+}
+
 // boundAtomKey renders the canonical key of h(a) without materializing
 // the atom; the result equals h.ApplyAtom(a).Key(). The caller must
 // have established atomBoundUnder(h, a).

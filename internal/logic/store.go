@@ -284,6 +284,13 @@ func (s *FactStore) indexOfKey(key string) (int, bool) {
 	return s.lookupKey(key)
 }
 
+// IndexOfKey returns the global store index of the atom with the given
+// canonical key, if present — the allocation-free probe for callers
+// that hold a pre-rendered key.
+func (s *FactStore) IndexOfKey(key string) (int, bool) {
+	return s.lookupKey(key)
+}
+
 // Len returns the number of atoms.
 func (s *FactStore) Len() int { return s.base + len(s.atoms) }
 
@@ -314,6 +321,42 @@ func (s *FactStore) appendAtomsBelow(bound int, buf []Atom) []Atom {
 		buf = append(buf, s.atoms[:n]...)
 	}
 	return buf
+}
+
+// EachAtomIn invokes fn for every atom whose store index lies in
+// [lo, hi), in ascending index order; fn returning false stops the walk
+// (and makes EachAtomIn return false). It is the index-window iteration
+// delta-driven encoders use to inspect the new atoms of a growing store
+// (or snapshot chain) without materializing a slice.
+func (s *FactStore) EachAtomIn(lo, hi int, fn func(idx int, a Atom) bool) bool {
+	if n := s.Len(); hi > n {
+		hi = n
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if lo >= hi {
+		return true
+	}
+	if s.parent != nil {
+		ph := hi
+		if s.base < ph {
+			ph = s.base
+		}
+		if !s.parent.EachAtomIn(lo, ph, fn) {
+			return false
+		}
+	}
+	start := lo - s.base
+	if start < 0 {
+		start = 0
+	}
+	for i := start; i < len(s.atoms) && s.base+i < hi; i++ {
+		if !fn(s.base+i, s.atoms[i]) {
+			return false
+		}
+	}
+	return true
 }
 
 // ByPred returns the atoms with the given predicate, in insertion

@@ -102,3 +102,86 @@ func TestPostingsInvariantRandomized(t *testing.T) {
 		}
 	}
 }
+
+// TestEachAtomIn pins the index-window iteration across a snapshot
+// chain: ascending global order, visibility clipping (a parent growing
+// past a child's base stays invisible to the child), and early stop.
+func TestEachAtomIn(t *testing.T) {
+	root := NewFactStore()
+	root.Add(A("p", C("a"))) // 0
+	root.Add(A("p", C("b"))) // 1
+	child := root.Snapshot()
+	child.Add(A("q", C("c"))) // 2
+	child.Add(A("q", C("d"))) // 3
+	root.Add(A("p", C("x")))  // parent growth, invisible to child
+	grand := child.Snapshot()
+	grand.Add(A("r", C("e"))) // 4
+
+	collect := func(s *FactStore, lo, hi int) []int {
+		var idxs []int
+		s.EachAtomIn(lo, hi, func(i int, a Atom) bool {
+			idxs = append(idxs, i)
+			if got := s.AtomAt(i); !got.Equal(a) {
+				t.Fatalf("EachAtomIn index %d yields %v, AtomAt yields %v", i, a, got)
+			}
+			return true
+		})
+		return idxs
+	}
+	wantSeq := func(got []int, want ...int) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("window = %v, want %v", got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("window = %v, want %v", got, want)
+			}
+		}
+	}
+	wantSeq(collect(grand, 0, grand.Len()), 0, 1, 2, 3, 4)
+	wantSeq(collect(grand, 2, grand.Len()), 2, 3, 4)
+	wantSeq(collect(grand, 1, 4), 1, 2, 3)
+	wantSeq(collect(child, 0, child.Len()), 0, 1, 2, 3)
+	wantSeq(collect(grand, 3, 3)) // empty window
+	wantSeq(collect(grand, -5, 100), 0, 1, 2, 3, 4)
+
+	// Early stop propagates.
+	n := 0
+	if grand.EachAtomIn(0, grand.Len(), func(int, Atom) bool {
+		n++
+		return n < 2
+	}) {
+		t.Fatalf("stopped walk must report false")
+	}
+	if n != 2 {
+		t.Fatalf("early stop visited %d atoms, want 2", n)
+	}
+}
+
+// TestIndexUnder pins the index-based bound-instance lookup against
+// lookups through rendered keys, including snapshot-chain resolution
+// and the non-ground/absent cases.
+func TestIndexUnder(t *testing.T) {
+	root := NewFactStore()
+	root.Add(A("e", C("a"), C("b"))) // 0
+	child := root.Snapshot()
+	child.Add(A("e", C("b"), C("c"))) // 1
+
+	h := Subst{"X": C("b"), "Y": C("c")}
+	if idx, ok := child.IndexUnder(h, A("e", V("X"), V("Y"))); !ok || idx != 1 {
+		t.Fatalf("IndexUnder(e(b,c)) = %d,%v want 1,true", idx, ok)
+	}
+	if idx, ok := child.IndexUnder(Subst{"X": C("a")}, A("e", V("X"), C("b"))); !ok || idx != 0 {
+		t.Fatalf("IndexUnder(e(a,b)) = %d,%v want 0,true (ancestor layer)", idx, ok)
+	}
+	if _, ok := root.IndexUnder(h, A("e", V("X"), V("Y"))); ok {
+		t.Fatalf("e(b,c) must be invisible to the root store")
+	}
+	if _, ok := child.IndexUnder(Subst{}, A("e", V("Z"), C("b"))); ok {
+		t.Fatalf("non-ground instance must report ok=false")
+	}
+	if _, ok := child.IndexUnder(h, A("e", V("Y"), V("X"))); ok {
+		t.Fatalf("absent instance must report ok=false")
+	}
+}

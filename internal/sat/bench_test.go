@@ -76,3 +76,67 @@ func BenchmarkUnitPropagationChain(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSolveAssumptions pins the incremental-session usage pattern
+// of the stability checker: one solver instance, clauses built once
+// (guarded PHP(5,4) — every pigeon's placement clause carries an
+// activation literal), then many Solve calls whose assumptions select
+// which guards are active. reuse solves the same instance under
+// rotating assumption sets; rebuild re-encodes the formula per query,
+// the cost the session API exists to avoid.
+func BenchmarkSolveAssumptions(b *testing.B) {
+	const holes, pigeons = 4, 5
+	v := func(i, h int) int { return i*holes + h + 1 }
+	act := func(i int) int { return pigeons*holes + i + 1 }
+	build := func() *Solver {
+		s := New()
+		for i := 0; i < pigeons; i++ {
+			cl := []int{-act(i)}
+			for h := 0; h < holes; h++ {
+				cl = append(cl, v(i, h))
+			}
+			s.AddClause(cl...)
+		}
+		for h := 0; h < holes; h++ {
+			for i := 0; i < pigeons; i++ {
+				for j := i + 1; j < pigeons; j++ {
+					s.AddClause(-v(i, h), -v(j, h))
+				}
+			}
+		}
+		return s
+	}
+	queries := make([][]int, pigeons+1)
+	for skip := 0; skip < pigeons; skip++ {
+		for i := 0; i < pigeons; i++ {
+			if i != skip {
+				queries[skip] = append(queries[skip], act(i))
+			}
+		}
+	}
+	for i := 0; i < pigeons; i++ { // the UNSAT query: all guards active
+		queries[pigeons] = append(queries[pigeons], act(i))
+	}
+	b.Run("reuse", func(b *testing.B) {
+		s := build()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			q := queries[i%len(queries)]
+			want := i%len(queries) < pigeons
+			if s.Solve(q...) != want {
+				b.Fatalf("query %d: want sat=%v", i%len(queries), want)
+			}
+		}
+	})
+	b.Run("rebuild", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s := build()
+			q := queries[i%len(queries)]
+			want := i%len(queries) < pigeons
+			if s.Solve(q...) != want {
+				b.Fatalf("query %d: want sat=%v", i%len(queries), want)
+			}
+		}
+	})
+}

@@ -1,9 +1,26 @@
-// Package sat implements a small CNF satisfiability solver: DPLL search
-// with two-watched-literal unit propagation, chronological backtracking
-// and an occurrence-based branching heuristic. It is the reasoning
-// substrate for the W-Stability check of Proposition 11 (deciding
-// whether a candidate stable model admits a smaller τ-model) and for
-// the direct 2-QBF evaluator used as an experimental baseline.
+// Package sat implements a CDCL (conflict-driven clause learning) CNF
+// satisfiability solver: two-watched-literal unit propagation,
+// first-UIP conflict analysis with non-chronological backjumping,
+// activity-based branching with phase saving, and solving under
+// assumptions. It is the reasoning substrate for the W-Stability check
+// of Proposition 11 (deciding whether a candidate stable model admits
+// a smaller τ-model) and for the direct 2-QBF evaluator used as an
+// experimental baseline.
+//
+// The solver is designed for incremental sessions: Solve accepts
+// assumption literals and leaves the clause database intact, so one
+// instance can answer a long sequence of queries over a growing
+// formula — clauses are only ever added, and per-query conditions are
+// expressed as assumptions or activation literals instead of rebuilt
+// clauses. Assumptions are posted as decisions, so learnt clauses
+// mention them negatively where relevant and are implied by the clause
+// database alone: they remain valid for every later query. Clause
+// learning is what makes the sessions viable — a query typically
+// touches a small live slice of a much larger accumulated formula, and
+// learning confines the search to the connected conflict structure
+// instead of enumerating the dead parts. Clone produces an independent
+// copy for callers that branch a session across goroutines
+// (copy-on-extend).
 //
 // The encoding of literals in the public API follows the DIMACS
 // convention: variables are positive integers 1..n, a positive literal
@@ -14,27 +31,38 @@ import "sort"
 
 const unassigned int8 = -1
 
-// Solver is a reusable CNF solver. Add variables with NewVar, clauses
-// with AddClause, then call Solve or SolveAssuming. After a satisfiable
-// call, Value reports the model. The zero value is ready to use.
+// noReason marks a decision, assumption or top-level fact on the trail.
+const noReason = -1
+
+// Solver is a reusable, incremental CNF solver. Add variables with
+// NewVar, clauses with AddClause, then call Solve — with or without
+// assumptions — any number of times, interleaving further NewVar and
+// AddClause calls freely. After a satisfiable call, Value reports the
+// model. The zero value is ready to use.
 type Solver struct {
 	nVars   int
-	clauses [][]int // internal literals; first two are watched
+	clauses [][]int // internal literals; first two are watched (original + learnt)
 	watches [][]int // internal literal -> clause indexes watching it
-	units   []int   // internal literals from unit clauses
-	occ     []int   // per-variable occurrence counts (branching heuristic)
+	units   []int   // internal literals from unit clauses (original + learnt)
+	unsat   bool    // an empty clause was added
 
-	assign  []int8 // per-variable: unassigned, 0 (false), 1 (true)
-	trail   []int
-	lim     []int
-	flipped []bool
-	qhead   int
-	unsat   bool // an empty clause was added
+	assign   []int8 // per-variable: unassigned, 0 (false), 1 (true)
+	level    []int  // per-variable decision level of the assignment
+	reason   []int  // per-variable antecedent clause index, or noReason
+	phase    []int8 // per-variable saved phase (1 = try true first)
+	trail    []int
+	trailLim []int // trail length at each decision level
+	qhead    int
+
+	activity []float64 // per-variable branching activity (bumped on conflicts)
+	actInc   float64
+	seen     []bool // conflict-analysis scratch
 
 	// Stats
 	Decisions    int64
 	Propagations int64
 	Conflicts    int64
+	Learnt       int64
 }
 
 // New returns an empty solver.
@@ -44,15 +72,20 @@ func New() *Solver { return &Solver{} }
 func (s *Solver) NewVar() int {
 	s.nVars++
 	s.watches = append(s.watches, nil, nil)
-	s.occ = append(s.occ, 0)
 	s.assign = append(s.assign, unassigned)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, noReason)
+	s.phase = append(s.phase, 1)
+	s.activity = append(s.activity, 0)
+	s.seen = append(s.seen, false)
 	return s.nVars
 }
 
 // NVars returns the number of allocated variables.
 func (s *Solver) NVars() int { return s.nVars }
 
-// NClauses returns the number of stored (non-unit, non-empty) clauses.
+// NClauses returns the number of stored (non-unit, non-empty) clauses,
+// including learnt clauses.
 func (s *Solver) NClauses() int { return len(s.clauses) }
 
 // intern converts a DIMACS literal to the internal encoding
@@ -103,16 +136,23 @@ func (s *Solver) AddClause(lits ...int) {
 		s.unsat = true
 	case 1:
 		s.units = append(s.units, cl[0])
-		s.occ[litVar(cl[0])] += 4
+		s.activity[litVar(cl[0])] += 4
 	default:
-		idx := len(s.clauses)
-		s.clauses = append(s.clauses, cl)
-		s.watches[cl[0]] = append(s.watches[cl[0]], idx)
-		s.watches[cl[1]] = append(s.watches[cl[1]], idx)
+		s.attachClause(cl)
 		for _, l := range cl {
-			s.occ[litVar(l)]++
+			s.activity[litVar(l)]++
 		}
 	}
+}
+
+// attachClause stores an internal clause and watches its first two
+// literals.
+func (s *Solver) attachClause(cl []int) int {
+	idx := len(s.clauses)
+	s.clauses = append(s.clauses, cl)
+	s.watches[cl[0]] = append(s.watches[cl[0]], idx)
+	s.watches[cl[1]] = append(s.watches[cl[1]], idx)
+	return idx
 }
 
 // value returns the truth value of an internal literal under the
@@ -125,21 +165,29 @@ func (s *Solver) value(l int) int8 {
 	return a ^ int8(litSign(l))
 }
 
-// enqueue asserts an internal literal; reports false on conflict.
-func (s *Solver) enqueue(l int) bool {
+// decisionLevel returns the current number of decision levels.
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+// enqueue asserts an internal literal with the given antecedent;
+// reports false on conflict.
+func (s *Solver) enqueue(l, from int) bool {
 	switch s.value(l) {
 	case 1:
 		return true
 	case 0:
 		return false
 	}
-	s.assign[litVar(l)] = int8(1 - litSign(l))
+	v := litVar(l)
+	s.assign[v] = int8(1 - litSign(l))
+	s.level[v] = s.decisionLevel()
+	s.reason[v] = from
 	s.trail = append(s.trail, l)
 	return true
 }
 
-// propagate performs unit propagation; reports false on conflict.
-func (s *Solver) propagate() bool {
+// propagate performs unit propagation, returning the index of a
+// conflicting clause or noReason when the queue drains cleanly.
+func (s *Solver) propagate() int {
 	for s.qhead < len(s.trail) {
 		l := s.trail[s.qhead]
 		s.qhead++
@@ -174,130 +222,273 @@ func (s *Solver) propagate() bool {
 			}
 			// Clause is unit or conflicting.
 			kept = append(kept, ci)
-			if !s.enqueue(cl[0]) {
+			if !s.enqueue(cl[0], ci) {
 				// Conflict: keep remaining watches intact.
 				kept = append(kept, ws[wi+1:]...)
 				s.watches[falsified] = kept
 				s.Conflicts++
-				return false
+				return ci
 			}
 		}
 		s.watches[falsified] = kept
 	}
-	return true
+	return noReason
 }
 
-func (s *Solver) newLevel(flip bool) {
-	s.lim = append(s.lim, len(s.trail))
-	s.flipped = append(s.flipped, flip)
-}
+// newDecisionLevel opens a decision level.
+func (s *Solver) newDecisionLevel() { s.trailLim = append(s.trailLim, len(s.trail)) }
 
-// undoLevel removes the top decision level and returns its decision
-// literal.
-func (s *Solver) undoLevel() int {
-	top := len(s.lim) - 1
-	start := s.lim[top]
-	decLit := s.trail[start]
+// cancelUntil undoes every assignment above the given decision level,
+// saving phases.
+func (s *Solver) cancelUntil(lvl int) {
+	if s.decisionLevel() <= lvl {
+		return
+	}
+	start := s.trailLim[lvl]
 	for i := len(s.trail) - 1; i >= start; i-- {
-		s.assign[litVar(s.trail[i])] = unassigned
+		v := litVar(s.trail[i])
+		s.phase[v] = s.assign[v]
+		s.assign[v] = unassigned
+		s.reason[v] = noReason
 	}
 	s.trail = s.trail[:start]
 	s.qhead = len(s.trail)
-	s.lim = s.lim[:top]
-	s.flipped = s.flipped[:top]
-	return decLit
+	s.trailLim = s.trailLim[:lvl]
 }
 
-// reset clears the assignment (clauses are kept).
+// reset clears the assignment (clauses, learnt clauses and activities
+// are kept).
 func (s *Solver) reset() {
-	for i := range s.assign {
-		s.assign[i] = unassigned
+	for i := len(s.trail) - 1; i >= 0; i-- {
+		v := litVar(s.trail[i])
+		s.phase[v] = s.assign[v]
+		s.assign[v] = unassigned
+		s.reason[v] = noReason
 	}
 	s.trail = s.trail[:0]
-	s.lim = s.lim[:0]
-	s.flipped = s.flipped[:0]
+	s.trailLim = s.trailLim[:0]
 	s.qhead = 0
 }
 
-// pickBranch returns an unassigned internal literal to branch on, or
-// -1 if the assignment is total.
+// bumpVar increases a variable's branching activity, rescaling the
+// whole table when it overflows.
+func (s *Solver) bumpVar(v int) {
+	s.activity[v] += s.actInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.actInc *= 1e-100
+	}
+}
+
+// pickBranch returns an unassigned internal literal to branch on —
+// the most active unassigned variable in its saved phase — or -1 when
+// the assignment is total.
 func (s *Solver) pickBranch() int {
-	best, bestOcc := -1, -1
+	best := -1
+	bestAct := -1.0
 	for v := 0; v < s.nVars; v++ {
-		if s.assign[v] == unassigned && s.occ[v] > bestOcc {
-			best, bestOcc = v, s.occ[v]
+		if s.assign[v] == unassigned && s.activity[v] > bestAct {
+			best, bestAct = v, s.activity[v]
 		}
 	}
 	if best < 0 {
 		return -1
 	}
-	return 2 * best // positive polarity first
+	if s.phase[best] == 0 {
+		return 2*best + 1
+	}
+	return 2 * best
 }
 
-// Solve reports whether the clause set is satisfiable.
-func (s *Solver) Solve() bool { return s.SolveAssuming() }
+// analyze performs first-UIP conflict analysis from the conflicting
+// clause, returning the learnt clause (internal literals, asserting
+// literal first) and the level to backjump to. The learnt clause is a
+// resolvent of stored clauses only — assumptions enter as negated
+// literals, never as expanded antecedents — so it is implied by the
+// clause database and stays valid across later Solve calls.
+func (s *Solver) analyze(confl int, learnt []int) ([]int, int) {
+	learnt = append(learnt[:0], 0) // slot for the asserting literal
+	counter := 0
+	p := -1
+	index := len(s.trail) - 1
+	backLevel := 0
+	for {
+		cl := s.clauses[confl]
+		for _, q := range cl {
+			if q == p {
+				continue
+			}
+			v := litVar(q)
+			if s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			s.seen[v] = true
+			s.bumpVar(v)
+			if s.level[v] >= s.decisionLevel() {
+				counter++
+			} else {
+				learnt = append(learnt, q)
+				if s.level[v] > backLevel {
+					backLevel = s.level[v]
+				}
+			}
+		}
+		// Walk the trail back to the next marked literal.
+		for !s.seen[litVar(s.trail[index])] {
+			index--
+		}
+		p = s.trail[index]
+		v := litVar(p)
+		index--
+		counter--
+		s.seen[v] = false
+		if counter == 0 {
+			learnt[0] = neg(p)
+			break
+		}
+		confl = s.reason[v]
+	}
+	for _, q := range learnt[1:] {
+		s.seen[litVar(q)] = false
+	}
+	return learnt, backLevel
+}
+
+// Clone returns an independent deep copy of the solver: same
+// variables, clauses (learnt clauses included) and statistics, with
+// the assignment cleared. The copy and the original may afterwards
+// grow and solve independently — the hook for branching an incremental
+// session across goroutines.
+func (s *Solver) Clone() *Solver {
+	c := &Solver{
+		nVars:        s.nVars,
+		unsat:        s.unsat,
+		actInc:       s.actInc,
+		Decisions:    s.Decisions,
+		Propagations: s.Propagations,
+		Conflicts:    s.Conflicts,
+		Learnt:       s.Learnt,
+	}
+	c.clauses = make([][]int, len(s.clauses))
+	for i, cl := range s.clauses {
+		c.clauses[i] = append([]int(nil), cl...)
+	}
+	c.watches = make([][]int, len(s.watches))
+	for i, w := range s.watches {
+		if len(w) > 0 {
+			c.watches[i] = append([]int(nil), w...)
+		}
+	}
+	c.units = append([]int(nil), s.units...)
+	c.activity = append([]float64(nil), s.activity...)
+	c.phase = append([]int8(nil), s.phase...)
+	c.assign = make([]int8, s.nVars)
+	for i := range c.assign {
+		c.assign[i] = unassigned
+	}
+	c.level = make([]int, s.nVars)
+	c.reason = make([]int, s.nVars)
+	for i := range c.reason {
+		c.reason[i] = noReason
+	}
+	c.seen = make([]bool, s.nVars)
+	return c
+}
+
+// Solve reports whether the clause set is satisfiable under the given
+// assumption literals (DIMACS encoding). The clause database — learnt
+// clauses included — is left intact: callers may interleave
+// AddClause/NewVar with Solve calls, expressing per-query conditions
+// as assumptions rather than rebuilt formulas. With no assumptions it
+// decides plain satisfiability.
+func (s *Solver) Solve(assumptions ...int) bool { return s.SolveAssuming(assumptions...) }
 
 // SolveAssuming reports satisfiability under the given assumption
-// literals (DIMACS encoding).
+// literals (DIMACS encoding). It is equivalent to Solve.
 func (s *Solver) SolveAssuming(assumptions ...int) bool {
 	if s.unsat {
 		return false
 	}
+	if s.actInc == 0 {
+		s.actInc = 1
+	}
 	s.reset()
-	// Top-level units.
+	// Top-level facts (original and learnt units).
 	for _, u := range s.units {
-		if !s.enqueue(u) {
+		if !s.enqueue(u, noReason) {
 			return false
 		}
 	}
-	if !s.propagate() {
+	if s.propagate() != noReason {
 		return false
 	}
-	// Assumptions become non-flippable decision levels.
+	// Assumptions are posted as decisions: conflict analysis never
+	// expands them, so learnt clauses stay implied by the clause
+	// database alone.
 	for _, a := range assumptions {
 		l := intern(a)
-		if s.value(l) == 0 {
+		switch s.value(l) {
+		case 0:
 			return false
+		case 1:
+			continue
 		}
-		if s.value(l) == unassigned {
-			s.newLevel(true) // flipped=true: never flip assumptions
-			if !s.enqueue(l) {
-				return false
-			}
-		}
-		if !s.propagate() {
+		s.newDecisionLevel()
+		s.enqueue(l, noReason)
+		if s.propagate() != noReason {
 			return false
 		}
 	}
-	nAssumpLevels := len(s.lim)
+	rootLevel := s.decisionLevel()
+	var learnt []int
 	for {
+		confl := s.propagate()
+		if confl != noReason {
+			if s.decisionLevel() <= rootLevel {
+				return false
+			}
+			var backLevel int
+			learnt, backLevel = s.analyze(confl, learnt)
+			if backLevel < rootLevel {
+				backLevel = rootLevel
+			}
+			s.cancelUntil(backLevel)
+			s.Learnt++
+			s.actInc *= 1.05
+			if len(learnt) == 1 {
+				// A learnt unit is a resolvent of stored clauses, hence
+				// implied by the clause database alone (assumptions are
+				// never expanded): record it as a top-level fact for
+				// later solves too.
+				s.units = append(s.units, learnt[0])
+				if !s.enqueue(learnt[0], noReason) {
+					return false
+				}
+				continue
+			}
+			// Watch the asserting literal and a literal of the backjump
+			// level so the watch invariants hold after the jump.
+			for k := 2; k < len(learnt); k++ {
+				if s.level[litVar(learnt[k])] > s.level[litVar(learnt[1])] {
+					learnt[1], learnt[k] = learnt[k], learnt[1]
+				}
+			}
+			cl := append([]int(nil), learnt...)
+			ci := s.attachClause(cl)
+			if !s.enqueue(cl[0], ci) {
+				return false
+			}
+			continue
+		}
 		l := s.pickBranch()
 		if l < 0 {
 			return true
 		}
 		s.Decisions++
-		s.newLevel(false)
-		s.enqueue(l)
-		for !s.propagate() {
-			// Chronological backtracking: find the deepest unflipped
-			// decision, flip it.
-			flippedOne := false
-			for len(s.lim) > nAssumpLevels {
-				top := len(s.lim) - 1
-				if s.flipped[top] {
-					s.undoLevel()
-					continue
-				}
-				dec := s.undoLevel()
-				s.newLevel(true)
-				s.enqueue(neg(dec))
-				flippedOne = true
-				break
-			}
-			if !flippedOne {
-				return false
-			}
-		}
+		s.newDecisionLevel()
+		s.enqueue(l, noReason)
 	}
 }
 

@@ -196,3 +196,225 @@ func TestStatsAccumulate(t *testing.T) {
 		t.Fatalf("expected at least one decision")
 	}
 }
+
+// TestPigeonholeUnderAssumptions pins the assumption mechanism on a
+// formula whose unsatisfiability is only triggered by the assumptions:
+// PHP(n+1, n) with every placement variable guarded by a per-pigeon
+// activation literal. The instance is SAT while any guard is free and
+// UNSAT exactly when all guards are assumed, and the same solver
+// instance must answer both phases (clauses intact across calls).
+func TestPigeonholeUnderAssumptions(t *testing.T) {
+	const holes = 4
+	const pigeons = holes + 1
+	s := New()
+	v := func(i, h int) int { return i*holes + h + 1 }
+	act := make([]int, pigeons) // activation var per pigeon, above the placement block
+	for i := 0; i < pigeons; i++ {
+		act[i] = pigeons*holes + i + 1
+	}
+	for i := 0; i < pigeons; i++ {
+		cl := []int{-act[i]}
+		for h := 0; h < holes; h++ {
+			cl = append(cl, v(i, h))
+		}
+		s.AddClause(cl...)
+	}
+	for h := 0; h < holes; h++ {
+		for i := 0; i < pigeons; i++ {
+			for j := i + 1; j < pigeons; j++ {
+				s.AddClause(-v(i, h), -v(j, h))
+			}
+		}
+	}
+	if !s.Solve() {
+		t.Fatalf("unguarded PHP must be SAT (all guards may be false)")
+	}
+	// Activating all but one pigeon stays SAT...
+	for skip := 0; skip < pigeons; skip++ {
+		assumps := make([]int, 0, pigeons-1)
+		for i := 0; i < pigeons; i++ {
+			if i != skip {
+				assumps = append(assumps, act[i])
+			}
+		}
+		if !s.Solve(assumps...) {
+			t.Fatalf("PHP with pigeon %d deactivated must be SAT", skip)
+		}
+	}
+	// ...while activating every pigeon is UNSAT, repeatedly.
+	all := append([]int(nil), act...)
+	for round := 0; round < 3; round++ {
+		if s.Solve(all...) {
+			t.Fatalf("round %d: PHP(%d,%d) under full assumptions must be UNSAT", round, pigeons, holes)
+		}
+	}
+	// The clause database survived every call.
+	if !s.Solve() {
+		t.Fatalf("solver must remain SAT once assumptions are dropped")
+	}
+}
+
+// TestRepeatedSolveGrowingClauses drives one instance through an
+// AddClause/Solve interleaving: an implication cycle is grown one edge
+// per round and solved under both polarities of the seed assumption
+// after every extension, finishing with a contradiction that flips the
+// verdict permanently.
+func TestRepeatedSolveGrowingClauses(t *testing.T) {
+	const n = 32
+	s := New()
+	for v := 1; v < n; v++ {
+		s.AddClause(-v, v+1) // x_v -> x_{v+1}
+		if !s.Solve(1) {
+			t.Fatalf("round %d: chain under x1 must be SAT", v)
+		}
+		for u := 1; u <= v+1; u++ {
+			if !s.Value(u) {
+				t.Fatalf("round %d: x%d must propagate true under x1", v, u)
+			}
+		}
+		if !s.Solve(-(v + 1)) {
+			t.Fatalf("round %d: chain under ¬x%d must be SAT", v, v+1)
+		}
+		if s.Value(1) {
+			t.Fatalf("round %d: ¬x%d must propagate ¬x1 up the chain", v, v+1)
+		}
+	}
+	s.AddClause(-n) // close the contradiction under x1
+	if s.Solve(1) {
+		t.Fatalf("x1 with x1→…→x%d and ¬x%d must be UNSAT", n, n)
+	}
+	if !s.Solve(-1) {
+		t.Fatalf("¬x1 must remain SAT")
+	}
+	if !s.Solve() {
+		t.Fatalf("instance without assumptions must remain SAT")
+	}
+}
+
+// TestDuplicateAndTautologyClauses pins AddClause's normalization: the
+// stability encoder can emit clauses with repeated literals (the same
+// witness variable reached through different head atoms) and opposed
+// literals; duplicates must collapse and tautologies vanish without
+// corrupting the instance.
+func TestDuplicateAndTautologyClauses(t *testing.T) {
+	s := New()
+	s.AddClause(1, 1, 1)
+	if s.NClauses() != 0 {
+		t.Fatalf("triplicated unit should normalize to a unit, got %d stored clauses", s.NClauses())
+	}
+	if !s.Solve() || !s.Value(1) {
+		t.Fatalf("x ∨ x ∨ x must behave as the unit x")
+	}
+	s.AddClause(2, -2, 3)
+	if s.NClauses() != 0 {
+		t.Fatalf("tautological clause must be dropped")
+	}
+	s.AddClause(-1, 2, 2, -1)
+	if s.NClauses() != 1 {
+		t.Fatalf("duplicated binary should store one two-literal clause, got %d", s.NClauses())
+	}
+	if !s.Solve() || !s.Value(2) {
+		t.Fatalf("¬x1 ∨ x2 under unit x1 must force x2")
+	}
+	if s.Solve(-2) {
+		t.Fatalf("assuming ¬x2 contradicts x1 ∧ (¬x1∨x2)")
+	}
+	// A clause that normalizes to empty is impossible (duplicates and
+	// complements only shrink toward tautology), but an explicit empty
+	// clause must poison the instance permanently.
+	s.AddClause()
+	if s.Solve() || s.Solve(3) {
+		t.Fatalf("empty clause must be UNSAT under any assumptions")
+	}
+}
+
+// TestCloneIndependence pins Clone: the copy answers like the original
+// and the two instances diverge independently afterwards.
+func TestCloneIndependence(t *testing.T) {
+	s := New()
+	s.AddClause(1, 2)
+	s.AddClause(-1, 3)
+	if !s.Solve(1) || !s.Value(3) {
+		t.Fatalf("original must be SAT with x1→x3")
+	}
+	c := s.Clone()
+	if c.NVars() != s.NVars() || c.NClauses() != s.NClauses() {
+		t.Fatalf("clone shape mismatch: vars %d/%d clauses %d/%d",
+			c.NVars(), s.NVars(), c.NClauses(), s.NClauses())
+	}
+	if !c.Solve(1) || !c.Value(3) {
+		t.Fatalf("clone must reproduce the original's verdict")
+	}
+	// Diverge: contradiction in the clone only.
+	c.AddClause(-3)
+	if c.Solve(1) {
+		t.Fatalf("clone with ¬x3 must be UNSAT under x1")
+	}
+	if !s.Solve(1) || !s.Value(3) {
+		t.Fatalf("original must be unaffected by the clone's clauses")
+	}
+	// Diverge the other way: new variable and clause in the original.
+	v := s.NewVar()
+	s.AddClause(-v)
+	if !s.Solve(1) || s.Value(v) {
+		t.Fatalf("original must absorb new clauses after cloning")
+	}
+	if c.NVars() != 3 {
+		t.Fatalf("clone must not see the original's new variable")
+	}
+}
+
+// TestAssumptionsMatchBrute (property): Solve under random assumptions
+// agrees with brute force over the clause set extended by the
+// assumption units.
+func TestAssumptionsMatchBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(977))
+	for iter := 0; iter < 200; iter++ {
+		nVars := 2 + rng.Intn(7)
+		nClauses := 1 + rng.Intn(3*nVars)
+		var clauses [][]int
+		s := New()
+		for s.NVars() < nVars {
+			s.NewVar()
+		}
+		for i := 0; i < nClauses; i++ {
+			width := 1 + rng.Intn(3)
+			cl := make([]int, 0, width)
+			for j := 0; j < width; j++ {
+				lit := 1 + rng.Intn(nVars)
+				if rng.Intn(2) == 0 {
+					lit = -lit
+				}
+				cl = append(cl, lit)
+			}
+			clauses = append(clauses, cl)
+			s.AddClause(cl...)
+		}
+		// Several assumption queries against the same instance.
+		for q := 0; q < 4; q++ {
+			var assumps []int
+			seen := map[int]bool{}
+			for j := 0; j < rng.Intn(nVars+1); j++ {
+				v := 1 + rng.Intn(nVars)
+				if seen[v] {
+					continue
+				}
+				seen[v] = true
+				if rng.Intn(2) == 0 {
+					assumps = append(assumps, -v)
+				} else {
+					assumps = append(assumps, v)
+				}
+			}
+			ext := append([][]int{}, clauses...)
+			for _, a := range assumps {
+				ext = append(ext, []int{a})
+			}
+			want := bruteSat(nVars, ext)
+			if got := s.Solve(assumps...); got != want {
+				t.Fatalf("iter %d q %d: solver=%v brute=%v assumps=%v clauses=%v",
+					iter, q, got, want, assumps, clauses)
+			}
+		}
+	}
+}

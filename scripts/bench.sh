@@ -16,10 +16,11 @@ count="${BENCH_COUNT:-6}"
 benchtime="${BENCH_TIME:-300ms}"
 
 # The gate set: the branch-heavy search (sequential and parallel), the
-# Solver-session amortization, and the store branching primitive.
-# Names must stay unique across packages — cmd/benchdiff and benchstat
-# aggregate on the bare benchmark name.
-pattern='StableSearchChoiceWide|ParallelSearch|SolverReuse|StoreBranch'
+# incremental stability sessions (PR 5), the Solver-session
+# amortization, the assumption-based SAT solving primitive, and the
+# store branching primitive. Names must stay unique across packages —
+# cmd/benchdiff and benchstat aggregate on the bare benchmark name.
+pattern='StableSearchChoiceWide|ParallelSearch|StabilitySession|SolveAssumptions|SolverReuse|StoreBranch'
 
 go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -count "$count" \
-  ./ ./internal/core/ ./internal/logic/ | tee "$out"
+  ./ ./internal/core/ ./internal/logic/ ./internal/sat/ | tee "$out"

@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Records one point of the benchmark trajectory: runs the smsbench
+# experiment suite plus the search/stability benchmarks and writes
+# BENCH_<n>.json at the repository root (default BENCH_5.json; override
+# with BENCH_TAG).
+#
+#   scripts/bench_record.sh            # writes ./BENCH_5.json
+#   BENCH_TAG=6 scripts/bench_record.sh
+#
+# Format of BENCH_<n>.json — a single JSON object:
+#
+#   {
+#     "pr":         <n>,               trajectory tag
+#     "recorded":   "<RFC3339 UTC>",   when the record was taken
+#     "go":         "<go version>",
+#     "experiments": [                 one entry per smsbench experiment,
+#       {"name":"E1","ns_op":...,      verbatim from smsbench's JSON line
+#        "models":...,"nodes":...,     (engine effort aggregated over the
+#        "workers":...}, ...           experiment)
+#     ],
+#     "benchmarks": [                  one entry per `go test -bench` run
+#       {"name":"StabilitySession/deep-pad/workers=1",
+#        "ns_op":..., "allocs_op":..., "bytes_op":...}, ...
+#     ]
+#   }
+#
+# Experiments run with -workers 1 so their output (and effort counters)
+# stay reproducible. Benchmarks run the bench.sh gate set plus the
+# stability benchmarks at BENCH_TIME (default 300ms) x BENCH_COUNT
+# (default 1; the trajectory stores a single sample — use bench.sh +
+# benchstat for change detection).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+tag="${BENCH_TAG:-5}"
+out="BENCH_${tag}.json"
+benchtime="${BENCH_TIME:-300ms}"
+count="${BENCH_COUNT:-1}"
+# The gate benchmark set is defined once, in scripts/bench.sh; read it
+# from there so the trajectory records exactly what the CI gate runs.
+pattern="$(sed -n "s/^pattern='\(.*\)'$/\1/p" scripts/bench.sh)"
+[ -n "$pattern" ] || { echo "bench_record: could not read pattern from scripts/bench.sh" >&2; exit 1; }
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+echo "bench_record: running smsbench..." >&2
+go run ./cmd/smsbench -workers 1 >"$tmp/sms.out" 2>"$tmp/sms.err" || {
+  echo "smsbench failed:" >&2
+  tail -20 "$tmp/sms.err" >&2
+  exit 1
+}
+grep '^{' "$tmp/sms.out" >"$tmp/sms.jsonl" || true
+
+echo "bench_record: running go benchmarks..." >&2
+go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -count "$count" \
+  ./ ./internal/core/ ./internal/logic/ ./internal/sat/ >"$tmp/bench.out"
+
+python3 - "$tmp/sms.jsonl" "$tmp/bench.out" "$tag" >"$out" <<'PY'
+import json, re, subprocess, sys, datetime
+
+sms_path, bench_path, tag = sys.argv[1], sys.argv[2], sys.argv[3]
+experiments = []
+with open(sms_path) as f:
+    for line in f:
+        line = line.strip()
+        if line:
+            experiments.append(json.loads(line))
+
+benchmarks = []
+pat = re.compile(
+    r'^Benchmark(\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op'
+    r'(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?')
+with open(bench_path) as f:
+    for line in f:
+        m = pat.match(line)
+        if not m:
+            continue
+        entry = {"name": m.group(1), "ns_op": float(m.group(2))}
+        if m.group(3) is not None:
+            entry["bytes_op"] = float(m.group(3))
+        if m.group(4) is not None:
+            entry["allocs_op"] = float(m.group(4))
+        benchmarks.append(entry)
+
+go_version = subprocess.run(["go", "version"], capture_output=True,
+                            text=True).stdout.strip()
+record = {
+    "pr": int(tag),
+    "recorded": datetime.datetime.now(datetime.timezone.utc)
+        .strftime("%Y-%m-%dT%H:%M:%SZ"),
+    "go": go_version,
+    "experiments": experiments,
+    "benchmarks": benchmarks,
+}
+json.dump(record, sys.stdout, indent=1)
+sys.stdout.write("\n")
+PY
+
+echo "bench_record: wrote $out (experiments: $(grep -c '^{' "$tmp/sms.jsonl" || echo 0), benchmarks: $(grep -c 'ns/op' "$tmp/bench.out"))" >&2
