@@ -99,6 +99,7 @@
 //     smallest matching posting list is intersected in place instead of
 //     scanning the predicate — and a body atom that is fully ground
 //     reduces to a single hash probe.
+//
 //   - Fixpoint computations are delta-driven (semi-naive): every atom
 //     has a stable store index, so "the atoms derived last round" is an
 //     index window, and FindHomsFrom enumerates exactly the
@@ -111,6 +112,26 @@
 //     counters, and the circumscription subset checks (internal/core)
 //     via rule instances materialized once and replayed as bitmask
 //     operations.
+//
+//   - Join order is planned, not written: before enumeration, the body
+//     atoms of FindHoms/FindHomsFrom are reordered by a greedy
+//     selectivity planner (internal/logic/plan.go) — atoms fully
+//     ground under the bindings so far are pushed ahead of all joins
+//     (each is one hash probe), then atoms are picked by class (bound
+//     variable join, ground-argument indexed scan, unconstrained scan)
+//     and, within a class, by smallest current candidate estimate.
+//     Long-lived callers (the trigger agenda, the stability sessions,
+//     the chase) hold a per-rule-body plan cache (logic.BodyPlans)
+//     keyed by delta seed and binding pattern, shared across parallel
+//     workers via lock-free lookups, and re-planned only when a
+//     predicate's fact count grows past a threshold. In a delta search
+//     the seed atom always stays first, so the exactly-once window
+//     semantics is untouched. Hom emission order is explicitly NOT
+//     part of the contract — consumers that need plan-independent
+//     determinism impose their own order (the search orders branching
+//     triggers by canonical trigger key; see internal/core), and
+//     fuzz + differential suites pin planner-on against planner-off
+//     and the naive oracle.
 //
 // The stable model search itself (internal/core) is incremental along
 // both axes that dominate its cost:

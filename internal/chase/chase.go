@@ -114,6 +114,14 @@ func RunCtx(ctx context.Context, db *logic.FactStore, rules []*logic.Rule, opt O
 	nullCtr := 0
 	from := 0 // delta low-water mark: atoms ≥ from are new
 
+	// One join-plan cache per rule body: the delta sweeps of every
+	// round reuse the greedy selectivity order instead of re-planning
+	// per call (see logic.BodyPlans).
+	planners := make([]*logic.BodyPlans, len(rules))
+	for i, r := range rules {
+		planners[i] = logic.NewBodyPlans(r.PosBody(), nil)
+	}
+
 	// No "already fired" bookkeeping is needed for the oblivious
 	// variant here: the delta windows of successive rounds partition
 	// the store, so FindHomsFrom detects every (rule, homomorphism)
@@ -129,9 +137,9 @@ func RunCtx(ctx context.Context, db *logic.FactStore, rules []*logic.Rule, opt O
 			hom  logic.Subst
 		}
 		var triggers []trigger
-		for _, r := range rules {
+		for i, r := range rules {
 			rule := r
-			logic.FindHomsFrom(rule.PosBody(), nil, inst, from, logic.Subst{}, func(h logic.Subst) bool {
+			planners[i].FindHomsFrom(inst, from, logic.Subst{}, func(h logic.Subst) bool {
 				if opt.Variant == Restricted {
 					if logic.ExistsHom(rule.Heads[0], nil, inst, h) {
 						return true // head satisfied: not a (restricted) trigger

@@ -584,7 +584,7 @@ func (s *searcher) refreshAgenda(st *state) {
 		if seeded && !predsIntersect(s.rulePosPreds[i], winPreds) {
 			continue
 		}
-		logic.FindHomsFrom(s.rulePos[idx], s.ruleNeg[idx], st.A, from, logic.Subst{}, func(h logic.Subst) bool {
+		s.rulePlans[idx].FindHomsFrom(st.A, from, logic.Subst{}, func(h logic.Subst) bool {
 			// Satisfied heads need no action.
 			for d := range rule.Heads {
 				if logic.ExistsHom(rule.Heads[d], nil, st.A, h) {
@@ -636,11 +636,15 @@ func (s *searcher) triggerActive(st *state, t *trigger) bool {
 // Deterministic triggers pop in discovery order: the deterministic
 // closure is confluent (monotone additions, no branching), so their
 // order cannot change the fixpoint. Branching triggers are selected by
-// lowest rule index first (ties broken by discovery order), matching
-// the oracle's rule-order scan — branching order is not neutral,
-// because witness pools are drawn from the domain at branch time, so a
-// different trigger order can reach a different (equally sound) subset
-// of the stable models.
+// lowest rule index first, ties broken by smallest canonical trigger
+// key — branching order is not neutral, because witness pools are
+// drawn from the domain at branch time, so a different trigger order
+// can reach a different (equally sound) subset of the stable models.
+// The key tie-break (PR 6) makes the selection independent of hom
+// emission order, which the join planner reorders freely: the agenda,
+// the full-rescan oracle, and every planner setting branch on exactly
+// the same trigger at every node, so the canonical model set is
+// invariant across all of them.
 func (s *searcher) nextTrigger(st *state) *trigger {
 	if s.naive {
 		return s.findTriggerNaive(st)
@@ -657,9 +661,13 @@ func (s *searcher) nextTrigger(st *state) *trigger {
 	best := -1
 	for i := 0; i < len(ag.ndet); {
 		t := ag.ndet[i]
-		if best >= 0 && t.ruleIdx >= ag.ndet[best].ruleIdx {
-			i++ // cannot beat the current pick; leave unvalidated
-			continue
+		if best >= 0 {
+			b := ag.ndet[best]
+			if t.ruleIdx > b.ruleIdx ||
+				(t.ruleIdx == b.ruleIdx && s.triggerKey(t) >= s.triggerKey(b)) {
+				i++ // cannot beat the current pick; leave unvalidated
+				continue
+			}
 		}
 		if !s.triggerActive(st, t) {
 			ag.ndet = append(ag.ndet[:i], ag.ndet[i+1:]...)
@@ -676,14 +684,22 @@ func (s *searcher) nextTrigger(st *state) *trigger {
 	return t
 }
 
-// findTriggerNaive is the pre-agenda trigger detection, kept verbatim
-// as the differential-test oracle: it re-runs a full homomorphism sweep
-// of every rule against the whole store on every call, preferring
-// deterministic triggers.
+// findTriggerNaive is the pre-agenda trigger detection, kept as the
+// differential-test oracle: it re-runs a full homomorphism sweep of
+// every rule against the whole store on every call, preferring
+// deterministic triggers. Like the agenda it selects the branching
+// trigger by (lowest rule index, smallest canonical trigger key), so
+// its selection is independent of hom emission order — the oracle
+// enumerates every active trigger of the winning rule to find the
+// minimum, which the agenda gets for free from its queue scan.
 func (s *searcher) findTriggerNaive(st *state) *trigger {
-	var firstAny *trigger
+	var firstNdet *trigger
 	for i, r := range s.rules {
 		rule, idx := r, i
+		det := s.ruleDet[idx]
+		if !det && firstNdet != nil {
+			continue // a lower rule already owns the branching pick
+		}
 		var found *trigger
 		logic.FindHoms(rule.PosBody(), rule.NegBody(), st.A, logic.Subst{}, func(h logic.Subst) bool {
 			// Satisfied heads need no action.
@@ -696,20 +712,24 @@ func (s *searcher) findTriggerNaive(st *state) *trigger {
 			if len(st.deferred) > 0 && st.deferred[s.triggerKey(t)] {
 				return true
 			}
-			found = t
-			return false
+			if det {
+				found = t
+				return false // confluent closure: any active trigger will do
+			}
+			if found == nil || s.triggerKey(t) < s.triggerKey(found) {
+				found = t
+			}
+			return true
 		})
 		if found == nil {
 			continue
 		}
-		if s.deterministic(found) {
+		if det {
 			return found
 		}
-		if firstAny == nil {
-			firstAny = found
-		}
+		firstNdet = found
 	}
-	return firstAny
+	return firstNdet
 }
 
 // dfs explores the state; returns false if the search should stop

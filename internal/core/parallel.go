@@ -54,9 +54,13 @@ type run struct {
 	ruleVars     [][]string
 	rulePosPreds [][]string
 	// rulePos/ruleNeg cache each rule's split body literals for the
-	// stability-session encoder (filled lazily by initRuleBodies).
-	rulePos [][]logic.Atom
-	ruleNeg [][]logic.Atom
+	// stability-session encoder (filled lazily by initRuleBodies);
+	// rulePlans holds one join-plan cache per rule body, shared by the
+	// agenda refreshes and the stability-session delta sweeps of every
+	// worker (BodyPlans is safe for concurrent use).
+	rulePos   [][]logic.Atom
+	ruleNeg   [][]logic.Atom
+	rulePlans []*logic.BodyPlans
 	// dbAtomStr caches the rendered database atoms — the prefix of every
 	// leaf store — and dbHasNulls records whether the database or the
 	// witness-pool extras contain labeled nulls; together they feed the
@@ -117,12 +121,15 @@ type run struct {
 	emitted int64
 }
 
-// initRuleBodies fills the run's per-rule split-body caches.
+// initRuleBodies fills the run's per-rule split-body and join-plan
+// caches.
 func (r *run) initRuleBodies() {
 	r.rulePos = make([][]logic.Atom, len(r.rules))
 	r.ruleNeg = make([][]logic.Atom, len(r.rules))
+	r.rulePlans = make([]*logic.BodyPlans, len(r.rules))
 	for i, rule := range r.rules {
 		r.rulePos[i], r.ruleNeg[i] = logic.SplitLiterals(rule.Body)
+		r.rulePlans[i] = logic.NewBodyPlans(r.rulePos[i], r.ruleNeg[i])
 	}
 }
 

@@ -137,6 +137,23 @@ func TestAgendaMatchesNaiveRandomized(t *testing.T) {
 					w, generated, progString(prog), len(parKeys), parKeys, len(naiveKeys), naiveKeys)
 			}
 		}
+		// Planner differential (PR 6): branch-trigger selection is
+		// plan-independent, so disabling the join planner must leave the
+		// canonical model set untouched, sequentially and in parallel.
+		restore := logic.SetJoinPlanning(false)
+		offKeys, exO := canonicalModelSet(t, db, prog.Rules, opt, false)
+		popt := opt
+		popt.Workers = 8
+		offPar, exOP := canonicalModelSet(t, db, prog.Rules, popt, false)
+		restore()
+		if !exO && fmt.Sprint(offKeys) != fmt.Sprint(naiveKeys) {
+			t.Fatalf("planner-off model set diverges on program #%d:\n%s\noff: %d models %v\non:  %d models %v",
+				generated, progString(prog), len(offKeys), offKeys, len(naiveKeys), naiveKeys)
+		}
+		if !exOP && fmt.Sprint(offPar) != fmt.Sprint(naiveKeys) {
+			t.Fatalf("planner-off parallel model set diverges on program #%d:\n%s\noff: %d models %v\non:  %d models %v",
+				generated, progString(prog), len(offPar), offPar, len(naiveKeys), naiveKeys)
+		}
 		compared++
 	}
 	if compared < 180 {

@@ -341,7 +341,7 @@ func (s *searcher) extendSession(ss *stabSession, store *logic.FactStore) {
 			continue
 		}
 		pos, neg := s.rulePos[i], s.ruleNeg[i]
-		logic.FindHomsFrom(pos, neg, store, from, logic.Subst{}, func(h logic.Subst) bool {
+		s.rulePlans[i].FindHomsFrom(store, from, logic.Subst{}, func(h logic.Subst) bool {
 			s.registerHom(ss, store, rule, pos, neg, h)
 			return true
 		})

@@ -79,6 +79,27 @@ func TestStabilitySessionMatchesNaiveRandomized(t *testing.T) {
 			}
 			compared++
 		}
+		// Planner differential (PR 6): re-run the session path with the
+		// join planner disabled — per-candidate verdicts (via the armed
+		// oracle) and the canonical model set must be unchanged.
+		restore := logic.SetJoinPlanning(false)
+		for _, workers := range []int{1, 8} {
+			offKeys, exO, mismatches := sessionModelSet(t, db, prog.Rules, opt, workers)
+			if mismatches != 0 {
+				restore()
+				t.Fatalf("program %d (workers=%d, planner off): %d session/naive verdict mismatches\nprogram:\n%v",
+					generated, workers, mismatches, prog)
+			}
+			if exO || exN {
+				continue
+			}
+			if fmt.Sprint(offKeys) != fmt.Sprint(naiveKeys) {
+				restore()
+				t.Fatalf("program %d (workers=%d): planner-off model set diverges\noff: %v\non:  %v",
+					generated, workers, offKeys, naiveKeys)
+			}
+		}
+		restore()
 	}
 	if compared < 150 {
 		t.Fatalf("only %d complete comparisons out of %d programs; budgets too tight", compared, generated)

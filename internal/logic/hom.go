@@ -28,15 +28,22 @@ type HomVisitor func(Subst) bool
 // Candidates for each body atom are drawn from the store's
 // (predicate, position, term) posting lists whenever a position is
 // ground under the substitution built so far; unconstrained atoms fall
-// back to the per-predicate scan. naiveFindHoms preserves the plain
-// scan path as the differential-test oracle.
+// back to the per-predicate scan. Body atoms are visited in the greedy
+// selectivity order computed by the join planner (see plan.go; when
+// planning is toggled off they are visited in written order), so hom
+// emission order is not part of the contract. naiveFindHoms preserves
+// the plain scan path as the differential-test oracle; callers joining
+// the same body repeatedly should hold a BodyPlans to amortize the
+// per-call planning.
 func FindHoms(pos, neg []Atom, store *FactStore, init Subst, fn HomVisitor) bool {
 	h := init.Clone()
 	pats := make([]pat, len(pos))
 	for i, a := range pos {
 		pats[i] = pat{atom: a, lo: 0, hi: store.Len()}
 	}
-	orderPats(pats, h, store)
+	if !joinPlanningOff.Load() {
+		planOrder(pats, nil, 0, init, store)
+	}
 	hs := &homSearch{store: store, neg: neg, fn: fn, pats: pats}
 	return hs.extend(0, h)
 }
@@ -74,7 +81,7 @@ func FindHomsFrom(pos, neg []Atom, store *FactStore, from int, init Subst, fn Ho
 	for j := range pos {
 		pats := make([]pat, 0, len(pos))
 		// The seed atom goes first: the delta window is the most
-		// selective constraint available.
+		// selective constraint available, and it anchors the plan.
 		pats = append(pats, pat{atom: pos[j], lo: from, hi: n})
 		for k := range pos {
 			switch {
@@ -84,8 +91,10 @@ func FindHomsFrom(pos, neg []Atom, store *FactStore, from int, init Subst, fn Ho
 				pats = append(pats, pat{atom: pos[k], lo: 0, hi: from})
 			}
 		}
+		if !joinPlanningOff.Load() {
+			planOrder(pats, nil, 1, init, store)
+		}
 		h := init.Clone()
-		orderPatsFrom(pats, 1, h, store)
 		hs := &homSearch{store: store, neg: neg, fn: fn, pats: pats}
 		if !hs.extend(0, h) {
 			return false
@@ -102,53 +111,6 @@ func FindHomsFrom(pos, neg []Atom, store *FactStore, from int, init Subst, fn Ho
 type pat struct {
 	atom   Atom
 	lo, hi int
-}
-
-// orderPats reorders pats[at:] in place into a greedy join order:
-// repeatedly pick the pattern sharing the most variables with those
-// already placed (or bound by init), breaking ties by the smallest
-// candidate estimate from the store's indexes. Patterns before at are
-// pinned (the semi-naive seed) but still contribute their variables.
-func orderPats(pats []pat, init Subst, store *FactStore) { orderPatsFrom(pats, 0, init, store) }
-
-func orderPatsFrom(pats []pat, at int, init Subst, store *FactStore) {
-	if len(pats)-at <= 1 {
-		return
-	}
-	bound := make(map[string]bool, len(init))
-	for v := range init {
-		bound[v] = true
-	}
-	var buf []string
-	markBound := func(a Atom) {
-		buf = a.Vars(buf[:0])
-		for _, v := range buf {
-			bound[v] = true
-		}
-	}
-	for i := 0; i < at; i++ {
-		markBound(pats[i].atom)
-	}
-	for ; at < len(pats); at++ {
-		best, bestSharing, bestEst := at, -1, 1<<62
-		for i := at; i < len(pats); i++ {
-			buf = pats[i].atom.Vars(buf[:0])
-			sharing := 0
-			for _, v := range buf {
-				if bound[v] {
-					sharing++
-				}
-			}
-			est := candidateEstimate(pats[i], init, store)
-			// Prefer high sharing; among equal sharing prefer the
-			// smaller candidate estimate, then earlier (deterministic).
-			if sharing > bestSharing || (sharing == bestSharing && est < bestEst) {
-				best, bestSharing, bestEst = i, sharing, est
-			}
-		}
-		pats[at], pats[best] = pats[best], pats[at]
-		markBound(pats[at].atom)
-	}
 }
 
 // candidateEstimate upper-bounds the number of candidate facts for the

@@ -31,6 +31,11 @@ func TestSnapshotConcurrentBranchReaders(t *testing.T) {
 
 	const workers = 8
 	const ownAtoms = 120
+	// One shared plan cache, as the parallel search shares one BodyPlans
+	// per rule across all workers: every worker's hom probes below go
+	// through it, racing lock-free plan lookups against publishes from
+	// siblings whose layers have grown past the re-plan threshold.
+	sharedPlans := NewBodyPlans([]Atom{A("own", V("Z"), V("Y")), A("e", V("Y"), V("W"))}, nil)
 	var wg sync.WaitGroup
 	errs := make(chan error, workers)
 	for g := 0; g < workers; g++ {
@@ -73,6 +78,20 @@ func TestSnapshotConcurrentBranchReaders(t *testing.T) {
 				if !ExistsHom([]Atom{A("e", V("X"), V("Y"))}, nil, st, Subst{"X": C("a1")}) {
 					fail("hom probe through the chain failed")
 					return
+				}
+				if i%8 == 0 {
+					// Joined probe through the shared plan cache: the own
+					// atom just added must be reachable regardless of
+					// which sibling's plan the lookup hits.
+					found := false
+					sharedPlans.FindHoms(st, Subst{"Z": C(fmt.Sprintf("g%d_%d", g, i))}, func(h Subst) bool {
+						found = true
+						return false
+					})
+					if !found {
+						fail("planned join probe missed own atom at step %d", i)
+						return
+					}
 				}
 			}
 			if got := st.Len(); got != frozenLen+ownAtoms {

@@ -18,9 +18,10 @@ benchtime="${BENCH_TIME:-300ms}"
 # The gate set: the branch-heavy search (sequential and parallel), the
 # incremental stability sessions (PR 5), the Solver-session
 # amortization, the assumption-based SAT solving primitive, and the
-# store branching primitive. Names must stay unique across packages —
+# store branching primitive, and the adversarial join-order body
+# pinning the PR 6 planner. Names must stay unique across packages —
 # cmd/benchdiff and benchstat aggregate on the bare benchmark name.
-pattern='StableSearchChoiceWide|ParallelSearch|StabilitySession|SolveAssumptions|SolverReuse|StoreBranch'
+pattern='StableSearchChoiceWide|ParallelSearch|StabilitySession|SolveAssumptions|SolverReuse|StoreBranch|JoinOrderAdversarial'
 
 go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -count "$count" \
   ./ ./internal/core/ ./internal/logic/ ./internal/sat/ | tee "$out"
