@@ -1,14 +1,28 @@
 // Command ntgdctl is the command-line interface to the library:
 //
 //	ntgdctl classify file.ntgd          # WA / sticky / guarded report
-//	ntgdctl solve [-sem so|lp|op] [-n N] [-timeout 5s] [-workers N] file.ntgd
-//	ntgdctl query [-sem so|lp|op] [-mode cautious|brave] [-timeout 5s] [-workers N] file.ntgd
+//	ntgdctl solve [-sem so|lp|op] [-n N] [-timeout 5s] [-wall 5s] [-workers N] file.ntgd
+//	ntgdctl query [-sem so|lp|op] [-mode cautious|brave] [-timeout 5s] [-wall 5s] [-workers N] file.ntgd
 //	ntgdctl chase file.ntgd             # restricted chase (positive TGDs)
 //	ntgdctl ground file.ntgd            # Skolemize + ground, print program
 //	ntgdctl formula [-mm] file.ntgd     # print SM[D,Σ] (or MM[D,Σ])
 //
 // Programs use the surface syntax documented in the README; queries
 // (“?- …”) inside the file are answered by the query subcommand.
+//
+// Exit codes (solve and query) follow the library's error taxonomy so
+// scripts and services can dispatch without parsing messages:
+//
+//	0  success (complete enumeration / all queries answered)
+//	1  load or run error outside the taxonomy
+//	2  usage error
+//	3  search budget exhausted (nodes, atoms, or -wall wall-clock)
+//	4  timed out or cancelled (-timeout, the caller's context)
+//	5  memory watermark exceeded (-max-mem)
+//	6  internal engine fault (a recovered panic; stack on stderr)
+//
+// Codes 3-6 still print the partial stats accumulated so far on
+// stderr. The other subcommands use 0/1/2 only.
 package main
 
 import (
@@ -16,16 +30,58 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"ntgd"
 	"ntgd/internal/chase"
+	"ntgd/internal/engine"
 	"ntgd/internal/ground"
 )
 
-func usage() {
-	fmt.Fprintf(os.Stderr, `usage: ntgdctl <command> [flags] <file>
+// Exit codes of the taxonomy-aware subcommands (solve, query).
+const (
+	exitOK       = 0
+	exitError    = 1
+	exitUsage    = 2
+	exitBudget   = 3
+	exitTimeout  = 4
+	exitMemory   = 5
+	exitInternal = 6
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole CLI behind an exit code, with output streams
+// injected so the exit-code contract is testable in-process.
+func run(argv []string, stdout, stderr io.Writer) int {
+	if len(argv) < 1 {
+		return usage(stderr)
+	}
+	cmd, args := argv[0], argv[1:]
+	switch cmd {
+	case "classify":
+		return cmdClassify(args, stdout, stderr)
+	case "solve":
+		return cmdSolve(args, stdout, stderr)
+	case "query":
+		return cmdQuery(args, stdout, stderr)
+	case "chase":
+		return cmdChase(args, stdout, stderr)
+	case "ground":
+		return cmdGround(args, stdout, stderr)
+	case "formula":
+		return cmdFormula(args, stdout, stderr)
+	default:
+		return usage(stderr)
+	}
+}
+
+func usage(stderr io.Writer) int {
+	fmt.Fprintf(stderr, `usage: ntgdctl <command> [flags] <file>
 
 commands:
   classify   syntactic classification (weak-acyclicity, stickiness, guardedness)
@@ -35,73 +91,64 @@ commands:
   ground     Skolemize and ground, print the ground program
   formula    print the second-order formula SM[D,Σ] (-mm for MM[D,Σ])
 `)
-	os.Exit(2)
+	return exitUsage
 }
 
-func main() {
-	if len(os.Args) < 2 {
-		usage()
-	}
-	cmd, args := os.Args[1], os.Args[2:]
-	switch cmd {
-	case "classify":
-		cmdClassify(args)
-	case "solve":
-		cmdSolve(args)
-	case "query":
-		cmdQuery(args)
-	case "chase":
-		cmdChase(args)
-	case "ground":
-		cmdGround(args)
-	case "formula":
-		cmdFormula(args)
-	default:
-		usage()
-	}
+// fail reports an error outside the taxonomy.
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "ntgdctl:", err)
+	return exitError
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "ntgdctl:", err)
-	os.Exit(1)
+// newFlagSet builds a subcommand flag set that reports parse errors to
+// stderr and returns instead of exiting the process.
+func newFlagSet(name string, stderr io.Writer) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	return fs
 }
 
-func loadProgram(fs *flag.FlagSet) *ntgd.Program {
+func loadProgram(fs *flag.FlagSet, stderr io.Writer) (*ntgd.Program, int) {
 	if fs.NArg() != 1 {
-		usage()
+		return nil, usage(stderr)
 	}
 	prog, err := ntgd.ParseFile(fs.Arg(0))
 	if err != nil {
-		fatal(err)
+		return nil, fail(stderr, err)
 	}
-	return prog
+	return prog, exitOK
 }
 
-func semFromFlag(s string) ntgd.Semantics {
+func semFromFlag(s string) (ntgd.Semantics, error) {
 	switch s {
 	case "so":
-		return ntgd.SO
+		return ntgd.SO, nil
 	case "lp":
-		return ntgd.LP
+		return ntgd.LP, nil
 	case "op", "operational", "baget":
-		return ntgd.Operational
+		return ntgd.Operational, nil
 	default:
-		fatal(fmt.Errorf("unknown semantics %q (want so, lp, or op)", s))
-		panic("unreachable")
+		return 0, fmt.Errorf("unknown semantics %q (want so, lp, or op)", s)
 	}
 }
 
-func cmdClassify(args []string) {
-	fs := flag.NewFlagSet("classify", flag.ExitOnError)
+func cmdClassify(args []string, stdout, stderr io.Writer) int {
+	fs := newFlagSet("classify", stderr)
 	marking := fs.Bool("marking", false, "print the stickiness marking")
-	_ = fs.Parse(args)
-	prog := loadProgram(fs)
-	rep := ntgd.Classify(prog)
-	fmt.Print(rep.String())
-	if *marking {
-		fmt.Println("\nstickiness marking:")
-		fmt.Print(rep.Marking.String())
+	if fs.Parse(args) != nil {
+		return exitUsage
 	}
+	prog, code := loadProgram(fs, stderr)
+	if prog == nil {
+		return code
+	}
+	rep := ntgd.Classify(prog)
+	fmt.Fprint(stdout, rep.String())
+	if *marking {
+		fmt.Fprintln(stdout, "\nstickiness marking:")
+		fmt.Fprint(stdout, rep.Marking.String())
+	}
+	return exitOK
 }
 
 // solveContext builds the run context from a -timeout flag value
@@ -113,64 +160,109 @@ func solveContext(timeout time.Duration) (context.Context, context.CancelFunc) {
 	return context.Background(), func() {}
 }
 
-// printPartial reports a timed-out or budget-limited run's partial
-// effort on stderr.
-func printPartial(cause string, st ntgd.Stats) {
-	fmt.Fprintf(os.Stderr, "ntgdctl: %s; partial stats: nodes=%d branches=%d models=%d\n",
-		cause, st.Nodes, st.Branches, st.ModelsEmitted)
+// classifyErr maps a terminal run error to its exit code and a short
+// cause for the partial-stats line.
+func classifyErr(err error) (int, string) {
+	switch {
+	case errors.Is(err, ntgd.ErrInternal):
+		return exitInternal, "internal engine fault"
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		return exitTimeout, "timed out"
+	case errors.Is(err, ntgd.ErrMemory):
+		return exitMemory, "memory watermark exceeded"
+	case errors.Is(err, ntgd.ErrWallClock):
+		return exitBudget, "wall-clock budget exhausted"
+	case errors.Is(err, ntgd.ErrBudget):
+		return exitBudget, "search budget exhausted"
+	default:
+		return exitError, err.Error()
+	}
 }
 
-func cmdSolve(args []string) {
-	fs := flag.NewFlagSet("solve", flag.ExitOnError)
+// reportRunError prints the cause and the partial stats, plus the
+// recovered stack for internal faults, and returns the exit code.
+func reportRunError(stderr io.Writer, err error, st ntgd.Stats) int {
+	code, cause := classifyErr(err)
+	fmt.Fprintf(stderr, "ntgdctl: %s; partial stats: nodes=%d branches=%d models=%d\n",
+		cause, st.Nodes, st.Branches, st.ModelsEmitted)
+	var ie *engine.InternalError
+	if errors.As(err, &ie) {
+		fmt.Fprintf(stderr, "ntgdctl: recovered panic: %v\n%s", ie.Value, ie.Stack)
+	}
+	return code
+}
+
+func cmdSolve(args []string, stdout, stderr io.Writer) int {
+	fs := newFlagSet("solve", stderr)
 	sem := fs.String("sem", "so", "semantics: so, lp, or op")
 	n := fs.Int("n", 0, "stop after N models (0 = all)")
 	maxAtoms := fs.Int("max-atoms", 0, "atom budget (0 = auto)")
+	maxMem := fs.Int64("max-mem", 0, "memory watermark in facts+clause literals (0 = none)")
 	timeout := fs.Duration("timeout", 0, "abort after this long, printing partial results (0 = none)")
+	wall := fs.Duration("wall", 0, "per-run wall-clock budget, reported as a budget rather than a timeout (0 = none)")
 	workers := fs.Int("workers", 1, "search worker pool size (1 = sequential, deterministic output order; 0 = GOMAXPROCS)")
-	_ = fs.Parse(args)
-	prog := loadProgram(fs)
+	if fs.Parse(args) != nil {
+		return exitUsage
+	}
+	prog, code := loadProgram(fs, stderr)
+	if prog == nil {
+		return code
+	}
+	semv, err := semFromFlag(*sem)
+	if err != nil {
+		return fail(stderr, err)
+	}
 	s, err := ntgd.Compile(prog, ntgd.CompileOptions{
-		Semantics: semFromFlag(*sem),
-		Options:   ntgd.Options{MaxModels: *n, MaxAtoms: *maxAtoms, Workers: *workers},
+		Semantics: semv,
+		Options: ntgd.Options{
+			MaxModels: *n, MaxAtoms: *maxAtoms, Workers: *workers,
+			MaxMemory: *maxMem, MaxWallClock: *wall,
+		},
 	})
 	if err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
 	ctx, cancel := solveContext(*timeout)
 	defer cancel()
 	count := 0
+	code = exitOK
 	for m, err := range s.Models(ctx) {
 		if err != nil {
-			switch {
-			case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
-				printPartial(fmt.Sprintf("timeout after %s", *timeout), s.Stats())
-			case errors.Is(err, ntgd.ErrBudget):
-				printPartial("search budget exhausted", s.Stats())
-			default:
-				fatal(err)
-			}
+			code = reportRunError(stderr, err, s.Stats())
 			break
 		}
 		count++
-		fmt.Printf("model %d: { %s }\n", count, m.CanonicalString())
+		fmt.Fprintf(stdout, "model %d: { %s }\n", count, m.CanonicalString())
 	}
-	fmt.Printf("%d stable model(s)", count)
+	fmt.Fprintf(stdout, "%d stable model(s)", count)
 	if s.Exhausted() {
-		fmt.Printf(" (enumeration may be incomplete)")
+		fmt.Fprintf(stdout, " (enumeration may be incomplete)")
 	}
-	fmt.Println()
+	fmt.Fprintln(stdout)
+	return code
 }
 
-func cmdQuery(args []string) {
-	fs := flag.NewFlagSet("query", flag.ExitOnError)
+func cmdQuery(args []string, stdout, stderr io.Writer) int {
+	fs := newFlagSet("query", stderr)
 	sem := fs.String("sem", "so", "semantics: so, lp, or op")
 	mode := fs.String("mode", "cautious", "cautious or brave")
+	maxMem := fs.Int64("max-mem", 0, "memory watermark in facts+clause literals (0 = none)")
 	timeout := fs.Duration("timeout", 0, "abort after this long, printing partial results (0 = none)")
+	wall := fs.Duration("wall", 0, "per-run wall-clock budget, reported as a budget rather than a timeout (0 = none)")
 	workers := fs.Int("workers", 1, "search worker pool size (1 = sequential, deterministic output order; 0 = GOMAXPROCS)")
-	_ = fs.Parse(args)
-	prog := loadProgram(fs)
+	if fs.Parse(args) != nil {
+		return exitUsage
+	}
+	prog, code := loadProgram(fs, stderr)
+	if prog == nil {
+		return code
+	}
 	if len(prog.Queries) == 0 {
-		fatal(fmt.Errorf("no queries (\"?- ...\") in the file"))
+		return fail(stderr, fmt.Errorf("no queries (\"?- ...\") in the file"))
+	}
+	semv, err := semFromFlag(*sem)
+	if err != nil {
+		return fail(stderr, err)
 	}
 	m := ntgd.Cautious
 	if *mode == "brave" {
@@ -178,92 +270,106 @@ func cmdQuery(args []string) {
 	}
 	// One compiled Solver answers every query in the file.
 	s, err := ntgd.Compile(prog, ntgd.CompileOptions{
-		Semantics: semFromFlag(*sem),
-		Options:   ntgd.Options{Workers: *workers},
+		Semantics: semv,
+		Options:   ntgd.Options{Workers: *workers, MaxMemory: *maxMem, MaxWallClock: *wall},
 	})
 	if err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
 	ctx, cancel := solveContext(*timeout)
 	defer cancel()
+	code = exitOK
 	for _, q := range prog.Queries {
 		if q.IsBoolean() {
 			v, err := s.Entails(ctx, q, m)
 			if err != nil {
-				if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-					printPartial(fmt.Sprintf("timeout after %s", *timeout), s.Stats())
-					fmt.Printf("%s  %s: unknown (timed out)\n", q, m)
-					continue
-				}
-				fatal(err)
+				code = reportRunError(stderr, err, s.Stats())
+				fmt.Fprintf(stdout, "%s  %s: unknown\n", q, m)
+				continue
 			}
-			fmt.Printf("%s  %s: %v\n", q, m, v.Entailed)
+			fmt.Fprintf(stdout, "%s  %s: %v\n", q, m, v.Entailed)
 			if v.Witness != nil {
-				fmt.Printf("  witness model: { %s }\n", v.Witness.CanonicalString())
+				fmt.Fprintf(stdout, "  witness model: { %s }\n", v.Witness.CanonicalString())
 			}
 			continue
 		}
 		tuples, complete, err := s.Answers(ctx, q, m)
 		if err != nil {
-			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-				printPartial(fmt.Sprintf("timeout after %s", *timeout), s.Stats())
-				fmt.Printf("%s  %s answers: unknown (timed out)\n", q, m)
-				continue
-			}
-			fatal(err)
+			code = reportRunError(stderr, err, s.Stats())
+			fmt.Fprintf(stdout, "%s  %s answers: unknown\n", q, m)
+			continue
 		}
-		fmt.Printf("%s  %s answers:", q, m)
+		fmt.Fprintf(stdout, "%s  %s answers:", q, m)
 		for _, t := range tuples {
-			fmt.Printf(" %s", t)
+			fmt.Fprintf(stdout, " %s", t)
 		}
 		if !complete {
-			fmt.Printf("  (incomplete)")
+			fmt.Fprintf(stdout, "  (incomplete)")
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
+	return code
 }
 
-func cmdChase(args []string) {
-	fs := flag.NewFlagSet("chase", flag.ExitOnError)
+func cmdChase(args []string, stdout, stderr io.Writer) int {
+	fs := newFlagSet("chase", stderr)
 	oblivious := fs.Bool("oblivious", false, "use the oblivious chase")
-	_ = fs.Parse(args)
-	prog := loadProgram(fs)
+	if fs.Parse(args) != nil {
+		return exitUsage
+	}
+	prog, code := loadProgram(fs, stderr)
+	if prog == nil {
+		return code
+	}
 	opt := chase.Options{}
 	if *oblivious {
 		opt.Variant = chase.Oblivious
 	}
 	res, err := chase.Run(prog.Database(), prog.Rules, opt)
 	if err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
 	for _, a := range res.Instance.Sorted() {
-		fmt.Println(a)
+		fmt.Fprintln(stdout, a)
 	}
-	fmt.Printf("%% %d atoms, %d applications, %d nulls, %d rounds\n",
+	fmt.Fprintf(stdout, "%% %d atoms, %d applications, %d nulls, %d rounds\n",
 		res.Instance.Len(), res.Applications, res.NullsInvented, res.Rounds)
+	return exitOK
 }
 
-func cmdGround(args []string) {
-	fs := flag.NewFlagSet("ground", flag.ExitOnError)
-	_ = fs.Parse(args)
-	prog := loadProgram(fs)
+func cmdGround(args []string, stdout, stderr io.Writer) int {
+	fs := newFlagSet("ground", stderr)
+	if fs.Parse(args) != nil {
+		return exitUsage
+	}
+	prog, code := loadProgram(fs, stderr)
+	if prog == nil {
+		return code
+	}
 	sk := ground.Skolemize(prog.Rules)
 	g, err := ground.Ground(prog.Database(), sk, ground.Options{})
 	if err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
-	fmt.Print(g.Prog.String())
-	fmt.Printf("%% %d atoms, %d ground rules\n", len(g.Atoms), len(g.Prog.Rules))
+	fmt.Fprint(stdout, g.Prog.String())
+	fmt.Fprintf(stdout, "%% %d atoms, %d ground rules\n", len(g.Atoms), len(g.Prog.Rules))
+	return exitOK
 }
 
-func cmdFormula(args []string) {
-	fs := flag.NewFlagSet("formula", flag.ExitOnError)
+func cmdFormula(args []string, stdout, stderr io.Writer) int {
+	fs := newFlagSet("formula", stderr)
 	mm := fs.Bool("mm", false, "print MM[D,Σ] (circumscription) instead of SM[D,Σ]")
-	_ = fs.Parse(args)
-	prog := loadProgram(fs)
-	if *mm {
-		fmt.Println(ntgd.MMFormula(prog))
-	} else {
-		fmt.Println(ntgd.SMFormula(prog))
+	if fs.Parse(args) != nil {
+		return exitUsage
 	}
+	prog, code := loadProgram(fs, stderr)
+	if prog == nil {
+		return code
+	}
+	if *mm {
+		fmt.Fprintln(stdout, ntgd.MMFormula(prog))
+	} else {
+		fmt.Fprintln(stdout, ntgd.SMFormula(prog))
+	}
+	return exitOK
 }

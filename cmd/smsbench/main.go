@@ -9,6 +9,9 @@
 //
 // -workers sets the worker-pool size of the SO/operational searches
 // (default 1 so experiment output stays reproducible; 0 = GOMAXPROCS).
+// -wall puts a per-run wall-clock budget on every SO/operational
+// search (via the same robustness layer the public Solver uses);
+// truncated runs print their partial stats instead of failing.
 // After each experiment one machine-readable JSON line is printed —
 // {"name","ns_op","models","nodes","workers"} — for the CI bench-diff
 // job and BENCH_*.json trajectories to consume.
@@ -96,6 +99,7 @@ func run() (code int) {
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	timeout := flag.Duration("timeout", 0, "abort the selected experiments after this long, printing partial stats (0 = none)")
 	flag.IntVar(&workers, "workers", 1, "worker pool size for the SO/operational searches (1 = sequential, reproducible output order; 0 = GOMAXPROCS)")
+	flag.DurationVar(&wallClock, "wall", 0, "per-run wall-clock budget for the SO/operational searches, printing partial stats on expiry (0 = none)")
 	flag.Parse()
 	if *timeout > 0 {
 		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
@@ -154,6 +158,10 @@ func run() (code int) {
 // engine the experiments compile (0 = GOMAXPROCS).
 var workers int
 
+// wallClock is the -wall flag: a per-run wall-clock budget installed by
+// wrapping each compiled engine in the robustness layer's Guard.
+var wallClock time.Duration
+
 // expStats accumulates the engine effort of the experiment currently
 // running; the context-aware helpers below feed it.
 var expStats engine.Stats
@@ -204,18 +212,27 @@ func must(err error) {
 // partial effort instead of failing.
 var benchCtx = context.Background()
 
+// guarded wraps a compiled engine in the robustness layer when -wall
+// installed a budget (the raw engines do not read MaxWallClock).
+func guarded(e engine.Engine) engine.Engine {
+	if wallClock <= 0 {
+		return e
+	}
+	return engine.Guard(e, engine.GuardConfig{WallClock: wallClock})
+}
+
 func soEngine(db *ntgd.FactStore, rules []*ntgd.Rule, opt core.Options) engine.Engine {
 	opt.Workers = workers
 	c, err := core.Compile(db, rules, opt)
 	must(err)
-	return c
+	return guarded(c)
 }
 
 func opEngine(db *ntgd.FactStore, rules []*ntgd.Rule, opt core.Options) engine.Engine {
 	opt.Workers = workers
 	c, err := baget.Compile(db, rules, opt)
 	must(err)
-	return c
+	return guarded(c)
 }
 
 func lpEngine(db *ntgd.FactStore, rules []*ntgd.Rule) engine.Engine {
@@ -232,15 +249,16 @@ func reportPartial(st engine.Stats, err error) {
 	fmt.Printf("  [%v: partial results; nodes=%d models=%d]\n", err, st.Nodes, st.ModelsEmitted)
 }
 
-// checkRun reports context expiry as a partial-results note and treats
-// every other error — including budget exhaustion — as fatal: the
-// experiments are sized to complete, so a truncated enumeration would
-// silently corrupt their cross-checks. E9, which probes budgets on
-// purpose, uses modelsBudgeted instead.
+// checkRun reports context expiry and the opt-in -wall budget as
+// partial-results notes and treats every other error — including node
+// or atom budget exhaustion — as fatal: the experiments are sized to
+// complete, so a truncated enumeration would silently corrupt their
+// cross-checks. E9, which probes budgets on purpose, uses
+// modelsBudgeted instead.
 func checkRun(st engine.Stats, err error) {
 	switch {
 	case err == nil:
-	case ctxExpired(err):
+	case ctxExpired(err), errors.Is(err, engine.ErrWallClock):
 		reportPartial(st, err)
 	default:
 		must(err)

@@ -87,6 +87,32 @@
 // so existing callers keep working but pay the compile cost every
 // time.
 //
+// # Robustness
+//
+// A Solver is built for long-lived concurrent hosts. It is safe for
+// concurrent use — any number of goroutines may run Models, Entails,
+// Answers, and Consistent against one compiled Solver; runs share only
+// immutable artifacts and internally synchronized caches, and
+// Options.MaxConcurrentRuns bounds how many are admitted at once.
+// Every terminal error matches exactly one class of a small taxonomy
+// under errors.Is: ErrBudget (node, atom, or — via ErrWallClock, which
+// is itself a budget — Options.MaxWallClock exhaustion), ErrMemory
+// (the Options.MaxMemory retained-allocation watermark: facts added
+// across all branches plus stability-clause literals), ErrAdmission
+// (the gate refused a run because its context ended while queued; the
+// context cause is wrapped), and ErrInternal (an engine panic,
+// recovered at the worker boundary and converted to a typed
+// *engine.InternalError carrying the panic value and stack). In every
+// case the search workers are stopped and joined, partial Stats are
+// recorded, and the Solver remains reusable. Misuse is hardened the
+// same way: the Models sequence may be ranged more than once (each
+// invocation is an independent run), and a panic in the range loop
+// body propagates to the caller — as range-over-func semantics
+// require — only after the workers have been joined. The
+// internal/failpoint package (built with -tags failpoint, a no-op
+// otherwise) injects panics at the engine's riskiest seams, and a
+// chaos suite drives every site to pin these guarantees.
+//
 // # Evaluation engine
 //
 // Every verdict funnels through homomorphism search over fact stores

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"strconv"
 
+	"ntgd/internal/failpoint"
 	"ntgd/internal/logic"
 )
 
@@ -129,6 +130,7 @@ func RunCtx(ctx context.Context, db *logic.FactStore, rules []*logic.Rule, opt O
 	// delta contains the trigger's newest body atom. (runNaive, which
 	// re-detects everything each round, keeps the applied map.)
 	for res.Rounds = 0; res.Rounds < opt.MaxRounds; res.Rounds++ {
+		failpoint.Inject(failpoint.ChaseRound)
 		if err := ctx.Err(); err != nil {
 			return res, err
 		}

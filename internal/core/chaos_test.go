@@ -1,0 +1,93 @@
+//go:build failpoint
+
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"ntgd/internal/engine"
+	"ntgd/internal/failpoint"
+	"ntgd/internal/logic"
+)
+
+// TestChaosRandomPrograms is the probabilistic leg of the chaos suite:
+// every failpoint site armed with a small seeded probability, over
+// random programs and both pool shapes. Whatever the injection
+// schedule, a run must end in a clean result or a taxonomy error —
+// never a hang, a leak (the -race/-shuffle CI leg), or an untyped
+// panic — and after disarming, the same Compiled value must reproduce
+// the reference model set exactly.
+func TestChaosRandomPrograms(t *testing.T) {
+	defer failpoint.Reset()
+	rng := rand.New(rand.NewSource(99))
+	opt := Options{MaxAtoms: 40, MaxNodes: 40000}
+	cases := 0
+	for i := 0; cases < 12 && i < 100; i++ {
+		prog := randomSearchProgram(rng)
+		if prog == nil {
+			continue
+		}
+		cases++
+		db := prog.Database()
+		ref, refEx := canonicalModelSet(t, db, prog.Rules, opt, false)
+		for _, workers := range []int{1, 4} {
+			wopt := opt
+			wopt.Workers = workers
+			c, err := Compile(db, prog.Rules, wopt)
+			if err != nil {
+				t.Fatalf("case %d: compile: %v", cases, err)
+			}
+			for _, site := range failpoint.Sites() {
+				failpoint.ArmProb(site, 0.05, int64(1000*cases+workers))
+			}
+			_, _, cerr := c.Enumerate(context.Background(), engine.Params{}, func(*logic.FactStore) bool { return true })
+			switch {
+			case cerr == nil,
+				errors.Is(cerr, engine.ErrBudget),
+				errors.Is(cerr, engine.ErrInternal):
+			default:
+				t.Fatalf("case %d (workers=%d): chaos run err = %v, outside the taxonomy", cases, workers, cerr)
+			}
+			failpoint.Reset()
+			// Recovery: the same Compiled value, uninjected, matches the
+			// reference enumeration.
+			var keys []string
+			_, ex, err := c.Enumerate(context.Background(), engine.Params{}, func(m *logic.FactStore) bool {
+				keys = append(keys, canonicalModelKey(m))
+				return true
+			})
+			if err != nil && !ex {
+				t.Fatalf("case %d (workers=%d): recovery run: %v", cases, workers, err)
+			}
+			if ex != refEx {
+				t.Fatalf("case %d (workers=%d): recovery exhausted=%v, reference %v", cases, workers, ex, refEx)
+			}
+			if !ex && !sameKeySets(ref, keys) {
+				t.Fatalf("case %d (workers=%d): recovery models diverged\nref: %v\ngot: %v", cases, workers, ref, keys)
+			}
+		}
+	}
+	if cases == 0 {
+		t.Fatal("no random programs generated")
+	}
+}
+
+func sameKeySets(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	set := make(map[string]int, len(a))
+	for _, k := range a {
+		set[k]++
+	}
+	for _, k := range b {
+		set[k]--
+		if set[k] < 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -33,6 +33,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ntgd/internal/chase"
 	"ntgd/internal/engine"
@@ -84,6 +85,26 @@ type Options struct {
 	// only when the effective worker count is 1. Overridable per run
 	// via engine.Params.Workers.
 	Workers int
+	// MaxWallClock bounds each run's wall-clock time (0 = unbounded).
+	// It is enforced by the Solver layer (engine.Guard drives the run
+	// through the search's cancellation paths via a derived deadline);
+	// expiry surfaces as engine.ErrWallClock, which matches ErrBudget
+	// under errors.Is, with partial Stats and Exhausted preserved.
+	MaxWallClock time.Duration
+	// MaxMemory caps a run's retained-allocation proxy (0 = unbounded):
+	// every fact added on any branch plus every stability-clause
+	// literal counts one unit. Unlike MaxAtoms — a per-branch candidate
+	// bound whose overflow only kills the branch — the watermark
+	// measures cumulative growth across the whole run, and tripping it
+	// stops the run with engine.ErrMemory (partial Stats preserved,
+	// Exhausted set).
+	MaxMemory int64
+	// MaxConcurrentRuns bounds how many enumerations may run
+	// concurrently against one compiled Solver (0 = unlimited). It is
+	// enforced by the Solver layer through an admission gate: excess
+	// runs queue instead of oversubscribing the pool, and a queued run
+	// whose context ends is refused with engine.ErrAdmission.
+	MaxConcurrentRuns int
 
 	// stabOracle, when non-nil, cross-checks every session-based
 	// stability verdict against the full-rebuild oracle
@@ -108,9 +129,12 @@ var ErrBudget = engine.ErrBudget
 // Compiled is the SO semantics compiled for one program: rules
 // validated, per-rule search metadata precomputed, and chase-derived
 // atom budgets cached per witness-pool extension. It implements the
-// engine.Engine interface and is safe for sequential reuse; concurrent
-// enumerations require external synchronization (the underlying fact
-// store snapshots are not synchronized).
+// engine.Engine interface and is safe for concurrent use: enumerations
+// share only the immutable compiled artifacts and the mutex-guarded
+// budget cache, while all mutable search state — the run, its store
+// snapshots layered over the frozen root db, trigger agendas, join-plan
+// caches, and stability sessions — is created per call (see enumerate
+// and the freeze discipline in parallel.go).
 type Compiled struct {
 	db    *logic.FactStore
 	rules []*logic.Rule
@@ -235,7 +259,20 @@ func (c *Compiled) Enumerate(ctx context.Context, p engine.Params, visit func(*l
 	return c.enumerate(ctx, p, visit, false)
 }
 
-func (c *Compiled) enumerate(ctx context.Context, p engine.Params, visit func(*logic.FactStore) bool, naive bool) (Stats, bool, error) {
+func (c *Compiled) enumerate(ctx context.Context, p engine.Params, visit func(*logic.FactStore) bool, naive bool) (st Stats, ex bool, err error) {
+	// Recovery boundary for the run's setup path (the budget probe's
+	// chase, the root snapshot, rule-body planning), which executes on
+	// the caller goroutine before any worker exists. Panics inside the
+	// search itself — including a panicking visitor, which runs under
+	// a worker (sequential) or under safeVisit (parallel) — are
+	// recovered at the worker boundary instead (run.runWorker). Either
+	// way the Compiled engine stays reusable: all mutable state was
+	// owned by the failed run.
+	defer func() {
+		if v := recover(); v != nil {
+			st, ex, err = Stats{}, true, engine.NewInternalError(v)
+		}
+	}()
 	opt := c.opt
 	opt.ExtraConstants = mergeExtras(c.opt.ExtraConstants, p.ExtraConstants)
 	if opt.MaxAtoms <= 0 {
@@ -749,7 +786,20 @@ func (s *searcher) dfs(st *state) bool {
 		return false
 	}
 	// Deterministic closure: fire forced triggers without branching.
-	for {
+	// The closure of one node can run thousands of applications without
+	// re-entering dfs, so the pool-wide stop flag (visitor stop, memory
+	// watermark, a sibling's fault, the Solver's wall-clock watchdog)
+	// is observed every iteration and the context periodically.
+	for i := 0; ; i++ {
+		if s.stop.Load() {
+			return false
+		}
+		if i&63 == 63 {
+			if err := s.ctx.Err(); err != nil {
+				s.cancelWith(err)
+				return false
+			}
+		}
 		t := s.nextTrigger(st)
 		if t == nil {
 			return s.complete(st)
@@ -913,6 +963,12 @@ func (s *searcher) apply(st *state, t *trigger, disjunct int, full logic.Subst) 
 func (s *searcher) applyTo(st *state, t *trigger, disjunct int, full logic.Subst) bool {
 	if t.rule.IsConstraint() {
 		return false
+	}
+	if s.opt.MaxMemory > 0 {
+		// Charge every fact this application retains against the run's
+		// memory watermark, whichever way the function returns.
+		before := st.A.Len()
+		defer func() { s.chargeMem(int64(st.A.Len() - before)) }()
 	}
 	for _, n := range s.ruleNeg[t.ruleIdx] {
 		g := t.hom.ApplyAtom(n)

@@ -40,6 +40,8 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"ntgd/internal/engine"
+	"ntgd/internal/failpoint"
 	"ntgd/internal/logic"
 )
 
@@ -85,6 +87,12 @@ type run struct {
 	// some branch); unlike stop it does not end the search by itself —
 	// a MaxAtoms hit only kills its branch.
 	exhausted atomic.Bool
+	// mem is the run's retained-allocation proxy — facts added on any
+	// branch plus stability-clause literals — compared against the
+	// MaxMemory watermark; memHit records that the watermark tripped,
+	// which stops the whole run (see chargeMem).
+	mem    atomic.Int64
+	memHit atomic.Bool
 
 	// tokens is the pool: capacity Workers-1 (the root worker holds an
 	// implicit slot), nil for a sequential run. A worker forks a branch
@@ -112,6 +120,11 @@ type run struct {
 	stats Stats
 	// ctxErr records the first cancellation cause.
 	ctxErr error
+	// intErr records the first worker panic, recovered at the worker
+	// boundary and typed *engine.InternalError (see runWorker). It
+	// outranks ctxErr in finalStats: an internal fault carries the
+	// stack a host needs, while cancellation is ambient.
+	intErr error
 	// stopped records that the visitor ended the enumeration (which is
 	// not an error, unlike ctxErr).
 	stopped bool
@@ -160,6 +173,70 @@ func (r *run) cancelWith(err error) {
 	r.stop.Store(true)
 }
 
+// failWith records a recovered panic (first fault wins) as a typed
+// internal error and stops the pool. The stack is captured here, at the
+// recovery point, so it still shows the panic origin.
+func (r *run) failWith(v any) {
+	ie := engine.NewInternalError(v)
+	r.mu.Lock()
+	if r.intErr == nil {
+		r.intErr = ie
+	}
+	r.mu.Unlock()
+	r.stop.Store(true)
+}
+
+// chargeMem adds n units to the run's retained-allocation proxy and
+// trips the memory watermark once the total passes MaxMemory. Tripping
+// stops the whole run (not just a branch): the proxy measures retained
+// growth across all branches, which killing one subtree cannot undo.
+func (r *run) chargeMem(n int64) {
+	if r.opt.MaxMemory <= 0 || n <= 0 {
+		return
+	}
+	if r.mem.Add(n) > r.opt.MaxMemory {
+		r.memHit.Store(true)
+		r.stop.Store(true)
+	}
+}
+
+// runWorker is the recovery boundary of every search worker — the
+// sequential search, the parallel root, and each forked subtree alike:
+// a panic anywhere under dfs (trigger machinery, stability sessions,
+// the SAT solver, store snapshots) is recovered here, converted to a
+// typed internal error, and turned into a pool-wide stop, so the
+// remaining workers unwind cleanly, the pool joins, and the Compiled
+// engine stays reusable. Partial worker stats survive the fault.
+func (r *run) runWorker(st *state) {
+	w := &searcher{run: r}
+	defer func() {
+		if v := recover(); v != nil {
+			r.failWith(v)
+		}
+		r.mergeStats(w.stats)
+	}()
+	failpoint.Inject(failpoint.CoreFork)
+	w.dfs(st)
+}
+
+// safeVisit shields the pool from a panicking visitor in parallel mode:
+// the panic is recovered on the caller goroutine (where the visitor
+// runs), recorded as an internal fault, and treated as a stop so the
+// workers drain and join. (The public Solver layer re-raises visitor
+// panics instead — engine.Guard intercepts them before they reach the
+// engine — so this path serves direct core callers, whose plain
+// callback contract allows a typed error.) Sequential mode needs no
+// shield: the visitor runs under runWorker's recovery.
+func (r *run) safeVisit(visit func(*logic.FactStore) bool, m *logic.FactStore) (ok bool) {
+	defer func() {
+		if v := recover(); v != nil {
+			r.failWith(v)
+			ok = false
+		}
+	}()
+	return visit(m)
+}
+
 // mergeStats folds a finished worker's local counters into the run.
 func (r *run) mergeStats(st Stats) {
 	r.mu.Lock()
@@ -182,6 +259,9 @@ func (r *run) seenKey(key string) bool {
 // which keeps the emitted canonical model set identical. Reports
 // false when the enumeration should stop.
 func (r *run) emit(key string, m *logic.FactStore) bool {
+	// The failpoint sits before the critical section: a fault must
+	// never unwind while holding run.mu.
+	failpoint.Inject(failpoint.CoreSink)
 	r.mu.Lock()
 	if r.seen[key] || r.stopped {
 		stopped := r.stopped
@@ -222,7 +302,7 @@ func (r *run) consume(visit func(*logic.FactStore) bool) {
 			continue
 		}
 		r.emitted++
-		if !visit(m) {
+		if !r.safeVisit(visit, m) {
 			r.mu.Lock()
 			r.stopped = true
 			r.mu.Unlock()
@@ -263,9 +343,7 @@ func (s *searcher) explore(child *state) bool {
 					<-r.tokens
 					r.wg.Done()
 				}()
-				w := &searcher{run: r}
-				w.dfs(child)
-				r.mergeStats(w.stats)
+				r.runWorker(child)
 			}()
 			return true
 		default:
@@ -274,11 +352,16 @@ func (s *searcher) explore(child *state) bool {
 	return s.dfs(child)
 }
 
-// finalStats assembles the run's Stats after every worker has joined.
+// finalStats assembles the run's Stats after every worker has joined,
+// along with the terminal fault: a recovered internal panic outranks a
+// cancellation cause (nil when neither occurred).
 func (r *run) finalStats() (Stats, error) {
 	r.mu.Lock()
 	st := r.stats
-	err := r.ctxErr
+	err := r.intErr
+	if err == nil {
+		err = r.ctxErr
+	}
 	r.mu.Unlock()
 	st.Nodes = r.nodes.Load()
 	st.ModelsEmitted = r.emitted
@@ -292,9 +375,7 @@ func (r *run) finalStats() (Stats, error) {
 func (r *run) execute(root *state, workers int, visit func(*logic.FactStore) bool) (Stats, bool, error) {
 	if workers <= 1 {
 		r.visit = visit
-		w := &searcher{run: r}
-		w.dfs(root)
-		r.mergeStats(w.stats)
+		r.runWorker(root)
 	} else {
 		r.tokens = make(chan struct{}, workers-1)
 		r.models = make(chan *logic.FactStore, workers)
@@ -302,9 +383,7 @@ func (r *run) execute(root *state, workers int, visit func(*logic.FactStore) boo
 		r.wg.Add(1)
 		go func() {
 			defer r.wg.Done()
-			w := &searcher{run: r}
-			w.dfs(root)
-			r.mergeStats(w.stats)
+			r.runWorker(root)
 		}()
 		go func() {
 			// Close the sink only after the root worker and every
@@ -315,9 +394,16 @@ func (r *run) execute(root *state, workers int, visit func(*logic.FactStore) boo
 		}()
 		r.consume(visit)
 	}
-	stats, ctxErr := r.finalStats()
-	if ctxErr != nil {
-		return stats, true, ctxErr
+	// Terminal-state resolution, in decreasing severity: a recovered
+	// internal fault, then cancellation, then the memory watermark, then
+	// a node/atom budget — each with the partial stats accumulated so
+	// far and Exhausted set (the enumeration may be incomplete).
+	stats, termErr := r.finalStats()
+	if termErr != nil {
+		return stats, true, termErr
+	}
+	if r.memHit.Load() {
+		return stats, true, engine.ErrMemory
 	}
 	var err error
 	exhausted := r.exhausted.Load()

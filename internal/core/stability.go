@@ -52,6 +52,7 @@ package core
 import (
 	"sort"
 
+	"ntgd/internal/failpoint"
 	"ntgd/internal/logic"
 	"ntgd/internal/sat"
 )
@@ -93,6 +94,11 @@ type stabArena struct {
 	actVars   []int
 	extVars   []int
 	guardVars []int
+	// lits counts the literals of every clause added to the arena — its
+	// share of the run's memory watermark proxy. The encoders charge
+	// deltas of this counter against run.chargeMem; clones inherit the
+	// count so a fork measures only its own growth.
+	lits int64
 }
 
 func newStabArena(dbLen int) *stabArena {
@@ -107,6 +113,7 @@ func newStabArena(dbLen int) *stabArena {
 // clauses (see falseVar). Empty clauses pass through: they mark the
 // instance genuinely unsatisfiable.
 func (a *stabArena) addClause(lits ...int) {
+	a.lits += int64(len(lits))
 	if len(lits) == 1 {
 		a.sat.AddClause(lits[0], a.falseVar)
 		return
@@ -128,6 +135,7 @@ func (a *stabArena) clone() *stabArena {
 		actVars:   append([]int(nil), a.actVars...),
 		extVars:   append([]int(nil), a.extVars...),
 		guardVars: append([]int(nil), a.guardVars...),
+		lits:      a.lits,
 	}
 }
 
@@ -256,7 +264,11 @@ func (s *searcher) extendStability(st *state) {
 		sess = &stabSession{arena: newStabArena(s.db.Len())}
 		st.sess = sess
 	}
+	before := sess.arena.lits
 	s.extendSession(sess, st.A)
+	// Arena growth counts against the run's memory watermark alongside
+	// the facts themselves (see run.chargeMem).
+	s.chargeMem(sess.arena.lits - before)
 }
 
 // extendSession encodes the window [ss.hi, store.Len()) into the
@@ -383,7 +395,7 @@ func (s *searcher) witLit(ss *stabSession, store *logic.FactStore, head []logic.
 	default:
 		aux := ar.sat.NewVar()
 		for _, lit := range conj {
-			ar.sat.AddClause(-aux, lit)
+			ar.addClause(-aux, lit)
 		}
 		return aux
 	}
@@ -558,8 +570,10 @@ func (s *searcher) completeHom(ss *stabSession, store *logic.FactStore, from int
 // path's non-database atoms completes the query; UNSAT means no J with
 // D ⊆ J ⊊ M⁺ satisfies the τ-translation — M is stable.
 func (s *searcher) stableSession(st *state) bool {
+	failpoint.Inject(failpoint.CoreStability)
 	ss := st.sess
 	ar := ss.arena
+	litsBefore := ar.lits
 	sc := &s.stab
 	if sc.extSeen == nil {
 		sc.extSeen = make(map[int]int)
@@ -651,6 +665,9 @@ func (s *searcher) stableSession(st *state) bool {
 	ar.guardVars = append(ar.guardVars, guard)
 	assumps = append(assumps, guard)
 	sc.assumps = assumps[:0]
+	// Each solve retires one guarded subset clause into the arena for
+	// good; charge it against the memory watermark.
+	s.chargeMem(ar.lits - litsBefore)
 	return !ar.sat.Solve(assumps...)
 }
 

@@ -1,0 +1,203 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"time"
+
+	"ntgd/internal/logic"
+)
+
+// The robustness taxonomy: every terminal error an enumeration can
+// surface matches exactly one of ErrBudget (engine.go), ErrMemory,
+// ErrAdmission, or ErrInternal under errors.Is, plus the caller's own
+// context errors. Long-lived hosts dispatch on the class, not the
+// message.
+var (
+	// ErrMemory is reported when a run trips its memory watermark
+	// (core.Options.MaxMemory): the retained-allocation proxy — facts
+	// added across all branches plus stability-clause literals — grew
+	// past the cap. Partial Stats are preserved and Exhausted is true.
+	ErrMemory = errors.New("ntgd: memory watermark exceeded; enumeration may be incomplete")
+
+	// ErrAdmission is reported when a run is refused admission: the
+	// solver's concurrent-run gate (core.Options.MaxConcurrentRuns) was
+	// full and the caller's context ended while the run was queued.
+	ErrAdmission = errors.New("ntgd: run not admitted; concurrent-run gate full until context end")
+
+	// ErrInternal marks a recovered engine panic. Match with
+	// errors.Is(err, ErrInternal); the concrete *InternalError carries
+	// the panic value and stack. The solver joins all workers before
+	// returning it and remains reusable.
+	ErrInternal = errors.New("ntgd: internal engine fault")
+)
+
+// ErrWallClock is the terminal error of a run stopped by the wall-clock
+// watchdog (core.Options.MaxWallClock). It is a budget in the taxonomy:
+// errors.Is(ErrWallClock, ErrBudget) holds, and partial Stats plus
+// Exhausted=true are preserved exactly as for a node budget.
+var ErrWallClock = fmt.Errorf("ntgd: wall-clock budget exhausted; enumeration may be incomplete (%w)", ErrBudget)
+
+// InternalError is the concrete error for a panic recovered at a worker
+// or enumeration boundary. It satisfies errors.Is(err, ErrInternal).
+type InternalError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the stack of the panicking goroutine, captured at the
+	// recovery point.
+	Stack []byte
+}
+
+// NewInternalError captures the current goroutine's stack around a
+// recovered panic value. Call it from the deferred recover site so the
+// stack still shows the panic origin.
+func NewInternalError(v any) *InternalError {
+	return &InternalError{Value: v, Stack: debug.Stack()}
+}
+
+func (e *InternalError) Error() string {
+	return fmt.Sprintf("ntgd: internal engine fault: %v", e.Value)
+}
+
+// Is makes errors.Is(err, ErrInternal) match.
+func (e *InternalError) Is(target error) bool { return target == ErrInternal }
+
+// admissionError wraps the context cause of a refused admission so both
+// errors.Is(err, ErrAdmission) and errors.Is(err, context.Canceled) (or
+// DeadlineExceeded) hold.
+type admissionError struct{ cause error }
+
+func (e *admissionError) Error() string {
+	return fmt.Sprintf("%v (%v)", ErrAdmission, e.cause)
+}
+
+func (e *admissionError) Is(target error) bool { return target == ErrAdmission }
+
+func (e *admissionError) Unwrap() error { return e.cause }
+
+// Gate is a counting admission semaphore bounding how many enumerations
+// run concurrently against one compiled engine. A full gate queues
+// callers instead of oversubscribing the worker pool; a queued caller
+// whose context ends is refused with an ErrAdmission-matching error.
+type Gate struct{ ch chan struct{} }
+
+// NewGate returns a gate admitting up to n concurrent runs, or nil
+// (admit everything) when n <= 0.
+func NewGate(n int) *Gate {
+	if n <= 0 {
+		return nil
+	}
+	return &Gate{ch: make(chan struct{}, n)}
+}
+
+// Acquire blocks until a slot is free or ctx ends. A nil gate admits
+// immediately.
+func (g *Gate) Acquire(ctx context.Context) error {
+	if g == nil {
+		return nil
+	}
+	select {
+	case g.ch <- struct{}{}:
+		return nil
+	default:
+	}
+	select {
+	case g.ch <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return &admissionError{cause: context.Cause(ctx)}
+	}
+}
+
+// Release frees a slot acquired by Acquire. A nil gate is a no-op.
+func (g *Gate) Release() {
+	if g != nil {
+		<-g.ch
+	}
+}
+
+// GuardConfig configures the robustness wrapper.
+type GuardConfig struct {
+	// Gate bounds concurrent runs (nil = unlimited).
+	Gate *Gate
+	// WallClock bounds each run's wall-clock time (0 = unbounded). The
+	// run is driven through the engines' existing cancellation paths
+	// via a derived deadline; expiry is reported as ErrWallClock, not
+	// as the caller's context error.
+	WallClock time.Duration
+}
+
+// Guard wraps an engine in the robustness layer shared by all three
+// semantics: admission gating, the wall-clock watchdog, and panic
+// isolation. Any panic escaping the inner engine is recovered after
+// the engine has unwound (joining its workers), and converted to an
+// *InternalError — except a panic raised by the caller's own visitor,
+// which is re-raised once the engine has unwound so that
+// range-over-func iteration semantics are preserved (the iterator must
+// propagate a loop-body panic, not swallow it into an error).
+func Guard(e Engine, cfg GuardConfig) Engine {
+	return &guarded{e: e, cfg: cfg}
+}
+
+type guarded struct {
+	e   Engine
+	cfg GuardConfig
+}
+
+func (g *guarded) Semantics() string { return g.e.Semantics() }
+
+// visitorPanic tags a panic that originated in the caller's visitor so
+// the recovery layer re-raises it instead of typing it ErrInternal.
+type visitorPanic struct{ val any }
+
+func (g *guarded) Enumerate(ctx context.Context, p Params, visit func(*logic.FactStore) bool) (st Stats, ex bool, err error) {
+	if aerr := g.cfg.Gate.Acquire(ctx); aerr != nil {
+		return Stats{}, true, aerr
+	}
+	defer g.cfg.Gate.Release()
+
+	runCtx := ctx
+	if g.cfg.WallClock > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeoutCause(ctx, g.cfg.WallClock, ErrWallClock)
+		defer cancel()
+	}
+
+	// The wrapped visitor recovers a visitor panic before it can unwind
+	// engine internals (which may hold locks or own pool goroutines),
+	// tells the engine to stop, and stashes the value for re-raise.
+	var vp *visitorPanic
+	wrapped := func(m *logic.FactStore) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				vp = &visitorPanic{val: r}
+				ok = false
+			}
+		}()
+		return visit(m)
+	}
+
+	defer func() {
+		if r := recover(); r != nil {
+			// The engine itself panicked out of Enumerate. Its stack has
+			// fully unwound here, so pool cleanup (deferred joins) ran.
+			st, ex, err = Stats{}, true, NewInternalError(r)
+		}
+		if vp != nil {
+			// Stats from the aborted run are dropped: the iteration dies
+			// by panic, so there is no error channel to pair them with.
+			panic(vp.val)
+		}
+		if err != nil && errors.Is(err, context.DeadlineExceeded) && context.Cause(runCtx) == ErrWallClock {
+			// Our derived deadline fired, not the caller's (the cause
+			// pins which): report it as a wall-clock budget, preserving
+			// partial stats.
+			ex, err = true, ErrWallClock
+		}
+	}()
+
+	st, ex, err = g.e.Enumerate(runCtx, p, wrapped)
+	return st, ex, err
+}

@@ -1,0 +1,137 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"ntgd/internal/logic"
+)
+
+// stubEngine drives Guard without a real search: it emits n empty
+// stores, then finishes with the configured outcome (or panics).
+type stubEngine struct {
+	emit     int
+	stats    Stats
+	ex       bool
+	err      error
+	panicVal any
+	// block, when set, ignores emit/err and waits for ctx to end the
+	// way a long search would, checking cancellation periodically.
+	block bool
+}
+
+func (s *stubEngine) Semantics() string { return "stub" }
+
+func (s *stubEngine) Enumerate(ctx context.Context, p Params, visit func(*logic.FactStore) bool) (Stats, bool, error) {
+	if s.block {
+		<-ctx.Done()
+		return s.stats, true, ctx.Err()
+	}
+	for i := 0; i < s.emit; i++ {
+		if !visit(logic.NewFactStore()) {
+			return s.stats, false, nil
+		}
+	}
+	if s.panicVal != nil {
+		panic(s.panicVal)
+	}
+	return s.stats, s.ex, s.err
+}
+
+func TestGuardConvertsEnginePanic(t *testing.T) {
+	g := Guard(&stubEngine{emit: 1, panicVal: "boom"}, GuardConfig{})
+	st, ex, err := g.Enumerate(context.Background(), Params{}, func(*logic.FactStore) bool { return true })
+	if !errors.Is(err, ErrInternal) {
+		t.Fatalf("err = %v, want ErrInternal", err)
+	}
+	var ie *InternalError
+	if !errors.As(err, &ie) || ie.Value != "boom" || len(ie.Stack) == 0 {
+		t.Fatalf("InternalError not carrying value+stack: %+v", ie)
+	}
+	if !ex {
+		t.Fatalf("internal fault must report Exhausted")
+	}
+	if st != (Stats{}) {
+		t.Fatalf("stats after a panic must be zero, got %+v", st)
+	}
+}
+
+func TestGuardReraisesVisitorPanic(t *testing.T) {
+	inner := &stubEngine{emit: 3, stats: Stats{ModelsEmitted: 3}}
+	g := Guard(inner, GuardConfig{})
+	defer func() {
+		r := recover()
+		if r != "visitor-died" {
+			t.Fatalf("recovered %v, want the visitor's own panic value", r)
+		}
+	}()
+	g.Enumerate(context.Background(), Params{}, func(*logic.FactStore) bool {
+		panic("visitor-died")
+	})
+	t.Fatalf("visitor panic must propagate out of Enumerate")
+}
+
+func TestGuardWallClock(t *testing.T) {
+	g := Guard(&stubEngine{block: true, stats: Stats{Nodes: 7}}, GuardConfig{WallClock: 10 * time.Millisecond})
+	st, ex, err := g.Enumerate(context.Background(), Params{}, func(*logic.FactStore) bool { return true })
+	if !errors.Is(err, ErrWallClock) || !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrWallClock (an ErrBudget)", err)
+	}
+	if !ex || st.Nodes != 7 {
+		t.Fatalf("wall-clock expiry must keep partial stats and Exhausted: ex=%v st=%+v", ex, st)
+	}
+}
+
+func TestGuardCallerDeadlineNotMasked(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	g := Guard(&stubEngine{block: true}, GuardConfig{WallClock: time.Hour})
+	_, _, err := g.Enumerate(ctx, Params{}, func(*logic.FactStore) bool { return true })
+	if !errors.Is(err, context.DeadlineExceeded) || errors.Is(err, ErrBudget) {
+		t.Fatalf("caller's own deadline must surface as DeadlineExceeded, got %v", err)
+	}
+}
+
+func TestGateAdmissionQueueAndRefusal(t *testing.T) {
+	gate := NewGate(1)
+	if err := gate.Acquire(context.Background()); err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	err := gate.Acquire(ctx)
+	if !errors.Is(err, ErrAdmission) {
+		t.Fatalf("queued acquire under full gate: err = %v, want ErrAdmission", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("admission refusal must unwrap the context cause, got %v", err)
+	}
+	gate.Release()
+	if err := gate.Acquire(context.Background()); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	gate.Release()
+
+	var nilGate *Gate
+	if err := nilGate.Acquire(context.Background()); err != nil {
+		t.Fatalf("nil gate must admit: %v", err)
+	}
+	nilGate.Release()
+}
+
+func TestGuardGateRefusalBeforeRun(t *testing.T) {
+	gate := NewGate(1)
+	if err := gate.Acquire(context.Background()); err != nil {
+		t.Fatalf("pre-fill: %v", err)
+	}
+	defer gate.Release()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := Guard(&stubEngine{emit: 1}, GuardConfig{Gate: gate})
+	_, ex, err := g.Enumerate(ctx, Params{}, func(*logic.FactStore) bool { return true })
+	if !errors.Is(err, ErrAdmission) || !ex {
+		t.Fatalf("full gate + dead ctx: err=%v ex=%v, want ErrAdmission with Exhausted", err, ex)
+	}
+}

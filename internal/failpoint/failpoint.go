@@ -1,0 +1,70 @@
+// Package failpoint is a build-tag-gated fault-injection registry used
+// by the chaos suite to fire panics at hardened recovery boundaries
+// inside the engine. It exists so the robustness layer (worker-boundary
+// recovery, typed ErrInternal, join-then-return discipline) can be
+// exercised deterministically rather than hoping for organic bugs.
+//
+// The package has two build modes:
+//
+//   - Default (no tag): Inject is an empty function and Enabled reports
+//     false. The call sites compile to nothing the branch predictor can
+//     even see; the bench-diff gate pins that the production binary pays
+//     no cost for the instrumentation.
+//   - -tags failpoint: Inject consults a registry of armed sites and
+//     panics with a failpoint.Panic value when a site trips. Sites are
+//     armed programmatically (Arm, ArmProb) or via the NTGD_FAILPOINTS
+//     environment variable at init; see inject_on.go.
+//
+// Site names are path-like strings owned by this package so the chaos
+// suite and the injection sites cannot drift apart. Each constant
+// documents the boundary it sits on.
+package failpoint
+
+// Canonical injection sites. Every site is inside code that the
+// robustness layer promises to recover from: firing one must surface as
+// a typed engine error (or a clean visitor unwind), never as a process
+// crash, a wedged pool, or a leaked goroutine.
+const (
+	// CoreFork fires at the entry of a stable-model search worker
+	// (sequential root and every forked pool goroutine alike).
+	CoreFork = "core/fork"
+	// CoreSink fires in the model sink (run.emit) before the dedup lock
+	// is taken, so a fault never unwinds while holding run.mu.
+	CoreSink = "core/sink"
+	// CoreStability fires at the entry of a stability (minimality) SAT
+	// solve on a candidate branch.
+	CoreStability = "core/stability"
+	// SatPropagate fires at the entry of CDCL unit propagation.
+	SatPropagate = "sat/propagate"
+	// ChaseRound fires at the top of each chase round (both the stable
+	// search's budget probe and direct chase.RunCtx callers).
+	ChaseRound = "chase/round"
+	// StoreSnapshot fires when a copy-on-write FactStore snapshot is
+	// taken (branch forks, model emission, budget probes).
+	StoreSnapshot = "store/snapshot"
+	// StoreFlatten fires when a snapshot chain is flattened (deep
+	// chains past maxSnapshotDepth, clones of snapshots).
+	StoreFlatten = "store/flatten"
+)
+
+// Sites lists every canonical injection site; the chaos suite iterates
+// it so a newly added site cannot silently escape coverage.
+func Sites() []string {
+	return []string{
+		CoreFork,
+		CoreSink,
+		CoreStability,
+		SatPropagate,
+		ChaseRound,
+		StoreSnapshot,
+		StoreFlatten,
+	}
+}
+
+// Panic is the value thrown by a tripped failpoint. Recovery layers may
+// inspect it (the chaos suite asserts the site round-trips through
+// engine.InternalError), but production code must treat it like any
+// other panic value: recover, type the error, join the workers.
+type Panic struct{ Site string }
+
+func (p Panic) String() string { return "failpoint tripped: " + p.Site }

@@ -1,0 +1,23 @@
+//go:build !failpoint
+
+package failpoint
+
+import "testing"
+
+// Without the failpoint build tag the whole API must be inert: arming
+// is a no-op and Inject never panics, so production binaries cannot be
+// destabilized by a stray NTGD_FAILPOINTS in the environment.
+func TestInjectInertWithoutTag(t *testing.T) {
+	if Enabled {
+		t.Fatalf("Enabled must be false without the failpoint tag")
+	}
+	defer Reset()
+	Arm(CoreFork, 1)
+	ArmProb(CoreSink, 1.0, 1)
+	for _, s := range Sites() {
+		Inject(s) // must not panic
+		if Fired(s) != 0 {
+			t.Fatalf("Fired(%q) = %d without the tag", s, Fired(s))
+		}
+	}
+}

@@ -1,0 +1,120 @@
+//go:build failpoint
+
+package failpoint
+
+import (
+	"sync"
+	"testing"
+)
+
+func mustTrip(t *testing.T, name string) (tripped bool) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			p, ok := r.(Panic)
+			if !ok || p.Site != name {
+				t.Fatalf("unexpected panic value %v", r)
+			}
+			tripped = true
+		}
+	}()
+	Inject(name)
+	return false
+}
+
+func TestArmFiresExactlyOnce(t *testing.T) {
+	defer Reset()
+	Arm(CoreFork, 3)
+	if mustTrip(t, CoreFork) || mustTrip(t, CoreFork) {
+		t.Fatalf("fired before countdown reached zero")
+	}
+	if !mustTrip(t, CoreFork) {
+		t.Fatalf("did not fire on the armed call")
+	}
+	if mustTrip(t, CoreFork) {
+		t.Fatalf("fired twice for a one-shot arming")
+	}
+	if Fired(CoreFork) != 1 {
+		t.Fatalf("Fired = %d, want 1", Fired(CoreFork))
+	}
+}
+
+func TestArmProbEventuallyFires(t *testing.T) {
+	defer Reset()
+	ArmProb(CoreSink, 0.5, 42)
+	fired := 0
+	for i := 0; i < 64; i++ {
+		if mustTrip(t, CoreSink) {
+			fired++
+		}
+	}
+	if fired == 0 || fired == 64 {
+		t.Fatalf("p=0.5 over 64 draws fired %d times", fired)
+	}
+	if Fired(CoreSink) != fired {
+		t.Fatalf("Fired = %d, want %d", Fired(CoreSink), fired)
+	}
+	Disarm(CoreSink)
+	if mustTrip(t, CoreSink) {
+		t.Fatalf("fired after Disarm")
+	}
+	if Fired(CoreSink) != fired {
+		t.Fatalf("Disarm cleared the fired count")
+	}
+}
+
+func TestArmSpecGrammar(t *testing.T) {
+	defer Reset()
+	if err := armSpec("core/fork=2; sat/propagate=p0.25 ;;", 7); err != nil {
+		t.Fatalf("armSpec: %v", err)
+	}
+	if mustTrip(t, CoreFork) {
+		t.Fatalf("countdown=2 fired on first call")
+	}
+	if !mustTrip(t, CoreFork) {
+		t.Fatalf("countdown=2 did not fire on second call")
+	}
+	for _, bad := range []string{"core/fork", "core/fork=x", "core/fork=pzero"} {
+		if err := armSpec(bad, 1); err == nil {
+			t.Fatalf("armSpec(%q) accepted a malformed spec", bad)
+		}
+	}
+}
+
+func TestInjectConcurrentSafety(t *testing.T) {
+	defer Reset()
+	ArmProb(ChaseRound, 0.1, 99)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				func() {
+					defer func() { recover() }()
+					Inject(ChaseRound)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if Fired(ChaseRound) == 0 {
+		t.Fatalf("no trips across 1600 draws at p=0.1")
+	}
+}
+
+func TestSitesListsEveryConstant(t *testing.T) {
+	want := map[string]bool{
+		CoreFork: true, CoreSink: true, CoreStability: true,
+		SatPropagate: true, ChaseRound: true, StoreSnapshot: true, StoreFlatten: true,
+	}
+	got := Sites()
+	if len(got) != len(want) {
+		t.Fatalf("Sites() has %d entries, want %d", len(got), len(want))
+	}
+	for _, s := range got {
+		if !want[s] {
+			t.Fatalf("Sites() lists unknown site %q", s)
+		}
+	}
+}

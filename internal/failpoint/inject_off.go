@@ -1,0 +1,28 @@
+//go:build !failpoint
+
+package failpoint
+
+// Enabled reports whether fault injection is compiled in.
+const Enabled = false
+
+// Inject is a no-op in production builds; the call sites inline to
+// nothing.
+func Inject(site string) {}
+
+// The arming API exists in both build modes so shared test helpers can
+// compile without the tag; without it the calls are inert.
+
+// Arm is a no-op without the failpoint build tag.
+func Arm(site string, after int) {}
+
+// ArmProb is a no-op without the failpoint build tag.
+func ArmProb(site string, prob float64, seed int64) {}
+
+// Disarm is a no-op without the failpoint build tag.
+func Disarm(site string) {}
+
+// Reset is a no-op without the failpoint build tag.
+func Reset() {}
+
+// Fired reports 0 without the failpoint build tag.
+func Fired(site string) int { return 0 }

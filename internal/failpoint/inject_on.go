@@ -1,0 +1,156 @@
+//go:build failpoint
+
+package failpoint
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Enabled reports whether fault injection is compiled in.
+const Enabled = true
+
+type site struct {
+	// countdown: fire (once) on the Nth Inject after arming; 0 = not
+	// count-armed.
+	countdown int
+	// prob: fire with this probability on every Inject; 0 = not
+	// probability-armed.
+	prob float64
+	rng  *rand.Rand
+	// fired counts trips since the site was last armed or Reset.
+	fired int
+}
+
+var (
+	mu    sync.Mutex
+	sites = map[string]*site{}
+)
+
+func init() {
+	// NTGD_FAILPOINTS arms sites at process start, e.g.
+	//   NTGD_FAILPOINTS="core/fork=1;sat/propagate=p0.01"
+	// "<site>=<n>" fires once on the nth Inject; "<site>=p<f>" fires
+	// with probability f on every Inject. NTGD_FAILPOINT_SEED seeds the
+	// probability draws (default 1).
+	spec := os.Getenv("NTGD_FAILPOINTS")
+	if spec == "" {
+		return
+	}
+	seed := int64(1)
+	if s := os.Getenv("NTGD_FAILPOINT_SEED"); s != "" {
+		if v, err := strconv.ParseInt(s, 10, 64); err == nil {
+			seed = v
+		}
+	}
+	if err := armSpec(spec, seed); err != nil {
+		fmt.Fprintf(os.Stderr, "failpoint: ignoring bad NTGD_FAILPOINTS: %v\n", err)
+	}
+}
+
+// armSpec parses and applies a ";"-separated arming spec. Exposed to
+// tests of the env grammar; callers outside init should use Arm/ArmProb.
+func armSpec(spec string, seed int64) error {
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return fmt.Errorf("%q: want site=n or site=p<f>", part)
+		}
+		if p, isProb := strings.CutPrefix(val, "p"); isProb {
+			f, err := strconv.ParseFloat(p, 64)
+			if err != nil {
+				return fmt.Errorf("%q: bad probability: %v", part, err)
+			}
+			ArmProb(name, f, seed)
+			continue
+		}
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return fmt.Errorf("%q: bad countdown: %v", part, err)
+		}
+		Arm(name, n)
+	}
+	return nil
+}
+
+// Inject panics with Panic{site} when the named site is armed and
+// trips. It is safe to call from any goroutine.
+func Inject(name string) {
+	mu.Lock()
+	s := sites[name]
+	if s == nil {
+		mu.Unlock()
+		return
+	}
+	trip := false
+	if s.countdown > 0 {
+		s.countdown--
+		trip = s.countdown == 0
+	} else if s.prob > 0 && s.rng.Float64() < s.prob {
+		trip = true
+	}
+	if trip {
+		s.fired++
+	}
+	mu.Unlock()
+	if trip {
+		panic(Panic{Site: name})
+	}
+}
+
+// Arm makes the named site fire exactly once, on the after-th Inject
+// from now (after=1 fires on the next call). It replaces any previous
+// arming of the site.
+func Arm(name string, after int) {
+	if after <= 0 {
+		after = 1
+	}
+	mu.Lock()
+	sites[name] = &site{countdown: after}
+	mu.Unlock()
+}
+
+// ArmProb makes the named site fire with the given probability on each
+// Inject, drawing from a rand.Rand seeded with seed. It replaces any
+// previous arming of the site.
+func ArmProb(name string, prob float64, seed int64) {
+	mu.Lock()
+	sites[name] = &site{prob: prob, rng: rand.New(rand.NewSource(seed))}
+	mu.Unlock()
+}
+
+// Disarm deactivates the named site, keeping its fired count readable
+// until Reset.
+func Disarm(name string) {
+	mu.Lock()
+	if s := sites[name]; s != nil {
+		s.countdown, s.prob = 0, 0
+	}
+	mu.Unlock()
+}
+
+// Reset disarms every site and clears all fired counts.
+func Reset() {
+	mu.Lock()
+	sites = map[string]*site{}
+	mu.Unlock()
+}
+
+// Fired reports how many times the named site has tripped since it was
+// last armed (or since Reset).
+func Fired(name string) int {
+	mu.Lock()
+	defer mu.Unlock()
+	if s := sites[name]; s != nil {
+		return s.fired
+	}
+	return 0
+}

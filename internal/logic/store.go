@@ -4,6 +4,8 @@ import (
 	"math"
 	"sort"
 	"strings"
+
+	"ntgd/internal/failpoint"
 )
 
 // FactStore is a set of ground atoms with a per-predicate index and a
@@ -106,6 +108,7 @@ func StoreOf(atoms ...Atom) *FactStore {
 // shared ancestors stop growing; see the concurrency notes on
 // FactStore.
 func (s *FactStore) Snapshot() *FactStore {
+	failpoint.Inject(failpoint.StoreSnapshot)
 	base := s.Len()
 	parent := s
 	// A layer that never grew contributes nothing: snapshot its parent
@@ -126,6 +129,7 @@ func (s *FactStore) Snapshot() *FactStore {
 // global indices carry over unchanged, so no atom or term key is ever
 // re-rendered.
 func (s *FactStore) flatten(bound int) *FactStore {
+	failpoint.Inject(failpoint.StoreFlatten)
 	c := NewFactStore()
 	c.atoms = s.appendAtomsBelow(bound, make([]Atom, 0, bound))
 	var layers []*FactStore

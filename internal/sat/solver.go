@@ -27,7 +27,11 @@
 // is +v and a negative literal is -v.
 package sat
 
-import "sort"
+import (
+	"sort"
+
+	"ntgd/internal/failpoint"
+)
 
 const unassigned int8 = -1
 
@@ -188,6 +192,7 @@ func (s *Solver) enqueue(l, from int) bool {
 // propagate performs unit propagation, returning the index of a
 // conflicting clause or noReason when the queue drains cleanly.
 func (s *Solver) propagate() int {
+	failpoint.Inject(failpoint.SatPropagate)
 	for s.qhead < len(s.trail) {
 		l := s.trail[s.qhead]
 		s.qhead++

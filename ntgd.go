@@ -46,10 +46,32 @@ type (
 	Report = classify.Report
 )
 
-// ErrBudget is reported (alongside partial results) when a search
-// budget was hit; the enumeration may then be incomplete. All three
-// semantics report this same value.
-var ErrBudget = engine.ErrBudget
+// The error taxonomy of the robustness layer: every terminal error an
+// enumeration or query can surface matches exactly one of these under
+// errors.Is (plus the caller's own context errors), so long-lived
+// hosts dispatch on the class instead of parsing messages. In every
+// case the partial Stats are preserved and the Solver stays reusable.
+var (
+	// ErrBudget is reported (alongside partial results) when a search
+	// budget was hit; the enumeration may then be incomplete. All three
+	// semantics report this same value.
+	ErrBudget = engine.ErrBudget
+	// ErrWallClock is reported when Options.MaxWallClock expired. It is
+	// a budget: errors.Is(ErrWallClock, ErrBudget) holds.
+	ErrWallClock = engine.ErrWallClock
+	// ErrMemory is reported when Options.MaxMemory tripped: the run's
+	// retained-allocation proxy (facts added across all branches plus
+	// stability-clause literals) grew past the watermark.
+	ErrMemory = engine.ErrMemory
+	// ErrAdmission is reported when Options.MaxConcurrentRuns kept a
+	// run queued until its context ended. The context cause is wrapped:
+	// errors.Is also matches context.Canceled/DeadlineExceeded.
+	ErrAdmission = engine.ErrAdmission
+	// ErrInternal marks a recovered engine panic, converted to a typed
+	// error at the worker boundary with all workers joined; the
+	// concrete *engine.InternalError carries the panic value and stack.
+	ErrInternal = engine.ErrInternal
+)
 
 // Constructors re-exported for building programs programmatically.
 var (

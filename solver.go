@@ -38,12 +38,23 @@ type CompileOptions struct {
 // mid-flight with the partial Stats accumulated so far, and the Solver
 // remains reusable afterwards.
 //
-// A Solver is safe for sequential reuse. Concurrent calls require
-// external synchronization: the copy-on-write fact store layers the
-// search branches on are not synchronized across calls. Within one
-// call the search itself may run parallel — Options.Workers sizes a
-// worker pool that explores independent branch subtrees concurrently
-// (see Models for the ordering guarantee).
+// A Solver is safe for concurrent use: any number of goroutines may
+// run Models, Entails, Answers, and Consistent against one Solver at
+// once. Runs share only immutable compiled artifacts and internally
+// synchronized caches (the chase-derived budget cache, the cumulative
+// Stats); each run owns its search state outright, layering
+// copy-on-write snapshots over the frozen root database. Within one
+// call the search itself may also run parallel — Options.Workers sizes
+// a worker pool that explores independent branch subtrees concurrently
+// (see Models for the ordering guarantee), and
+// Options.MaxConcurrentRuns bounds how many runs are admitted at once.
+//
+// The Solver is also hardened for long-lived hosts: every terminal
+// error is errors.Is-matchable against the taxonomy ErrBudget (node or
+// wall-clock budget), ErrMemory (watermark), ErrAdmission (gate), and
+// ErrInternal (a recovered engine panic, carrying the stack); in each
+// case the workers are joined, partial Stats are recorded, and the
+// Solver remains reusable.
 type Solver struct {
 	prog   *Program
 	sem    Semantics
@@ -85,6 +96,15 @@ func Compile(p *Program, opt CompileOptions) (*Solver, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The robustness layer wraps every semantics uniformly: admission
+	// gating, the wall-clock watchdog, and panic isolation (recovered
+	// engine panics become typed ErrInternal; a panicking visitor is
+	// re-raised only after the engine has unwound and joined its
+	// workers).
+	eng = engine.Guard(eng, engine.GuardConfig{
+		Gate:      engine.NewGate(opt.Options.MaxConcurrentRuns),
+		WallClock: opt.Options.MaxWallClock,
+	})
 	return &Solver{
 		prog:   p,
 		sem:    opt.Semantics,
@@ -115,10 +135,19 @@ func (s *Solver) record(st Stats, exhausted bool) {
 // Models streams the stable models of the program. Breaking out of the
 // range loop releases the search immediately; cancelling ctx (or its
 // deadline expiring) aborts mid-search, yielding the context error as
-// the final element. A budget hit yields ErrBudget the same way. In
-// every case Stats reports the partial effort and the Solver remains
-// reusable for further calls. Options.MaxModels, when set, bounds the
-// number of models yielded.
+// the final element. A budget hit yields ErrBudget the same way, a
+// memory-watermark hit ErrMemory, a refused admission ErrAdmission,
+// and a recovered engine panic ErrInternal. In every case Stats
+// reports the partial effort and the Solver remains reusable for
+// further calls. Options.MaxModels, when set, bounds the number of
+// models yielded.
+//
+// Misuse hardening: the returned sequence may be ranged over more than
+// once (each invocation is an independent run), and a panic in the
+// loop body propagates to the caller — as range-over-func semantics
+// require — only after the search workers have been stopped and
+// joined, so neither leaks goroutines nor wedges the pool. Stats from
+// a run aborted by a loop-body panic are not recorded.
 //
 // Ordering: with Options.Workers == 1 the stream is the deterministic
 // sequential depth-first order; with a larger pool (the default is
@@ -183,16 +212,21 @@ func (s *Solver) Consistent(ctx context.Context) (bool, error) {
 	return ok, err
 }
 
-// Stats returns the cumulative search effort across every call made on
-// this Solver, including runs aborted by cancellation or a budget.
+// Stats returns the cumulative search effort across every completed
+// call made on this Solver, including runs aborted by cancellation or
+// a budget. It is safe to call while other calls are in flight; a run
+// still in flight contributes once it completes.
 func (s *Solver) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.stats
 }
 
-// Exhausted reports whether the most recent call's enumeration was
-// possibly incomplete: a budget was hit or the context was cancelled.
+// Exhausted reports whether the most recently completed call's
+// enumeration was possibly incomplete: a budget or watermark was hit,
+// the context was cancelled, or the run failed internally. It is safe
+// to call while other calls are in flight ("most recent" then means
+// the latest run to complete).
 func (s *Solver) Exhausted() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
