@@ -1,0 +1,121 @@
+// Command ntgdd is the long-lived solver daemon: an HTTP/JSON front
+// end over compile-once ntgd Solvers, built for concurrent query
+// traffic.
+//
+//	ntgdd -addr :8377 -max-runs 16 -workers 0
+//
+// Programs are cached by canonical hash (LRU, single-flight compiles),
+// every request runs under a deadline and client-disconnect
+// cancellation, and one shared admission gate bounds concurrent engine
+// runs across the whole daemon. Terminal errors map onto distinct HTTP
+// status codes mirroring the ntgdctl exit-code contract; see
+// internal/server for the endpoint and status documentation.
+//
+// On SIGTERM or SIGINT the daemon drains gracefully: /healthz flips to
+// 503, new API requests are refused, in-flight requests run to
+// completion, and the process exits 0 once idle (or 1 if -drain
+// expires first).
+//
+// The listen address is printed as "ntgdd: listening on http://<addr>"
+// once the socket is bound, so scripts using -addr 127.0.0.1:0 can
+// discover the port.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ntgd"
+	"ntgd/internal/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the daemon behind an exit code, with streams injected so the
+// lifecycle is testable in-process.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ntgdd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8377", "listen address (host:port; port 0 picks a free port)")
+	cacheSize := fs.Int("cache", 128, "compiled-program cache capacity (entries)")
+	maxRuns := fs.Int("max-runs", 0, "max concurrent engine runs across the daemon (0 = unlimited)")
+	workers := fs.Int("workers", 1, "search worker pool size per run (1 = sequential, 0 = GOMAXPROCS)")
+	defTimeout := fs.Duration("default-timeout", 30*time.Second, "deadline for requests that carry no timeout_ms (0 = none)")
+	maxTimeout := fs.Duration("max-timeout", 5*time.Minute, "clamp on per-request deadlines (0 = none)")
+	maxMem := fs.Int64("max-mem", 0, "per-run memory watermark in facts+clause literals (0 = none)")
+	wall := fs.Duration("wall", 0, "per-run wall-clock budget (0 = none)")
+	maxModels := fs.Int("max-models", 10000, "cap on models returned per solve request")
+	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown deadline after SIGTERM")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintln(stderr, "ntgdd: unexpected arguments:", fs.Args())
+		return 2
+	}
+
+	srv := server.New(server.Config{
+		CacheSize:         *cacheSize,
+		MaxConcurrentRuns: *maxRuns,
+		DefaultTimeout:    *defTimeout,
+		MaxTimeout:        *maxTimeout,
+		MaxModels:         *maxModels,
+		Options: ntgd.Options{
+			Workers:      *workers,
+			MaxMemory:    *maxMem,
+			MaxWallClock: *wall,
+		},
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "ntgdd:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "ntgdd: listening on http://%s\n", ln.Addr())
+
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		fmt.Fprintln(stderr, "ntgdd:", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	// Drain: refuse new work, let in-flight requests finish, bound the
+	// wait. Shutdown closes the listener and returns once every
+	// connection is idle or the deadline expires.
+	fmt.Fprintln(stderr, "ntgdd: draining")
+	srv.StartDrain()
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(dctx); err != nil {
+		fmt.Fprintln(stderr, "ntgdd: drain incomplete:", err)
+		return 1
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(stderr, "ntgdd:", err)
+		return 1
+	}
+	fmt.Fprintln(stderr, "ntgdd: drained, exiting")
+	return 0
+}

@@ -113,6 +113,34 @@
 // otherwise) injects panics at the engine's riskiest seams, and a
 // chaos suite drives every site to pin these guarantees.
 //
+// # Serving
+//
+// The ntgdd daemon (cmd/ntgdd, implemented by internal/server) puts a
+// long-lived HTTP/JSON front end over the Solver stack:
+//
+//	go run ./cmd/ntgdd -addr 127.0.0.1:8377 -max-runs 16 &
+//	curl -s http://127.0.0.1:8377/v1/solve -d '{"program":"p(a). p(X) -> q(X)."}'
+//
+// POST /v1/solve, /v1/entails, /v1/answers, and /v1/consistent carry a
+// program plus a query; /v1/batch runs many queries against one
+// compiled program in a single round trip. Programs are compiled once
+// and cached by canonical hash — facts and rules are sorted and
+// deduplicated, so submissions differing only in whitespace, comments,
+// or ordering share one entry — with single-flight compilation and LRU
+// eviction. Every request runs under a deadline (timeout_ms, clamped
+// by the server), client disconnects cancel the run through the same
+// context plumbing as Models(ctx), and one shared admission Gate
+// (CompileOptions.Gate) bounds concurrent engine runs across all
+// cached programs. The error taxonomy above maps onto distinct HTTP
+// statuses mirroring the ntgdctl exit-code contract: 422 budget,
+// 429 admission, 504 timeout, 507 memory, 500 internal — every error
+// body carrying the partial Stats of the interrupted run. /healthz and
+// /statz expose liveness and cumulative cache/engine counters, and
+// SIGTERM drains gracefully. cmd/ntgdbench drives an experiments.json
+// grid against the daemon at rising client concurrency, reporting
+// p50/p95/p99 latency and models/sec into the BENCH_*.json trajectory;
+// see examples/server for a runnable quickstart.
+//
 // # Evaluation engine
 //
 // Every verdict funnels through homomorphism search over fact stores

@@ -45,6 +45,12 @@ const (
 	// StoreFlatten fires when a snapshot chain is flattened (deep
 	// chains past maxSnapshotDepth, clones of snapshots).
 	StoreFlatten = "store/flatten"
+	// ServerHandler fires inside an ntgdd request handler after the
+	// request has been decoded but before the engine runs. It is only
+	// reachable through internal/server (not the bare Solver); the
+	// server's own chaos suite covers it, and the Solver-level
+	// site-by-site suite skips it.
+	ServerHandler = "server/handler"
 )
 
 // Sites lists every canonical injection site; the chaos suite iterates
@@ -58,6 +64,7 @@ func Sites() []string {
 		ChaseRound,
 		StoreSnapshot,
 		StoreFlatten,
+		ServerHandler,
 	}
 }
 

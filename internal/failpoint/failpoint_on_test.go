@@ -107,6 +107,7 @@ func TestSitesListsEveryConstant(t *testing.T) {
 	want := map[string]bool{
 		CoreFork: true, CoreSink: true, CoreStability: true,
 		SatPropagate: true, ChaseRound: true, StoreSnapshot: true, StoreFlatten: true,
+		ServerHandler: true,
 	}
 	got := Sites()
 	if len(got) != len(want) {

@@ -1,0 +1,227 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+	"strings"
+	"sync"
+
+	"ntgd"
+)
+
+// Canonicalize parses a submitted program and returns its canonical
+// form plus the canonical source it is keyed by. The canonicalization
+// policy of the daemon:
+//
+//   - whitespace and comments vanish (the parser discards them);
+//   - facts are sorted and deduplicated (a database is a set);
+//   - rules are sorted by their canonical rendering and deduplicated.
+//
+// Rule order is normalized on purpose: branch-trigger selection is by
+// rule index (PR 2/6), so two clients submitting the same rules in
+// different orders would otherwise be served from one cache entry yet
+// expect potentially different (equally sound) model subsets. The
+// daemon always evaluates the canonical form, making responses a pure
+// function of the rule/fact sets.
+//
+// Queries embedded in the source ("?- ...") are validated by the parse
+// but dropped from the canonical program: the HTTP API carries queries
+// in their own request fields, and they do not affect compilation.
+func Canonicalize(src string) (*ntgd.Program, string, error) {
+	p, err := ntgd.Parse(src)
+	if err != nil {
+		return nil, "", err
+	}
+	facts := make([]ntgd.Atom, len(p.Facts))
+	copy(facts, p.Facts)
+	sort.Slice(facts, func(i, j int) bool { return facts[i].String() < facts[j].String() })
+	facts = dedupBy(facts, func(a ntgd.Atom) string { return a.String() })
+	rules := make([]*ntgd.Rule, len(p.Rules))
+	copy(rules, p.Rules)
+	sort.Slice(rules, func(i, j int) bool { return rules[i].String() < rules[j].String() })
+	rules = dedupBy(rules, func(r *ntgd.Rule) string { return r.String() })
+
+	var b strings.Builder
+	for _, f := range facts {
+		b.WriteString(f.String())
+		b.WriteString(".\n")
+	}
+	for _, r := range rules {
+		b.WriteString(r.String())
+		b.WriteString(".\n")
+	}
+	return &ntgd.Program{Facts: facts, Rules: rules}, b.String(), nil
+}
+
+func dedupBy[T any](in []T, key func(T) string) []T {
+	out := in[:0]
+	prev := ""
+	for i, v := range in {
+		if k := key(v); i == 0 || k != prev {
+			out = append(out, v)
+			prev = k
+		}
+	}
+	return out
+}
+
+// cacheKey hashes the canonical source under one semantics.
+func cacheKey(sem ntgd.Semantics, canonical string) string {
+	h := sha256.New()
+	h.Write([]byte(sem.String()))
+	h.Write([]byte{0})
+	h.Write([]byte(canonical))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// CacheStats is a point-in-time snapshot of the compiled-program
+// cache's counters, surfaced by /statz.
+type CacheStats struct {
+	Entries   int   `json:"entries"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Compiles  int64 `json:"compiles"`
+}
+
+// progCache is the compiled-program cache: canonical-hash keyed, LRU
+// bounded, with single-flight compilation — concurrent submissions of
+// one canonical program trigger exactly one Compile; the rest wait on
+// the winner's entry. Failed compiles are reported to every waiter but
+// never cached, so a transient condition cannot poison the key.
+type progCache struct {
+	cap     int
+	compile func(*ntgd.Program, ntgd.Semantics) (*ntgd.Solver, error)
+
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	lru     *list.List // front = most recently used; values *cacheEntry
+
+	hits, misses, evictions, compiles int64
+	// retired accumulates the final cumulative Stats of evicted
+	// solvers so /statz keeps counting effort the cache no longer
+	// holds. (A solver evicted while a run is in flight contributes
+	// its stats as of eviction time.)
+	retired ntgd.Stats
+}
+
+type cacheEntry struct {
+	key   string
+	elem  *list.Element
+	ready chan struct{} // closed when solver/err is set
+	prog  *ntgd.Program
+	sem   ntgd.Semantics
+	// exactly one of solver/err is set once ready is closed
+	solver *ntgd.Solver
+	err    error
+}
+
+func newProgCache(capacity int, compile func(*ntgd.Program, ntgd.Semantics) (*ntgd.Solver, error)) *progCache {
+	if capacity <= 0 {
+		capacity = 128
+	}
+	return &progCache{
+		cap:     capacity,
+		compile: compile,
+		entries: make(map[string]*cacheEntry),
+		lru:     list.New(),
+	}
+}
+
+// get returns the compiled solver for the canonical program, compiling
+// it at most once however many requests race on the same key. The
+// returned program is the canonical form the solver was compiled from.
+func (c *progCache) get(ctx context.Context, src string, sem ntgd.Semantics) (*ntgd.Solver, *ntgd.Program, error) {
+	prog, canonical, err := Canonicalize(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	key := cacheKey(sem, canonical)
+
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(e.elem)
+		c.hits++
+		c.mu.Unlock()
+		select {
+		case <-e.ready:
+		case <-ctx.Done():
+			return nil, nil, ctx.Err()
+		}
+		if e.err != nil {
+			return nil, nil, e.err
+		}
+		return e.solver, e.prog, nil
+	}
+	e := &cacheEntry{key: key, ready: make(chan struct{}), prog: prog, sem: sem}
+	e.elem = c.lru.PushFront(e)
+	c.entries[key] = e
+	c.misses++
+	c.compiles++
+	c.mu.Unlock()
+
+	solver, cerr := c.compile(prog, sem)
+
+	c.mu.Lock()
+	if cerr != nil {
+		e.err = cerr
+		c.lru.Remove(e.elem)
+		delete(c.entries, key)
+	} else {
+		e.solver = solver
+		c.evictLocked()
+	}
+	c.mu.Unlock()
+	close(e.ready)
+	if cerr != nil {
+		return nil, nil, cerr
+	}
+	return solver, prog, nil
+}
+
+// evictLocked trims the LRU past capacity, skipping entries still
+// compiling (their waiters hold the entry; the winner will close ready
+// regardless, and the key simply has to be recompiled next time).
+func (c *progCache) evictLocked() {
+	for elem := c.lru.Back(); elem != nil && c.lru.Len() > c.cap; {
+		prev := elem.Prev()
+		e := elem.Value.(*cacheEntry)
+		if e.solver != nil {
+			c.retired.Add(e.solver.Stats())
+			c.lru.Remove(elem)
+			delete(c.entries, e.key)
+			c.evictions++
+		}
+		elem = prev
+	}
+}
+
+// stats snapshots the cache counters.
+func (c *progCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:   len(c.entries),
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Compiles:  c.compiles,
+	}
+}
+
+// engineStats sums the cumulative solver Stats across live entries plus
+// the retired accumulator of evicted ones.
+func (c *progCache) engineStats() ntgd.Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.retired
+	for _, e := range c.entries {
+		if e.solver != nil {
+			st.Add(e.solver.Stats())
+		}
+	}
+	return st
+}

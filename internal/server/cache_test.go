@@ -1,0 +1,261 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ntgd"
+)
+
+// realCompile is the injectable compile function tests use when they
+// need genuine solvers but want to count or gate the calls.
+func realCompile(p *ntgd.Program, sem ntgd.Semantics) (*ntgd.Solver, error) {
+	return ntgd.Compile(p, ntgd.CompileOptions{Semantics: sem})
+}
+
+// TestCanonicalizeEquivalence pins satellite #4's hashing half: the
+// same rule/fact sets under whitespace, comments, ordering, and
+// duplication noise canonicalize to one source — different programs do
+// not.
+func TestCanonicalizeEquivalence(t *testing.T) {
+	base := "p(a). p(b).\np(X), not q(X) -> r(X).\nr(X) -> s(X).\n"
+	equivalent := []string{
+		// Whitespace and comments.
+		"p(a).   p(b).\n\n% a comment\np(X), not q(X) -> r(X).\nr(X) -> s(X).\n",
+		// Fact order.
+		"p(b). p(a).\np(X), not q(X) -> r(X).\nr(X) -> s(X).\n",
+		// Rule order.
+		"p(a). p(b).\nr(X) -> s(X).\np(X), not q(X) -> r(X).\n",
+		// Duplicated facts and rules.
+		"p(a). p(a). p(b).\np(X), not q(X) -> r(X).\np(X), not q(X) -> r(X).\nr(X) -> s(X).\n",
+		// An embedded query is validated but dropped.
+		"p(a). p(b).\np(X), not q(X) -> r(X).\nr(X) -> s(X).\n?- s(a).\n",
+	}
+	_, want, err := Canonicalize(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, src := range equivalent {
+		_, got, err := Canonicalize(src)
+		if err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		if got != want {
+			t.Errorf("variant %d canonicalizes to\n%q\nwant\n%q", i, got, want)
+		}
+		if cacheKey(ntgd.SO, got) != cacheKey(ntgd.SO, want) {
+			t.Errorf("variant %d: key differs", i)
+		}
+	}
+
+	_, other, err := Canonicalize("p(a).\np(X), not q(X) -> r(X).\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other == want {
+		t.Error("a different program canonicalized to the same source")
+	}
+	// Same program, different semantics: distinct keys.
+	if cacheKey(ntgd.SO, want) == cacheKey(ntgd.LP, want) {
+		t.Error("semantics does not separate cache keys")
+	}
+}
+
+// TestCacheSingleFlight pins satellite #4's concurrency half: however
+// many requests race on one canonical program, it compiles exactly
+// once and everyone shares the one solver. The compile function blocks
+// until every contender is in flight, so the race is real rather than
+// sequenced by chance.
+func TestCacheSingleFlight(t *testing.T) {
+	const contenders = 16
+	var compiles atomic.Int64
+	arrived := make(chan struct{})
+	c := newProgCache(8, func(p *ntgd.Program, sem ntgd.Semantics) (*ntgd.Solver, error) {
+		compiles.Add(1)
+		<-arrived // hold the compile until every contender has queued
+		return realCompile(p, sem)
+	})
+
+	var wg sync.WaitGroup
+	solvers := make([]*ntgd.Solver, contenders)
+	errs := make([]error, contenders)
+	var queued sync.WaitGroup
+	queued.Add(contenders)
+	for i := 0; i < contenders; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			queued.Done()
+			solvers[i], _, errs[i] = c.get(context.Background(), subsetSrc, ntgd.SO)
+		}(i)
+	}
+	queued.Wait()
+	close(arrived)
+	wg.Wait()
+
+	if n := compiles.Load(); n != 1 {
+		t.Fatalf("%d compiles, want 1", n)
+	}
+	for i := range solvers {
+		if errs[i] != nil {
+			t.Fatalf("contender %d: %v", i, errs[i])
+		}
+		if solvers[i] != solvers[0] {
+			t.Fatalf("contender %d got a different solver", i)
+		}
+	}
+	st := c.stats()
+	if st.Compiles != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 compile, 1 entry", st)
+	}
+	if st.Hits+st.Misses != contenders {
+		t.Fatalf("hits %d + misses %d != %d contenders", st.Hits, st.Misses, contenders)
+	}
+}
+
+// TestCacheLRUEviction pins the LRU bound: past capacity the
+// least-recently-used program is evicted, a re-submission recompiles
+// it, and the evicted solver's effort survives in engineStats.
+func TestCacheLRUEviction(t *testing.T) {
+	c := newProgCache(2, realCompile)
+	src := func(i int) string { return fmt.Sprintf("p(c%d).\np(X) -> q(X).\n", i) }
+
+	s0, _, err := c.get(context.Background(), src(0), ntgd.SO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Give the soon-evicted solver some effort to retire.
+	if _, err := s0.Collect(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 2; i++ {
+		if _, _, err := c.get(context.Background(), src(i), ntgd.SO); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.stats()
+	if st.Entries != 2 || st.Evictions != 1 || st.Compiles != 3 {
+		t.Fatalf("stats = %+v, want 2 entries, 1 eviction, 3 compiles", st)
+	}
+	if c.engineStats().Nodes == 0 {
+		t.Error("evicted solver's effort vanished from engineStats")
+	}
+
+	// Program 0 was evicted: getting it again is a miss and recompile.
+	if _, _, err := c.get(context.Background(), src(0), ntgd.SO); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.stats(); st.Compiles != 4 {
+		t.Fatalf("compiles = %d after re-get of evicted entry, want 4", st.Compiles)
+	}
+
+	// Recency matters: touch program 1, insert program 3, and program 0
+	// (now least recent) goes — program 1 stays.
+	if _, _, err := c.get(context.Background(), src(1), ntgd.SO); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.get(context.Background(), src(3), ntgd.SO); err != nil {
+		t.Fatal(err)
+	}
+	before := c.stats().Compiles
+	if _, _, err := c.get(context.Background(), src(1), ntgd.SO); err != nil {
+		t.Fatal(err)
+	}
+	if c.stats().Compiles != before {
+		t.Error("recently-touched program 1 was evicted")
+	}
+}
+
+// TestCacheHitFastPath pins the hot path under -race: once compiled, a
+// flood of concurrent hits shares the entry without recompiling.
+func TestCacheHitFastPath(t *testing.T) {
+	var compiles atomic.Int64
+	c := newProgCache(8, func(p *ntgd.Program, sem ntgd.Semantics) (*ntgd.Solver, error) {
+		compiles.Add(1)
+		return realCompile(p, sem)
+	})
+	if _, _, err := c.get(context.Background(), subsetSrc, ntgd.SO); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s, _, err := c.get(context.Background(), subsetSrc, ntgd.SO)
+			if err != nil || s == nil {
+				t.Errorf("hit: (%v, %v)", s, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := compiles.Load(); n != 1 {
+		t.Fatalf("%d compiles after hit flood, want 1", n)
+	}
+	if st := c.stats(); st.Hits != 32 {
+		t.Fatalf("hits = %d, want 32", st.Hits)
+	}
+}
+
+// TestCacheFailedCompileNotCached pins the poisoning guard: a failed
+// compile is reported to its waiters but leaves no entry, so the next
+// submission retries.
+func TestCacheFailedCompileNotCached(t *testing.T) {
+	fail := errors.New("transient")
+	var calls atomic.Int64
+	c := newProgCache(8, func(p *ntgd.Program, sem ntgd.Semantics) (*ntgd.Solver, error) {
+		if calls.Add(1) == 1 {
+			return nil, fail
+		}
+		return realCompile(p, sem)
+	})
+	if _, _, err := c.get(context.Background(), subsetSrc, ntgd.SO); !errors.Is(err, fail) {
+		t.Fatalf("first get err = %v, want the compile failure", err)
+	}
+	if st := c.stats(); st.Entries != 0 {
+		t.Fatalf("failed compile left %d entries", st.Entries)
+	}
+	if _, _, err := c.get(context.Background(), subsetSrc, ntgd.SO); err != nil {
+		t.Fatalf("retry after failed compile: %v", err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("compile calls = %d, want 2", calls.Load())
+	}
+}
+
+// TestCacheWaiterCancellation: a waiter whose context ends while the
+// single-flight compile is still running gets its context error; the
+// compile itself finishes and serves later requests.
+func TestCacheWaiterCancellation(t *testing.T) {
+	hold := make(chan struct{})
+	compiling := make(chan struct{})
+	c := newProgCache(8, func(p *ntgd.Program, sem ntgd.Semantics) (*ntgd.Solver, error) {
+		close(compiling)
+		<-hold
+		return realCompile(p, sem)
+	})
+	winnerDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.get(context.Background(), subsetSrc, ntgd.SO)
+		winnerDone <- err
+	}()
+	<-compiling // the entry exists and its compile is in flight
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := c.get(ctx, subsetSrc, ntgd.SO); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter err = %v, want context.Canceled", err)
+	}
+
+	close(hold)
+	if err := <-winnerDone; err != nil {
+		t.Fatalf("winner: %v", err)
+	}
+	if _, _, err := c.get(context.Background(), subsetSrc, ntgd.SO); err != nil {
+		t.Fatalf("after compile completes: %v", err)
+	}
+}

@@ -1,0 +1,557 @@
+// Package server implements ntgdd, the long-lived solver daemon: an
+// HTTP/JSON front end over the compile-once ntgd.Solver stack.
+//
+// The daemon holds a compiled-program cache keyed by canonical program
+// hash (LRU-bounded, single-flight compilation), so concurrent query
+// traffic against the same program compiles once and then shares one
+// concurrency-safe Solver (PR 7). Every request runs under a
+// per-request deadline threaded through the engines' context
+// cancellation, client disconnects abort the run the same way, and one
+// shared admission gate (ntgd.Gate, the PR 7 MaxConcurrentRuns
+// mechanism) bounds the daemon's total concurrent engine runs across
+// all cached programs. Terminal errors map onto distinct HTTP status
+// codes mirroring the ntgdctl exit-code contract (see api.go), always
+// carrying the partial Stats of the interrupted run.
+//
+// Endpoints:
+//
+//	POST /v1/solve       enumerate stable models
+//	POST /v1/entails     answer one Boolean query
+//	POST /v1/answers     answer one n-ary query
+//	POST /v1/consistent  consistency check
+//	POST /v1/batch       many queries against one compiled program
+//	GET  /healthz        liveness (503 while draining)
+//	GET  /statz          cumulative solver/cache/request statistics
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ntgd"
+	"ntgd/internal/failpoint"
+)
+
+// Config configures a Server. The zero value serves with the defaults
+// documented per field.
+type Config struct {
+	// CacheSize bounds the compiled-program cache (entries; default
+	// 128). Least-recently-used programs are evicted past the cap.
+	CacheSize int
+	// MaxConcurrentRuns bounds engine runs across the whole daemon via
+	// one shared admission gate (0 = unlimited). A request that cannot
+	// be admitted before its deadline is refused with 429.
+	MaxConcurrentRuns int
+	// DefaultTimeout applies when a request carries no timeout_ms
+	// (0 = no default deadline).
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps per-request deadlines (0 = no clamp). Requests
+	// asking for more — or for none while a clamp is set — get exactly
+	// MaxTimeout.
+	MaxTimeout time.Duration
+	// MaxModels caps the models any single solve request may return
+	// (default 10000).
+	MaxModels int
+	// MaxBodyBytes caps request bodies (default 8 MiB).
+	MaxBodyBytes int64
+	// Options are the base search options every cached program is
+	// compiled with (Workers, budgets, MaxMemory, MaxWallClock...).
+	// MaxConcurrentRuns inside Options is ignored — the server-level
+	// gate governs admission.
+	Options ntgd.Options
+}
+
+// Server is the daemon state behind the HTTP handler. Create one with
+// New; it is safe for concurrent use by any number of requests.
+type Server struct {
+	cfg   Config
+	gate  *ntgd.Gate
+	cache *progCache
+	start time.Time
+
+	draining atomic.Bool
+	inFlight atomic.Int64
+
+	mu       sync.Mutex
+	requests map[string]int64
+	errors   map[string]int64
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:      cfg,
+		gate:     ntgd.NewGate(cfg.MaxConcurrentRuns),
+		start:    time.Now(),
+		requests: make(map[string]int64),
+		errors:   make(map[string]int64),
+	}
+	s.cache = newProgCache(cfg.CacheSize, func(p *ntgd.Program, sem ntgd.Semantics) (*ntgd.Solver, error) {
+		opt := cfg.Options
+		opt.MaxConcurrentRuns = 0 // the shared gate governs admission
+		return ntgd.Compile(p, ntgd.CompileOptions{Semantics: sem, Options: opt, Gate: s.gate})
+	})
+	return s
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/solve", s.handle("solve", s.doSolve))
+	mux.HandleFunc("/v1/entails", s.handle("entails", s.doEntails))
+	mux.HandleFunc("/v1/answers", s.handle("answers", s.doAnswers))
+	mux.HandleFunc("/v1/consistent", s.handle("consistent", s.doConsistent))
+	mux.HandleFunc("/v1/batch", s.handle("batch", s.doBatch))
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/statz", s.handleStatz)
+	return mux
+}
+
+// StartDrain flips the daemon into draining mode: /healthz turns 503
+// (load balancers stop routing) and new API requests are refused with
+// 503/draining, while requests already in flight run to completion.
+// Call it right before http.Server.Shutdown.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether StartDrain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// InFlight reports the number of requests currently executing.
+func (s *Server) InFlight() int64 { return s.inFlight.Load() }
+
+// errBadRequest tags request-shape errors (missing fields, parse
+// failures, unknown semantics/mode) so the handler maps them to 400
+// instead of the run-error taxonomy.
+var errBadRequest = errors.New("bad request")
+
+func badReqf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", errBadRequest, fmt.Sprintf(format, args...))
+}
+
+// runResult is what an endpoint implementation hands back to the shared
+// handler plumbing: a success payload, or an error plus the partial
+// effort to attach to the error body.
+type runResult struct {
+	payload   any
+	stats     ntgd.Stats
+	exhausted bool
+}
+
+func (s *Server) handle(name string, fn func(ctx context.Context, req *Request) (runResult, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{
+				Error: "ntgdd: draining", Class: ClassDraining,
+			})
+			return
+		}
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{
+				Error: "use POST", Class: ClassBadRequest,
+			})
+			return
+		}
+		s.count(s.requests, name)
+		var req Request
+		body := http.MaxBytesReader(w, r.Body, s.maxBody())
+		if err := json.NewDecoder(body).Decode(&req); err != nil {
+			s.count(s.errors, ClassBadRequest)
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{
+				Error: "decoding request body: " + err.Error(), Class: ClassBadRequest,
+			})
+			return
+		}
+
+		ctx, cancel := s.requestContext(r.Context(), &req)
+		defer cancel()
+
+		s.inFlight.Add(1)
+		res, err := s.run(ctx, &req, fn)
+		s.inFlight.Add(-1)
+
+		if err != nil {
+			status, class := http.StatusBadRequest, ClassBadRequest
+			if !errors.Is(err, errBadRequest) {
+				status, class = statusFor(err)
+			}
+			s.count(s.errors, class)
+			writeJSON(w, status, ErrorResponse{
+				Error:     err.Error(),
+				Class:     class,
+				Stats:     statsJSON(res.stats),
+				Exhausted: res.exhausted,
+			})
+			return
+		}
+		writeJSON(w, http.StatusOK, res.payload)
+	}
+}
+
+// run executes one endpoint body under the handler's panic boundary: a
+// panicking request — the server/handler failpoint, or a genuine
+// handler bug — is converted to a typed internal error so the daemon
+// answers 500 and keeps serving. Engine panics never reach this
+// boundary (the Solver's own Guard types them first); this recover
+// protects the daemon from faults in the handler layer itself.
+func (s *Server) run(ctx context.Context, req *Request, fn func(context.Context, *Request) (runResult, error)) (res runResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = runResult{}
+			err = fmt.Errorf("%w: handler panic: %v", ntgd.ErrInternal, r)
+		}
+	}()
+	failpoint.Inject(failpoint.ServerHandler)
+	return fn(ctx, req)
+}
+
+// requestContext derives the run context: the client's connection
+// context (disconnects cancel the run) plus the per-request deadline,
+// clamped by the server maximum.
+func (s *Server) requestContext(parent context.Context, req *Request) (context.Context, context.CancelFunc) {
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if s.cfg.MaxTimeout > 0 && (timeout <= 0 || timeout > s.cfg.MaxTimeout) {
+		timeout = s.cfg.MaxTimeout
+	}
+	if timeout > 0 {
+		return context.WithTimeout(parent, timeout)
+	}
+	return parent, func() {}
+}
+
+func (s *Server) maxBody() int64 {
+	if s.cfg.MaxBodyBytes > 0 {
+		return s.cfg.MaxBodyBytes
+	}
+	return 8 << 20
+}
+
+func (s *Server) maxModels(requested int) int {
+	limit := s.cfg.MaxModels
+	if limit <= 0 {
+		limit = 10000
+	}
+	if requested <= 0 || requested > limit {
+		return limit
+	}
+	return requested
+}
+
+func (s *Server) count(m map[string]int64, key string) {
+	s.mu.Lock()
+	m[key]++
+	s.mu.Unlock()
+}
+
+// program resolves the request's program through the compiled-program
+// cache. Context errors (a deadline expiring while waiting on a
+// single-flight compile) pass through; everything else — parse or
+// validation failures — is a bad request.
+func (s *Server) program(ctx context.Context, req *Request) (*ntgd.Solver, error) {
+	if strings.TrimSpace(req.Program) == "" {
+		return nil, badReqf("missing program")
+	}
+	sem, err := semFromString(req.Semantics)
+	if err != nil {
+		return nil, err
+	}
+	solver, _, err := s.cache.get(ctx, req.Program, sem)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			return nil, err
+		}
+		return nil, badReqf("%v", err)
+	}
+	return solver, nil
+}
+
+func semFromString(s string) (ntgd.Semantics, error) {
+	switch s {
+	case "", "so":
+		return ntgd.SO, nil
+	case "lp":
+		return ntgd.LP, nil
+	case "op", "operational":
+		return ntgd.Operational, nil
+	default:
+		return 0, badReqf("unknown semantics %q (want so, lp, or op)", s)
+	}
+}
+
+func modeFromString(s string) (ntgd.Mode, error) {
+	switch s {
+	case "", "cautious":
+		return ntgd.Cautious, nil
+	case "brave":
+		return ntgd.Brave, nil
+	default:
+		return 0, badReqf("unknown mode %q (want cautious or brave)", s)
+	}
+}
+
+// parseQuery parses a single "?- ..." query carried in its own request
+// field.
+func parseQuery(src string) (ntgd.Query, error) {
+	p, err := ntgd.Parse(src)
+	if err != nil {
+		return ntgd.Query{}, badReqf("parsing query: %v", err)
+	}
+	if len(p.Queries) != 1 || len(p.Facts) > 0 || len(p.Rules) > 0 {
+		return ntgd.Query{}, badReqf("query field must contain exactly one \"?- ...\" query")
+	}
+	q := p.Queries[0]
+	if err := q.Validate(); err != nil {
+		return ntgd.Query{}, badReqf("%v", err)
+	}
+	return q, nil
+}
+
+func (s *Server) doSolve(ctx context.Context, req *Request) (runResult, error) {
+	solver, err := s.program(ctx, req)
+	if err != nil {
+		return runResult{}, err
+	}
+	res, err := solver.Collect(ctx, s.maxModels(req.MaxModels))
+	out := runResult{stats: res.Stats, exhausted: res.Exhausted}
+	if err != nil {
+		return out, err
+	}
+	models := make([]string, len(res.Models))
+	for i, m := range res.Models {
+		models[i] = m.CanonicalString()
+	}
+	out.payload = SolveResponse{
+		Models:    models,
+		Count:     len(models),
+		Exhausted: res.Exhausted,
+		Stats:     statsJSON(res.Stats),
+	}
+	return out, nil
+}
+
+func (s *Server) doEntails(ctx context.Context, req *Request) (runResult, error) {
+	solver, err := s.program(ctx, req)
+	if err != nil {
+		return runResult{}, err
+	}
+	q, err := parseQuery(req.Query)
+	if err != nil {
+		return runResult{}, err
+	}
+	mode, err := modeFromString(req.Mode)
+	if err != nil {
+		return runResult{}, err
+	}
+	res, err := solver.Entails(ctx, q, mode)
+	out := runResult{stats: res.Stats, exhausted: res.Exhausted}
+	if err != nil {
+		return out, err
+	}
+	payload := EntailsResponse{
+		Entailed:  res.Entailed,
+		NoModels:  res.NoModels,
+		Exhausted: res.Exhausted,
+		Stats:     statsJSON(res.Stats),
+	}
+	if res.Witness != nil {
+		payload.Witness = res.Witness.CanonicalString()
+	}
+	out.payload = payload
+	return out, nil
+}
+
+func (s *Server) doAnswers(ctx context.Context, req *Request) (runResult, error) {
+	solver, err := s.program(ctx, req)
+	if err != nil {
+		return runResult{}, err
+	}
+	q, err := parseQuery(req.Query)
+	if err != nil {
+		return runResult{}, err
+	}
+	if len(q.AnswerVars) == 0 {
+		return runResult{}, badReqf("query has no answer variables; use /v1/entails for Boolean queries")
+	}
+	mode, err := modeFromString(req.Mode)
+	if err != nil {
+		return runResult{}, err
+	}
+	res, err := solver.AnswerSet(ctx, q, mode)
+	out := runResult{stats: res.Stats, exhausted: res.Exhausted}
+	if err != nil {
+		return out, err
+	}
+	out.payload = AnswersResponse{
+		Tuples:   renderTuples(res.Tuples),
+		Complete: res.Complete,
+		Stats:    statsJSON(res.Stats),
+	}
+	return out, nil
+}
+
+func (s *Server) doConsistent(ctx context.Context, req *Request) (runResult, error) {
+	solver, err := s.program(ctx, req)
+	if err != nil {
+		return runResult{}, err
+	}
+	ok, err := solver.Consistent(ctx)
+	if err != nil {
+		return runResult{}, err
+	}
+	return runResult{payload: ConsistentResponse{Consistent: ok}}, nil
+}
+
+// doBatch runs every item against one compiled program. Item-level
+// taxonomy errors (a budget, one slow query timing out) are recorded
+// per item and do not fail the batch; once the batch deadline has
+// expired, remaining items are marked timed out without running.
+func (s *Server) doBatch(ctx context.Context, req *Request) (runResult, error) {
+	solver, err := s.program(ctx, req)
+	if err != nil {
+		return runResult{}, err
+	}
+	if len(req.Queries) == 0 {
+		return runResult{}, badReqf("batch request carries no queries")
+	}
+	var agg ntgd.Stats
+	results := make([]BatchResult, len(req.Queries))
+	for i, item := range req.Queries {
+		if ctx.Err() != nil {
+			results[i] = BatchResult{
+				Error: "deadline expired before this item ran",
+				Class: ClassTimeout,
+			}
+			continue
+		}
+		results[i] = s.batchItem(ctx, solver, item)
+		agg.Add(statsBack(results[i].Stats))
+	}
+	return runResult{stats: agg, payload: BatchResponse{
+		Results: results,
+		Stats:   statsJSON(agg),
+	}}, nil
+}
+
+func (s *Server) batchItem(ctx context.Context, solver *ntgd.Solver, item BatchItem) BatchResult {
+	q, err := parseQuery(item.Query)
+	if err != nil {
+		return BatchResult{Error: err.Error(), Class: ClassBadRequest}
+	}
+	mode, err := modeFromString(item.Mode)
+	if err != nil {
+		return BatchResult{Error: err.Error(), Class: ClassBadRequest}
+	}
+	if len(q.AnswerVars) > 0 {
+		res, err := solver.AnswerSet(ctx, q, mode)
+		out := BatchResult{
+			Tuples:   renderTuples(res.Tuples),
+			Complete: res.Complete,
+			Stats:    statsJSON(res.Stats),
+		}
+		if err != nil {
+			_, out.Class = statusFor(err)
+			out.Error = err.Error()
+		}
+		return out
+	}
+	res, err := solver.Entails(ctx, q, mode)
+	out := BatchResult{
+		Entailed: res.Entailed,
+		NoModels: res.NoModels,
+		Stats:    statsJSON(res.Stats),
+	}
+	if res.Witness != nil {
+		out.Witness = res.Witness.CanonicalString()
+	}
+	if err != nil {
+		_, out.Class = statusFor(err)
+		out.Error = err.Error()
+	}
+	return out
+}
+
+func renderTuples(tuples []ntgd.AnswerTuple) [][]string {
+	out := make([][]string, len(tuples))
+	for i, t := range tuples {
+		row := make([]string, len(t))
+		for j, c := range t {
+			row[j] = c.String()
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// statsBack converts the wire Stats back for aggregation.
+func statsBack(w Stats) ntgd.Stats {
+	return ntgd.Stats{
+		Nodes:           w.Nodes,
+		Branches:        w.Branches,
+		Deterministic:   w.Deterministic,
+		Completed:       w.Completed,
+		StabilityChecks: w.StabilityChecks,
+		StabilityFailed: w.StabilityFailed,
+		ModelsEmitted:   w.ModelsEmitted,
+		Conflicts:       w.Conflicts,
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// Statz is the /statz body: cumulative request counters, error counts
+// by taxonomy class, compiled-program cache counters, and the engine
+// effort aggregated across every solver the cache holds or has
+// evicted.
+type Statz struct {
+	UptimeMS int64            `json:"uptime_ms"`
+	InFlight int64            `json:"in_flight"`
+	Draining bool             `json:"draining"`
+	Requests map[string]int64 `json:"requests"`
+	Errors   map[string]int64 `json:"errors"`
+	Cache    CacheStats       `json:"cache"`
+	Engine   Stats            `json:"engine"`
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	reqs := make(map[string]int64, len(s.requests))
+	for k, v := range s.requests {
+		reqs[k] = v
+	}
+	errs := make(map[string]int64, len(s.errors))
+	for k, v := range s.errors {
+		errs[k] = v
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, Statz{
+		UptimeMS: time.Since(s.start).Milliseconds(),
+		InFlight: s.inFlight.Load(),
+		Draining: s.draining.Load(),
+		Requests: reqs,
+		Errors:   errs,
+		Cache:    s.cache.stats(),
+		Engine:   statsJSON(s.cache.engineStats()),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

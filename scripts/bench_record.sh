@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Records one point of the benchmark trajectory: runs the smsbench
-# experiment suite plus the search/stability benchmarks and writes
-# BENCH_<n>.json at the repository root (default BENCH_5.json; override
-# with BENCH_TAG).
+# experiment suite, the ntgdbench server-throughput grid, and the
+# search/stability benchmarks, then writes BENCH_<n>.json at the
+# repository root (default BENCH_5.json; override with BENCH_TAG).
 #
 #   scripts/bench_record.sh            # writes ./BENCH_5.json
 #   BENCH_TAG=6 scripts/bench_record.sh
@@ -17,15 +17,21 @@
 #       {"name":"E1","ns_op":...,      verbatim from smsbench's JSON line
 #        "models":...,"nodes":...,     (engine effort aggregated over the
 #        "workers":...}, ...           experiment)
+#       ...plus one entry per ntgdbench (experiment, concurrency)
+#       point: {"name":"SrvSolveSubset/c=4","ns_op":<p50 latency>,
+#       "p50_ns":...,"p95_ns":...,"p99_ns":...,"rps":...,
+#       "models_per_sec":...,"workers":<client concurrency>,...}
 #     ],
 #     "benchmarks": [                  one entry per `go test -bench` run
 #       {"name":"StabilitySession/deep-pad/workers=1",
-#        "ns_op":..., "allocs_op":..., "bytes_op":...}, ...
+#        "ns_op":..., "allocs_op":..., "bytes_op":..}, ...
 #     ]
 #   }
 #
-# Experiments run with -workers 1 so their output (and effort counters)
-# stay reproducible. Benchmarks run the bench.sh gate set plus the
+# smsbench experiments run with -workers 1 so their output (and effort
+# counters) stay reproducible; ntgdbench drives an in-process daemon
+# (sequential engine, concurrency from the client side) through the
+# embedded grid. Benchmarks run the bench.sh gate set plus the
 # stability benchmarks at BENCH_TIME (default 300ms) x BENCH_COUNT
 # (default 1; the trajectory stores a single sample — use bench.sh +
 # benchstat for change detection).
@@ -52,6 +58,14 @@ go run ./cmd/smsbench -workers 1 >"$tmp/sms.out" 2>"$tmp/sms.err" || {
   exit 1
 }
 grep '^{' "$tmp/sms.out" >"$tmp/sms.jsonl" || true
+
+echo "bench_record: running ntgdbench..." >&2
+go run ./cmd/ntgdbench >"$tmp/srv.out" 2>"$tmp/srv.err" || {
+  echo "ntgdbench failed:" >&2
+  tail -20 "$tmp/srv.err" >&2
+  exit 1
+}
+grep '^{' "$tmp/srv.out" >>"$tmp/sms.jsonl" || true
 
 echo "bench_record: running go benchmarks..." >&2
 go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -count "$count" \

@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# Server smoke: builds ntgdd, boots it on a random loopback port, and
+# drives the HTTP contract end to end with curl — successful solve,
+# entails, and batch requests; one request that must time out (504,
+# class "timeout"); one that must be refused by admission (429, class
+# "admission" — the daemon runs with -max-runs 1 and a slow request
+# holding the only slot); then a SIGTERM, asserting the daemon drains
+# and exits 0 within the deadline. CI runs this on the default leg.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+pid=""
+cleanup() {
+  [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+fail() { echo "server_smoke: FAIL: $*" >&2; exit 1; }
+
+# field FILE KEY — extract a scalar field from a JSON body.
+field() {
+  python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))[sys.argv[2]])' "$1" "$2"
+}
+
+echo "server_smoke: building ntgdd..." >&2
+go build -o "$tmp/ntgdd" ./cmd/ntgdd
+
+"$tmp/ntgdd" -addr 127.0.0.1:0 -max-runs 1 -default-timeout 10s -drain 20s \
+  >"$tmp/out.log" 2>"$tmp/err.log" &
+pid=$!
+
+base=""
+for _ in $(seq 100); do
+  base="$(sed -n 's/^ntgdd: listening on //p' "$tmp/out.log")"
+  [ -n "$base" ] && break
+  kill -0 "$pid" 2>/dev/null || { cat "$tmp/err.log" >&2; fail "daemon died on startup"; }
+  sleep 0.1
+done
+[ -n "$base" ] || fail "daemon never reported its address"
+echo "server_smoke: daemon at $base" >&2
+
+prog='item(i0). item(i1). item(i2).\nitem(X), not out(X) -> in(X).\nitem(X), not in(X) -> out(X).\n'
+# 2^24 models: no smoke-scale deadline can see the end of a cautious
+# enumeration, making the timeout and admission probes deterministic.
+bigprog=''
+for i in $(seq 0 23); do bigprog="${bigprog}item(i${i}). "; done
+bigprog="${bigprog}\nitem(X), not out(X) -> in(X).\nitem(X), not in(X) -> out(X).\n"
+
+# post PATH BODY — POST and echo the HTTP status; body lands in $tmp/body.
+post() {
+  curl -s -o "$tmp/body" -w '%{http_code}' -X POST "$base$1" -d "$2"
+}
+
+code=$(curl -s -o "$tmp/body" -w '%{http_code}' "$base/healthz")
+[ "$code" = 200 ] || fail "healthz: status $code"
+
+code=$(post /v1/solve "{\"program\":\"$prog\"}")
+[ "$code" = 200 ] || { cat "$tmp/body" >&2; fail "solve: status $code"; }
+count=$(field "$tmp/body" count)
+[ "$count" = 8 ] || fail "solve: $count models, want 8"
+
+code=$(post /v1/entails "{\"program\":\"$prog\",\"query\":\"?- in(i0).\",\"mode\":\"brave\"}")
+[ "$code" = 200 ] || fail "entails: status $code"
+[ "$(field "$tmp/body" entailed)" = True ] || fail "entails: not entailed"
+
+code=$(post /v1/batch "{\"program\":\"$prog\",\"queries\":[{\"query\":\"?- in(i0).\",\"mode\":\"brave\"},{\"query\":\"?-[X] item(X).\",\"mode\":\"cautious\"}]}")
+[ "$code" = 200 ] || fail "batch: status $code"
+results=$(python3 -c 'import json,sys; print(len(json.load(open(sys.argv[1]))["results"]))' "$tmp/body")
+[ "$results" = 2 ] || fail "batch: $results results, want 2"
+
+echo "server_smoke: happy path ok" >&2
+
+# Timeout: a cautious enumeration over 2^24 models under a 200ms
+# deadline must answer 504/timeout.
+code=$(post /v1/entails "{\"program\":\"$bigprog\",\"query\":\"?- item(i0).\",\"mode\":\"cautious\",\"timeout_ms\":200}")
+[ "$code" = 504 ] || { cat "$tmp/body" >&2; fail "timeout probe: status $code, want 504"; }
+[ "$(field "$tmp/body" class)" = timeout ] || fail "timeout probe: wrong class"
+echo "server_smoke: deadline contract ok (504/timeout)" >&2
+
+# Admission: park a slow request on the daemon's only engine slot, then
+# probe with a short deadline — the probe must be refused with 429.
+curl -s -o "$tmp/slow.body" -X POST "$base/v1/entails" \
+  -d "{\"program\":\"$bigprog\",\"query\":\"?- item(i0).\",\"mode\":\"cautious\",\"timeout_ms\":4000}" &
+slow=$!
+sleep 0.5
+code=$(post /v1/entails "{\"program\":\"$prog\",\"query\":\"?- in(i0).\",\"mode\":\"brave\",\"timeout_ms\":300}")
+[ "$code" = 429 ] || { cat "$tmp/body" >&2; fail "admission probe: status $code, want 429"; }
+[ "$(field "$tmp/body" class)" = admission ] || fail "admission probe: wrong class"
+wait "$slow"
+echo "server_smoke: admission contract ok (429/admission)" >&2
+
+# Drain: SIGTERM must end the process cleanly (exit 0) well inside the
+# drain deadline.
+kill -TERM "$pid"
+status=0
+wait "$pid" || status=$?
+[ "$status" = 0 ] || { cat "$tmp/err.log" >&2; fail "drain: exit $status, want 0"; }
+grep -q 'drained, exiting' "$tmp/err.log" || fail "drain: no clean-drain log line"
+pid=""
+echo "server_smoke: drain ok (exit 0)" >&2
+echo "server_smoke: PASS" >&2

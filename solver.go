@@ -27,7 +27,25 @@ type CompileOptions struct {
 	// WitnessPolicy, ExtraConstants, and Workers do not apply, and
 	// MaxAtoms is replaced by the grounder's own bounds).
 	Options Options
+	// Gate, when non-nil, is a shared admission gate: every run of this
+	// Solver acquires a slot from it, and several Solvers compiled with
+	// the same Gate share one concurrency bound. Long-lived hosts
+	// serving many compiled programs (the ntgdd daemon) use this to
+	// bound total load rather than per-program load. When nil, a
+	// private gate is derived from Options.MaxConcurrentRuns (0 = no
+	// gate). Refusal surfaces as ErrAdmission either way.
+	Gate *Gate
 }
+
+// Gate is a counting admission semaphore bounding concurrent
+// enumerations. Construct one with NewGate and share it across
+// CompileOptions.Gate to bound the combined load of several Solvers.
+type Gate = engine.Gate
+
+// NewGate returns a gate admitting up to n concurrent runs, or nil
+// (admit everything) when n <= 0. A queued run whose context ends
+// before a slot frees is refused with an ErrAdmission-matching error.
+func NewGate(n int) *Gate { return engine.NewGate(n) }
 
 // Solver is a compiled program under one semantics: validation,
 // syntactic classification, Skolemization and grounding artifacts (LP),
@@ -100,9 +118,14 @@ func Compile(p *Program, opt CompileOptions) (*Solver, error) {
 	// gating, the wall-clock watchdog, and panic isolation (recovered
 	// engine panics become typed ErrInternal; a panicking visitor is
 	// re-raised only after the engine has unwound and joined its
-	// workers).
+	// workers). A caller-supplied Gate takes precedence so several
+	// Solvers can share one admission bound.
+	gate := opt.Gate
+	if gate == nil {
+		gate = engine.NewGate(opt.Options.MaxConcurrentRuns)
+	}
 	eng = engine.Guard(eng, engine.GuardConfig{
-		Gate:      engine.NewGate(opt.Options.MaxConcurrentRuns),
+		Gate:      gate,
 		WallClock: opt.Options.MaxWallClock,
 	})
 	return &Solver{
@@ -178,6 +201,23 @@ func (s *Solver) Models(ctx context.Context) iter.Seq2[*FactStore, error] {
 	}
 }
 
+// Collect materializes up to maxModels stable models (0 = all, subject
+// to Options.MaxModels when that is smaller) and returns them together
+// with the run's own Stats — unlike Solver.Stats, which is cumulative
+// across every call, Result.Stats covers exactly this run. On a
+// terminal error (budget, memory, admission, cancellation, internal
+// fault) the partial Result is returned alongside the error with
+// Result.Exhausted set. Hosts that serve per-request effort reports
+// (the ntgdd daemon) use this instead of ranging Models.
+func (s *Solver) Collect(ctx context.Context, maxModels int) (*Result, error) {
+	if s.opt.MaxModels > 0 && (maxModels == 0 || maxModels > s.opt.MaxModels) {
+		maxModels = s.opt.MaxModels
+	}
+	res, err := engine.CollectModels(ctx, s.eng, engine.Params{}, maxModels)
+	s.record(res.Stats, res.Exhausted)
+	return res, err
+}
+
 // Entails answers a Boolean query under the solver's semantics and the
 // given reasoning mode. The query's constants extend the witness pool
 // where the semantics allows it (SO).
@@ -201,6 +241,30 @@ func (s *Solver) Answers(ctx context.Context, q Query, mode Mode) ([]AnswerTuple
 	tuples, ok, stats, exhausted, err := engine.Answers(ctx, s.eng, engine.Params{}, q, mode == Brave)
 	s.record(stats, exhausted)
 	return tuples, ok, err
+}
+
+// AnswersResult is the outcome of Solver.AnswerSet: the tuples of an
+// n-ary query together with the run's own effort report.
+type AnswersResult struct {
+	// Tuples are the certain (Cautious) or possible (Brave) answers.
+	Tuples []AnswerTuple
+	// Complete is false when the answer set is ill-defined (cautious
+	// answering over an empty stable model set) or the enumeration was
+	// incomplete.
+	Complete bool
+	// Exhausted reports a possibly incomplete enumeration.
+	Exhausted bool
+	// Stats is this run's effort (not the Solver's cumulative total).
+	Stats Stats
+}
+
+// AnswerSet is Answers extended with the run's own Stats and Exhausted
+// flag, for hosts that report per-request effort (the ntgdd daemon).
+// On a terminal error the partial AnswersResult accompanies it.
+func (s *Solver) AnswerSet(ctx context.Context, q Query, mode Mode) (AnswersResult, error) {
+	tuples, ok, stats, exhausted, err := engine.Answers(ctx, s.eng, engine.Params{}, q, mode == Brave)
+	s.record(stats, exhausted)
+	return AnswersResult{Tuples: tuples, Complete: ok, Exhausted: exhausted, Stats: stats}, err
 }
 
 // Consistent reports whether the program has at least one stable model
