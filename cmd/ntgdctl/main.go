@@ -197,7 +197,7 @@ func cmdSolve(args []string, stdout, stderr io.Writer) int {
 	sem := fs.String("sem", "so", "semantics: so, lp, or op")
 	n := fs.Int("n", 0, "stop after N models (0 = all)")
 	maxAtoms := fs.Int("max-atoms", 0, "atom budget (0 = auto)")
-	maxMem := fs.Int64("max-mem", 0, "memory watermark in facts+clause literals (0 = none)")
+	maxMem := fs.Int64("max-mem", 0, "memory watermark in bytes of retained tuples and clause literals (0 = none)")
 	timeout := fs.Duration("timeout", 0, "abort after this long, printing partial results (0 = none)")
 	wall := fs.Duration("wall", 0, "per-run wall-clock budget, reported as a budget rather than a timeout (0 = none)")
 	workers := fs.Int("workers", 1, "search worker pool size (1 = sequential, deterministic output order; 0 = GOMAXPROCS)")
@@ -246,7 +246,7 @@ func cmdQuery(args []string, stdout, stderr io.Writer) int {
 	fs := newFlagSet("query", stderr)
 	sem := fs.String("sem", "so", "semantics: so, lp, or op")
 	mode := fs.String("mode", "cautious", "cautious or brave")
-	maxMem := fs.Int64("max-mem", 0, "memory watermark in facts+clause literals (0 = none)")
+	maxMem := fs.Int64("max-mem", 0, "memory watermark in bytes of retained tuples and clause literals (0 = none)")
 	timeout := fs.Duration("timeout", 0, "abort after this long, printing partial results (0 = none)")
 	wall := fs.Duration("wall", 0, "per-run wall-clock budget, reported as a budget rather than a timeout (0 = none)")
 	workers := fs.Int("workers", 1, "search worker pool size (1 = sequential, deterministic output order; 0 = GOMAXPROCS)")

@@ -53,7 +53,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	workers := fs.Int("workers", 1, "search worker pool size per run (1 = sequential, 0 = GOMAXPROCS)")
 	defTimeout := fs.Duration("default-timeout", 30*time.Second, "deadline for requests that carry no timeout_ms (0 = none)")
 	maxTimeout := fs.Duration("max-timeout", 5*time.Minute, "clamp on per-request deadlines (0 = none)")
-	maxMem := fs.Int64("max-mem", 0, "per-run memory watermark in facts+clause literals (0 = none)")
+	maxMem := fs.Int64("max-mem", 0, "per-run memory watermark in bytes of retained tuples and clause literals (0 = none)")
 	wall := fs.Duration("wall", 0, "per-run wall-clock budget (0 = none)")
 	maxModels := fs.Int("max-models", 10000, "cap on models returned per solve request")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown deadline after SIGTERM")

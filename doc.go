@@ -97,8 +97,9 @@
 // Every terminal error matches exactly one class of a small taxonomy
 // under errors.Is: ErrBudget (node, atom, or — via ErrWallClock, which
 // is itself a budget — Options.MaxWallClock exhaustion), ErrMemory
-// (the Options.MaxMemory retained-allocation watermark: facts added
-// across all branches plus stability-clause literals), ErrAdmission
+// (the Options.MaxMemory retained-allocation watermark: bytes of
+// packed tuples added across all branches plus stability-clause
+// literals), ErrAdmission
 // (the gate refused a run because its context ended while queued; the
 // context cause is wrapped), and ErrInternal (an engine panic,
 // recovered at the worker boundary and converted to a typed
@@ -140,6 +141,35 @@
 // grid against the daemon at rising client concurrency, reporting
 // p50/p95/p99 latency and models/sec into the BENCH_*.json trajectory;
 // see examples/server for a runnable quickstart.
+//
+// # Storage
+//
+// Fact stores are interned and packed (internal/logic). Every
+// predicate name and ground term resolves once, per store chain,
+// to a dense uint32 id in a shared logic.Symbols table; a ground fact
+// is a FactKey — the predicate id followed by one id per argument,
+// 4 bytes each — and the indexes (per-predicate lists, posting lists,
+// the incremental domain) hold packed ids, not strings or terms.
+// Membership probes, joins, and canonical ordering all reduce to
+// integer comparisons, and the memory watermark charges exactly the
+// packed bytes (TupleBytes).
+//
+// The root of every snapshot chain sits behind the logic.Storage
+// interface. The default in-memory implementation keeps the packed
+// keys in one contiguous blob under an open-addressed index. It has
+// exactly one write path: AddAll renders and interns the whole batch
+// under a single interner lock, deduplicates against the
+// pre-reserved key index, and builds the posting lists by counting
+// sort over the dense ids — per-fact Add is the degenerate one-atom
+// batch, paying the per-call setup that bulk loads amortize
+// (BenchmarkBulkLoad pins the ≥5x gap on a 10⁶-fact base). Snapshot
+// layers above the root are unchanged by the storage API: layer
+// reads merge over Storage exactly as they merge over parent layers.
+// Alternative backings plug in through ntgd.CompileOptions.Store or,
+// for reusable pre-loaded fact bases, an ntgd.Database built once
+// and shared across compiles; a randomized differential suite plus
+// FuzzStorage pin any Storage-visible behavior to the per-fact
+// reference build.
 //
 // # Evaluation engine
 //

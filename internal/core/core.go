@@ -91,13 +91,15 @@ type Options struct {
 	// expiry surfaces as engine.ErrWallClock, which matches ErrBudget
 	// under errors.Is, with partial Stats and Exhausted preserved.
 	MaxWallClock time.Duration
-	// MaxMemory caps a run's retained-allocation proxy (0 = unbounded):
-	// every fact added on any branch plus every stability-clause
-	// literal counts one unit. Unlike MaxAtoms — a per-branch candidate
-	// bound whose overflow only kills the branch — the watermark
-	// measures cumulative growth across the whole run, and tripping it
-	// stops the run with engine.ErrMemory (partial Stats preserved,
-	// Exhausted set).
+	// MaxMemory caps a run's retained-allocation watermark, in bytes of
+	// interned tuples (0 = unbounded): every fact added on any branch
+	// is charged at its packed-tuple size — 4 bytes for the predicate
+	// id plus 4 per argument id (see logic.FactStore.TupleBytes) — and
+	// every stability-clause literal at the size of its arena slot.
+	// Unlike MaxAtoms — a per-branch candidate bound whose overflow
+	// only kills the branch — the watermark measures cumulative growth
+	// across the whole run, and tripping it stops the run with
+	// engine.ErrMemory (partial Stats preserved, Exhausted set).
 	MaxMemory int64
 	// MaxConcurrentRuns bounds how many enumerations may run
 	// concurrently against one compiled Solver (0 = unlimited). It is
@@ -306,8 +308,8 @@ func (c *Compiled) enumerate(ctx context.Context, p engine.Params, visit func(*l
 	}
 	root := &state{
 		A:        c.db.Snapshot(),
-		mustIn:   map[string]logic.Atom{},
-		mustOut:  map[string]logic.Atom{},
+		mustIn:   map[logic.FactKey]logic.Atom{},
+		mustOut:  map[logic.FactKey]logic.Atom{},
 		deferred: map[string]bool{},
 		owns:     ownsMustIn | ownsMustOut | ownsDeferred,
 	}
@@ -363,8 +365,8 @@ type state struct {
 	// ensure* helpers copy on the first write (owns tracks which maps
 	// this state owns). Reads need no chain walk — a state always sees
 	// one complete map.
-	mustIn   map[string]logic.Atom
-	mustOut  map[string]logic.Atom
+	mustIn   map[logic.FactKey]logic.Atom
+	mustOut  map[logic.FactKey]logic.Atom
 	deferred map[string]bool
 	owns     ownedMaps
 	nullCtr  int
@@ -407,7 +409,7 @@ func (st *state) clone() *state {
 // store snapshots rely on), so sharing the maps read-only is safe.
 func (st *state) ensureMustIn() {
 	if st.owns&ownsMustIn == 0 {
-		m := make(map[string]logic.Atom, len(st.mustIn)+1)
+		m := make(map[logic.FactKey]logic.Atom, len(st.mustIn)+1)
 		for k, v := range st.mustIn {
 			m[k] = v
 		}
@@ -418,7 +420,7 @@ func (st *state) ensureMustIn() {
 
 func (st *state) ensureMustOut() {
 	if st.owns&ownsMustOut == 0 {
-		m := make(map[string]logic.Atom, len(st.mustOut)+1)
+		m := make(map[logic.FactKey]logic.Atom, len(st.mustOut)+1)
 		for k, v := range st.mustOut {
 			m[k] = v
 		}
@@ -861,10 +863,10 @@ func (s *searcher) branch(st *state, t *trigger) bool {
 	if len(negBody) == 0 {
 		return true
 	}
-	seenNeg := map[string]bool{}
+	seenNeg := map[logic.FactKey]bool{}
 	for _, n := range negBody {
 		g := t.hom.ApplyAtom(n)
-		k := g.Key()
+		k := st.A.InternKey(g)
 		if seenNeg[k] {
 			continue
 		}
@@ -965,15 +967,16 @@ func (s *searcher) applyTo(st *state, t *trigger, disjunct int, full logic.Subst
 		return false
 	}
 	if s.opt.MaxMemory > 0 {
-		// Charge every fact this application retains against the run's
-		// memory watermark, whichever way the function returns.
-		before := st.A.Len()
-		defer func() { s.chargeMem(int64(st.A.Len() - before)) }()
+		// Charge the packed bytes of every fact this application retains
+		// against the run's memory watermark, whichever way the function
+		// returns.
+		before := st.A.TupleBytes()
+		defer func() { s.chargeMem(st.A.TupleBytes() - before) }()
 	}
 	for _, n := range s.ruleNeg[t.ruleIdx] {
 		g := t.hom.ApplyAtom(n)
-		k := g.Key()
-		if st.A.HasKey(k) {
+		k := st.A.InternKey(g)
+		if st.A.HasFactKey(k) {
 			return false
 		}
 		if _, promised := st.mustIn[k]; promised {
@@ -984,8 +987,14 @@ func (s *searcher) applyTo(st *state, t *trigger, disjunct int, full logic.Subst
 	}
 	for _, a := range t.rule.Heads[disjunct] {
 		g := full.ApplyAtom(a)
-		if _, banned := st.mustOut[g.Key()]; banned {
-			return false
+		if len(st.mustOut) > 0 {
+			// A key miss means g's symbols were never interned, so g
+			// cannot have been recorded in any assumption ledger.
+			if k, ok := st.A.LookupKey(g); ok {
+				if _, banned := st.mustOut[k]; banned {
+					return false
+				}
+			}
 		}
 		st.A.Add(g)
 	}
@@ -1010,12 +1019,12 @@ func (s *searcher) applyTo(st *state, t *trigger, disjunct int, full logic.Subst
 func (s *searcher) complete(st *state) bool {
 	s.stats.Completed++
 	for k := range st.mustIn {
-		if !st.A.HasKey(k) {
+		if !st.A.HasFactKey(k) {
 			return true // a deferral promise was never fulfilled
 		}
 	}
 	for k := range st.mustOut {
-		if st.A.HasKey(k) {
+		if st.A.HasFactKey(k) {
 			return true // a negative assumption was violated
 		}
 	}

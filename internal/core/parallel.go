@@ -186,10 +186,12 @@ func (r *run) failWith(v any) {
 	r.stop.Store(true)
 }
 
-// chargeMem adds n units to the run's retained-allocation proxy and
+// chargeMem adds n bytes to the run's retained-allocation watermark
+// (packed-tuple bytes for facts, litBytes per stability literal) and
 // trips the memory watermark once the total passes MaxMemory. Tripping
-// stops the whole run (not just a branch): the proxy measures retained
-// growth across all branches, which killing one subtree cannot undo.
+// stops the whole run (not just a branch): the watermark measures
+// retained growth across all branches, which killing one subtree
+// cannot undo.
 func (r *run) chargeMem(n int64) {
 	if r.opt.MaxMemory <= 0 || n <= 0 {
 		return

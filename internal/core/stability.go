@@ -154,10 +154,10 @@ func (a *stabArena) oversized(storeLen int) bool {
 type stabHom struct {
 	rule *logic.Rule
 	hom  logic.Subst
-	// negKeys are the ground negative-body instance keys, re-evaluated
-	// against the candidate M at every solve: the homomorphism's clause
-	// is enforced only while none of them is in M.
-	negKeys []string
+	// negKeys are the ground negative-body instances' packed keys,
+	// re-evaluated against the candidate M at every solve: the
+	// homomorphism's clause is enforced only while none of them is in M.
+	negKeys []logic.FactKey
 	// act is the activation variable assumed while the homomorphism is
 	// unblocked; 0 when negKeys is empty (the clause carries no guard).
 	act int
@@ -174,9 +174,9 @@ type headOcc struct {
 	disjunct int
 	// groundKey, when non-empty, marks a single-atom disjunct fully
 	// ground under the homomorphism: its only possible witness is the
-	// concrete atom with this canonical key, so the completion join is
-	// one allocation-free index probe instead of a homomorphism search.
-	groundKey string
+	// concrete atom with this packed key, so the completion join is one
+	// allocation-free index probe instead of a homomorphism search.
+	groundKey logic.FactKey
 }
 
 // stabSession is one layer of a session chain, mirroring a search
@@ -267,9 +267,15 @@ func (s *searcher) extendStability(st *state) {
 	before := sess.arena.lits
 	s.extendSession(sess, st.A)
 	// Arena growth counts against the run's memory watermark alongside
-	// the facts themselves (see run.chargeMem).
-	s.chargeMem(sess.arena.lits - before)
+	// the facts themselves (see run.chargeMem), at litBytes per literal.
+	s.chargeMem((sess.arena.lits - before) * litBytes)
 }
+
+// litBytes is the watermark charge per stability-clause literal: the
+// watermark is denominated in retained bytes (see Options.MaxMemory),
+// and a literal occupies roughly an 8-byte arena slot plus its share of
+// clause headers and watch lists.
+const litBytes = 16
 
 // extendSession encodes the window [ss.hi, store.Len()) into the
 // session: new subset variables, completion joins of ancestor
@@ -454,9 +460,9 @@ func (s *searcher) registerHom(ss *stabSession, store *logic.FactStore, rule *lo
 	hid := len(ar.homs)
 	hm := stabHom{rule: rule, hom: h.Clone()}
 	if len(neg) > 0 {
-		hm.negKeys = make([]string, 0, len(neg))
+		hm.negKeys = make([]logic.FactKey, 0, len(neg))
 		for _, n := range neg {
-			hm.negKeys = append(hm.negKeys, h.ApplyAtom(n).Key())
+			hm.negKeys = append(hm.negKeys, store.InternKey(h.ApplyAtom(n)))
 		}
 		hm.act = act
 	}
@@ -468,9 +474,9 @@ func (s *searcher) registerHom(ss *stabSession, store *logic.FactStore, rule *lo
 			ss.occ = make(map[string][]headOcc)
 		}
 		for d := range rule.Heads {
-			groundKey := ""
+			var groundKey logic.FactKey
 			if len(rule.Heads[d]) == 1 && logic.BoundUnder(h, rule.Heads[d][0]) {
-				groundKey = h.ApplyAtom(rule.Heads[d][0]).Key()
+				groundKey = store.InternKey(h.ApplyAtom(rule.Heads[d][0]))
 			}
 			seen := sc.predSeen
 			for _, a := range rule.Heads[d] {
@@ -506,7 +512,7 @@ func (s *searcher) completeHom(ss *stabSession, store *logic.FactStore, from int
 	head := hm.rule.Heads[oc.disjunct]
 	if oc.groundKey != "" {
 		// Single possible witness: a window probe replaces the join.
-		idx, ok := store.IndexOfKey(oc.groundKey)
+		idx, ok := store.IndexOfFactKey(oc.groundKey)
 		if !ok || idx < from {
 			return // absent, or already encoded by an earlier window
 		}
@@ -608,7 +614,7 @@ func (s *searcher) stableSession(st *state) bool {
 			}
 			blocked := false
 			for _, k := range hm.negKeys {
-				if st.A.HasKey(k) {
+				if st.A.HasFactKey(k) {
 					blocked = true
 					break
 				}
@@ -667,7 +673,7 @@ func (s *searcher) stableSession(st *state) bool {
 	sc.assumps = assumps[:0]
 	// Each solve retires one guarded subset clause into the arena for
 	// good; charge it against the memory watermark.
-	s.chargeMem(ar.lits - litsBefore)
+	s.chargeMem((ar.lits - litsBefore) * litBytes)
 	return !ar.sat.Solve(assumps...)
 }
 

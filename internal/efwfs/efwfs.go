@@ -232,11 +232,11 @@ func (c *compiler) wfs(sites []site, chosen [][]int) (*logic.FactStore, bool) {
 	if err != nil {
 		return nil, false
 	}
-	trueStore := logic.NewFactStore()
-	for _, id := range w.True {
-		trueStore.Add(c.atoms[id])
+	atoms := make([]logic.Atom, len(w.True))
+	for i, id := range w.True {
+		atoms[i] = c.atoms[id]
 	}
-	return trueStore, true
+	return logic.StoreOf(atoms...), true
 }
 
 // holdsWFS evaluates the NBCQ over a well-founded model: positive

@@ -17,9 +17,10 @@ import (
 // message.
 var (
 	// ErrMemory is reported when a run trips its memory watermark
-	// (core.Options.MaxMemory): the retained-allocation proxy — facts
-	// added across all branches plus stability-clause literals — grew
-	// past the cap. Partial Stats are preserved and Exhausted is true.
+	// (core.Options.MaxMemory): the retained-allocation watermark —
+	// bytes of packed tuples added across all branches plus
+	// stability-clause literals — grew past the cap. Partial Stats are
+	// preserved and Exhausted is true.
 	ErrMemory = errors.New("ntgd: memory watermark exceeded; enumeration may be incomplete")
 
 	// ErrAdmission is reported when a run is refused admission: the

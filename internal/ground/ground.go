@@ -42,11 +42,11 @@ func (g *Grounding) AtomID(a logic.Atom) (int, bool) {
 // ModelStore converts a propositional model back to a fact store over
 // the original vocabulary.
 func (g *Grounding) ModelStore(m asp.Model) *logic.FactStore {
-	st := logic.NewFactStore()
-	for _, id := range m {
-		st.Add(g.Atoms[id])
+	atoms := make([]logic.Atom, len(m))
+	for i, id := range m {
+		atoms[i] = g.Atoms[id]
 	}
-	return st
+	return logic.StoreOf(atoms...)
 }
 
 // Ground instantiates a Skolemized (existential-free) program over its

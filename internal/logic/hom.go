@@ -1,9 +1,6 @@
 package logic
 
-import (
-	"sort"
-	"strings"
-)
+import "sort"
 
 // This file implements homomorphism search: finding substitutions h such
 // that h(pos) ⊆ store and, for the closed-world reading used throughout
@@ -117,13 +114,20 @@ type pat struct {
 // pattern: the predicate count within the window, improved by the
 // posting list of any argument already ground under init.
 func candidateEstimate(p pat, init Subst, store *FactStore) int {
-	est := store.countPredWindow(p.atom.Pred, p.lo, p.hi)
+	pid, ok := store.syms.LookupPred(p.atom.Pred)
+	if !ok {
+		return 0
+	}
+	est := store.countPredWindow(pid, p.lo, p.hi)
 	for i, t := range p.atom.Args {
-		g := init.ApplyTerm(t)
-		if !g.IsGround() {
+		if !termBoundUnder(init, t) {
 			continue
 		}
-		if n := store.postingsCount(p.atom.Pred, i, g.Key(), p.lo, p.hi); n < est {
+		tid, ok := store.syms.lookupBound(init, t)
+		if !ok {
+			return 0 // the term was never interned: no fact can match
+		}
+		if n := store.postingsCount(pid, i, tid, p.lo, p.hi); n < est {
 			est = n
 		}
 	}
@@ -139,15 +143,30 @@ type homSearch struct {
 	fn    HomVisitor
 	pats  []pat
 	// per-depth scratch: candidate intersection buffer and undo trail.
-	scratch [][]int
+	scratch [][]uint32
 	trails  [][]string
+	keyBuf  []byte // packed-key probe scratch, reused across probes
+}
+
+// probeBound resolves the index of h(a) (which the caller established
+// is ground under h) via a packed-key probe; a symbol miss means h(a)
+// cannot be in the store.
+func (hs *homSearch) probeBound(h Subst, a Atom) (int, bool) {
+	key, ok := hs.store.syms.appendBoundAtomKey(h, a, hs.keyBuf[:0])
+	hs.keyBuf = key[:0]
+	if !ok {
+		return 0, false
+	}
+	return hs.store.lookupPacked(key)
 }
 
 func (hs *homSearch) extend(i int, h Subst) bool {
 	if i == len(hs.pats) {
 		for _, n := range hs.neg {
-			if atomBoundUnder(h, n) && hs.store.HasKey(boundAtomKey(h, n)) {
-				return true // blocked: this h is not a solution, keep searching
+			if atomBoundUnder(h, n) {
+				if _, ok := hs.probeBound(h, n); ok {
+					return true // blocked: this h is not a solution, keep searching
+				}
 			}
 			// Unbound variables left in a negative literal: only bound
 			// instances are evaluated (safe fragment), nothing blocks.
@@ -163,7 +182,7 @@ func (hs *homSearch) extend(i int, h Subst) bool {
 	// not a posting-list walk. This is the common case for restricted
 	// chase head checks and negative-body-style filters.
 	if atomBoundUnder(h, p.atom) {
-		if idx, ok := hs.store.indexOfKey(boundAtomKey(h, p.atom)); ok && idx >= p.lo && idx < p.hi {
+		if idx, ok := hs.probeBound(h, p.atom); ok && idx >= p.lo && idx < p.hi {
 			return hs.extend(i+1, h) // no new bindings to undo
 		}
 		return true
@@ -172,7 +191,7 @@ func (hs *homSearch) extend(i int, h Subst) bool {
 	trail := hs.trails[i][:0]
 	for _, idx := range cands {
 		trail = trail[:0]
-		if matchAtomTrail(h, p.atom, hs.store.atomAt(idx), &trail) {
+		if matchAtomTrail(h, p.atom, hs.store.atomAt(int(idx)), &trail) {
 			if !hs.extend(i+1, h) {
 				undo(h, trail)
 				hs.trails[i] = trail
@@ -191,38 +210,42 @@ func (hs *homSearch) extend(i int, h Subst) bool {
 // first), clipped to the pattern's window; with no ground position it
 // falls back to the per-predicate index. Snapshot layers take a merged
 // path instead (see candidatesLayered).
-func (hs *homSearch) candidates(depth int, p pat, h Subst) []int {
+func (hs *homSearch) candidates(depth int, p pat, h Subst) []uint32 {
 	if hs.store.parent != nil {
 		return hs.candidatesLayered(depth, p, h)
 	}
-	var listsBuf [4][]int
+	pid, ok := hs.store.syms.LookupPred(p.atom.Pred)
+	if !ok {
+		return nil
+	}
+	var listsBuf [4][]uint32
 	lists := listsBuf[:0]
 	for i, t := range p.atom.Args {
-		g := t
-		if !t.IsGround() {
-			g = h.ApplyTerm(t)
-			if !g.IsGround() {
-				continue
-			}
+		if !termBoundUnder(h, t) {
+			continue
 		}
-		l := hs.store.postings(p.atom.Pred, i, g.Key())
+		tid, ok := hs.store.syms.lookupBound(h, t)
+		if !ok {
+			return nil // the term was never interned: no fact matches
+		}
+		l := hs.store.postings(pid, i, tid)
 		if len(l) == 0 {
 			return nil
 		}
 		lists = append(lists, l)
 	}
 	if len(lists) == 0 {
-		return clipWindow(hs.store.predIndices(p.atom.Pred), p.lo, p.hi)
+		return clipWindowU32(hs.store.predIndices(pid), p.lo, p.hi)
 	}
 	// Smallest posting list first: the intersection never grows.
 	sort.Slice(lists, func(a, b int) bool { return len(lists[a]) < len(lists[b]) })
-	out := clipWindow(lists[0], p.lo, p.hi)
+	out := clipWindowU32(lists[0], p.lo, p.hi)
 	if len(lists) == 1 {
 		return out
 	}
 	buf := append(hs.scratch[depth][:0], out...)
 	for _, l := range lists[1:] {
-		buf = intersectSorted(buf, clipWindow(l, p.lo, p.hi))
+		buf = intersectSorted(buf, clipWindowU32(l, p.lo, p.hi))
 		if len(buf) == 0 {
 			break
 		}
@@ -237,35 +260,38 @@ func (hs *homSearch) candidates(depth int, p pat, h Subst) []int {
 // per-predicate index or one ground position's postings) into the
 // depth's scratch buffer; matchAtomTrail filters the remaining
 // positions.
-func (hs *homSearch) candidatesLayered(depth int, p pat, h Subst) []int {
+func (hs *homSearch) candidatesLayered(depth int, p pat, h Subst) []uint32 {
 	st := hs.store
-	bestPos, bestKey := -1, ""
-	bestCount := st.countPredWindow(p.atom.Pred, p.lo, p.hi)
+	pid, ok := st.syms.LookupPred(p.atom.Pred)
+	if !ok {
+		return nil
+	}
+	bestPos, bestID := -1, uint32(0)
+	bestCount := st.countPredWindow(pid, p.lo, p.hi)
 	if bestCount == 0 {
 		return nil
 	}
 	for i, t := range p.atom.Args {
-		g := t
-		if !t.IsGround() {
-			g = h.ApplyTerm(t)
-			if !g.IsGround() {
-				continue
-			}
+		if !termBoundUnder(h, t) {
+			continue
 		}
-		k := g.Key()
-		n := st.postingsCount(p.atom.Pred, i, k, p.lo, p.hi)
+		tid, ok := st.syms.lookupBound(h, t)
+		if !ok {
+			return nil // the term was never interned: no fact matches
+		}
+		n := st.postingsCount(pid, i, tid, p.lo, p.hi)
 		if n == 0 {
 			return nil
 		}
 		if n < bestCount {
-			bestCount, bestPos, bestKey = n, i, k
+			bestCount, bestPos, bestID = n, i, tid
 		}
 	}
 	buf := hs.scratch[depth][:0]
 	if bestPos < 0 {
-		buf = st.appendPredIndices(p.atom.Pred, p.lo, p.hi, buf)
+		buf = st.appendPredIndices(pid, p.lo, p.hi, buf)
 	} else {
-		buf = st.appendPostings(p.atom.Pred, bestPos, bestKey, p.lo, p.hi, buf)
+		buf = st.appendPostings(pid, bestPos, bestID, p.lo, p.hi, buf)
 	}
 	hs.scratch[depth] = buf
 	return buf
@@ -305,10 +331,7 @@ func termBoundUnder(h Subst, t Term) bool {
 // the bound-instances-only reading of negative literals in FindHoms. It
 // allocates nothing beyond the probe key.
 func (s *FactStore) HasUnder(h Subst, a Atom) bool {
-	if !atomBoundUnder(h, a) {
-		return false
-	}
-	_, ok := s.lookupKey(boundAtomKey(h, a))
+	_, ok := s.IndexUnder(h, a)
 	return ok
 }
 
@@ -329,59 +352,28 @@ func (s *FactStore) IndexUnder(h Subst, a Atom) (int, bool) {
 	if !atomBoundUnder(h, a) {
 		return 0, false
 	}
-	return s.lookupKey(boundAtomKey(h, a))
-}
-
-// boundAtomKey renders the canonical key of h(a) without materializing
-// the atom; the result equals h.ApplyAtom(a).Key(). The caller must
-// have established atomBoundUnder(h, a).
-func boundAtomKey(h Subst, a Atom) string {
-	var b strings.Builder
-	b.WriteString(a.Pred)
-	b.WriteByte('/')
-	for i, t := range a.Args {
-		if i > 0 {
-			b.WriteByte(',')
-		}
-		writeBoundTermKey(&b, h, t)
+	var kb [64]byte
+	key, ok := s.syms.appendBoundAtomKey(h, a, kb[:0])
+	if !ok {
+		return 0, false
 	}
-	return b.String()
+	return s.lookupPacked(key)
 }
 
-func writeBoundTermKey(b *strings.Builder, h Subst, t Term) {
-	switch t.Kind {
-	case Var:
-		h[t.Name].writeKey(b)
-	case Func:
-		b.WriteByte('f')
-		b.WriteString(t.Name)
-		b.WriteByte('(')
-		for i, a := range t.Args {
-			if i > 0 {
-				b.WriteByte(',')
-			}
-			writeBoundTermKey(b, h, a)
-		}
-		b.WriteByte(')')
-	default:
-		t.writeKey(b)
-	}
-}
-
-// clipWindow narrows an ascending index list to [lo, hi) by binary
+// clipWindowU32 narrows an ascending index list to [lo, hi) by binary
 // search; the result aliases the input.
-func clipWindow(idxs []int, lo, hi int) []int {
+func clipWindowU32(idxs []uint32, lo, hi int) []uint32 {
 	if len(idxs) == 0 {
 		return idxs
 	}
-	a := sort.SearchInts(idxs, lo)
-	b := sort.SearchInts(idxs, hi)
+	a := sort.Search(len(idxs), func(i int) bool { return int(idxs[i]) >= lo })
+	b := sort.Search(len(idxs), func(i int) bool { return int(idxs[i]) >= hi })
 	return idxs[a:b]
 }
 
 // intersectSorted intersects two ascending lists, writing the result
 // over the prefix of a (in place).
-func intersectSorted(a, b []int) []int {
+func intersectSorted(a, b []uint32) []uint32 {
 	out := a[:0]
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {

@@ -159,7 +159,7 @@ func deltaOracle(pos, neg []Atom, store *FactStore, from int, init Subst) []stri
 	var want []string
 	naiveFindHoms(pos, neg, store, init, func(h Subst) bool {
 		for _, a := range pos {
-			if idx, ok := store.IndexOfKey(h.ApplyAtom(a).Key()); ok && idx >= from {
+			if idx, ok := store.IndexOfAtom(h.ApplyAtom(a)); ok && idx >= from {
 				want = append(want, h.String())
 				break
 			}

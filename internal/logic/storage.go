@@ -1,0 +1,991 @@
+package logic
+
+import (
+	"encoding/binary"
+)
+
+// FactKey is the packed identity of a ground atom: the interned
+// predicate id followed by one interned term id per argument, each as 4
+// little-endian bytes. Keys are only comparable between stores sharing
+// one Symbols table (a snapshot chain and everything compiled against
+// the same database); they replace the canonical-string atom keys of
+// earlier revisions, so equality and hashing are fixed-width integer
+// work instead of term rendering.
+//
+// FactKey is a string type so it can key ordinary Go maps; probing a
+// map[FactKey]int with FactKey(buf) for a scratch []byte compiles to an
+// allocation-free map lookup, which the hot paths rely on.
+type FactKey string
+
+// Pred returns the interned predicate id of the packed key.
+func (k FactKey) Pred() uint32 { return binary.LittleEndian.Uint32([]byte(k[:4])) }
+
+// Arity returns the number of argument ids in the packed key.
+func (k FactKey) Arity() int { return len(k)/4 - 1 }
+
+// Arg returns the interned term id of the argument at 0-based position
+// i.
+func (k FactKey) Arg(i int) uint32 {
+	return binary.LittleEndian.Uint32([]byte(k[4+4*i : 8+4*i]))
+}
+
+// factKeyBytes returns the number of bytes a fact with the given arity
+// occupies as a packed tuple; it is the unit of the MaxMemory
+// watermark.
+func factKeyBytes(arity int) int64 { return int64(4 * (1 + arity)) }
+
+// argID addresses one posting list: all atoms with predicate pred whose
+// argument at 0-based position pos is the interned term term.
+type argID struct {
+	pred uint32
+	pos  int32
+	term uint32
+}
+
+// Storage is the root layer of a FactStore: an append-only, indexed
+// tuple set addressed by global store index (insertion rank). The
+// copy-on-write snapshot machinery, homomorphism search, chase, and
+// stability sessions all run against this interface, so alternative
+// roots (mmap-backed, columnar, remote) can be swapped in via
+// ntgd.CompileOptions without touching the engine.
+//
+// Contract:
+//   - Indices are dense and stable: the i-th accepted Add (or AddAll
+//     element) has index i forever; Len only grows.
+//   - Atoms must be ground; every symbol of an accepted atom is
+//     interned into Symbols(), and IndexOf/IndexOfKey resolve exactly
+//     the packed keys built from that table.
+//   - Postings and PredIndices return ascending index lists; the slices
+//     are shared with the storage and must not be modified. Callers clip
+//     them to index windows for snapshot visibility, so entries beyond a
+//     reader's bound are harmless.
+//   - Reads must be safe concurrently with each other. Add/AddAll are
+//     called only under the FactStore freeze discipline: one writer, no
+//     concurrent readers on the same chain layer.
+//   - TupleBytes is the retained packed-tuple volume (factKeyBytes per
+//     fact); the engine's MaxMemory watermark charges against it.
+type Storage interface {
+	// Symbols returns the interner all keys and ids refer to.
+	Symbols() *Symbols
+	// Len returns the number of facts.
+	Len() int
+	// TupleBytes returns the total packed size of the stored tuples.
+	TupleBytes() int64
+	// Atoms returns all facts in index order, shared with the storage.
+	Atoms() []Atom
+	// AtomAt returns the fact with the given index.
+	AtomAt(i int) Atom
+	// IndexOf resolves a packed key held in a scratch buffer.
+	IndexOf(key []byte) (int, bool)
+	// IndexOfKey resolves a stored FactKey.
+	IndexOfKey(key FactKey) (int, bool)
+	// Postings returns the ascending indices of facts with predicate
+	// pred whose argument at position pos is the term with id term.
+	Postings(pred uint32, pos int, term uint32) []uint32
+	// PredIndices returns the ascending indices of facts with the given
+	// predicate.
+	PredIndices(pred uint32) []uint32
+	// DomainIndex returns the index of the fact that introduced the
+	// constant or null with id term into the domain, if any.
+	DomainIndex(term uint32) (int, bool)
+	// Add inserts one fact, returning its index and whether it was new.
+	Add(a Atom) (int, bool)
+	// AddAll bulk-inserts facts, building indexes in one pass, and
+	// returns how many were new. Equivalent to Add in a loop.
+	AddAll(atoms []Atom) int
+	// EachFact, EachPred, EachPosting, and EachDomain iterate the
+	// key, per-predicate, posting-list, and domain indexes (in
+	// unspecified order); fn returning false stops the walk and makes
+	// the iterator return false. They exist so snapshot flattening can
+	// merge a root without knowing its concrete type.
+	EachFact(fn func(key FactKey, idx int) bool) bool
+	EachPred(fn func(pred uint32, idxs []uint32) bool) bool
+	EachPosting(fn func(id argID, idxs []uint32) bool) bool
+	EachDomain(fn func(term uint32, idx int) bool) bool
+}
+
+// NewStorage returns an empty in-memory Storage with a fresh Symbols
+// table — the default root used by NewFactStore, exported so callers of
+// ntgd.CompileOptions.Store can pre-load one.
+func NewStorage() Storage { return newMemStorage(NewSymbols()) }
+
+// factIndex is the fact-key index of memStorage: an append-only
+// open-addressed table from packed keys to dense store indices (linear
+// probing, power-of-two slots, no deletions — stores only grow). Three
+// properties beat the general-purpose map for this workload: the hash
+// is integer mixing over the key's id words rather than byte-string
+// hashing; a miss hands back the slot the probe ended on, so
+// dedup-then-insert — the per-fact hot path and the bulk loader's
+// inner loop — costs one traversal instead of two; and the key bytes
+// live in one pointer-free blob (blob + ends), so the index holds no
+// per-key allocation and the garbage collector never scans it.
+type factIndex struct {
+	slots []uint32  // store index + 1; 0 = empty
+	blob  []byte    // all key bytes, concatenated in index order
+	ends  []uint32  // ends[i] = end offset of key i (start = ends[i-1])
+	stage []FactKey // flatten staging; nil outside setAt/rebuild
+}
+
+const factIndexMinSlots = 16
+
+// hashWord folds one 4-byte id word into h (FNV-1a step).
+func hashWord(h, w uint64) uint64 { return (h ^ w) * 1099511628211 }
+
+func hashMix(h uint64) uint32 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return uint32(h)
+}
+
+func hashFactKey(k FactKey) uint32 {
+	h := uint64(14695981039346656037)
+	for ; len(k) >= 4; k = k[4:] {
+		h = hashWord(h, uint64(binary.LittleEndian.Uint32([]byte(k[:4]))))
+	}
+	return hashMix(h)
+}
+
+func hashFactKeyBytes(k []byte) uint32 {
+	h := uint64(14695981039346656037)
+	for ; len(k) >= 4; k = k[4:] {
+		h = hashWord(h, uint64(binary.LittleEndian.Uint32(k)))
+	}
+	return hashMix(h)
+}
+
+// keyBytes returns the packed key of store index i, aliasing the blob.
+func (fi *factIndex) keyBytes(i int) []byte {
+	lo := uint32(0)
+	if i > 0 {
+		lo = fi.ends[i-1]
+	}
+	return fi.blob[lo:fi.ends[i]]
+}
+
+func (fi *factIndex) lookup(k FactKey) (int, bool) {
+	_, idx, ok := fi.findSlot(k)
+	return idx, ok
+}
+
+// lookupBytes resolves a packed key held in a scratch buffer without
+// copying it (the conversions below compile to allocation-free
+// comparisons).
+func (fi *factIndex) lookupBytes(key []byte) (int, bool) {
+	_, idx, ok := fi.findSlotBytes(key)
+	return idx, ok
+}
+
+// findSlotBytes is findSlot for a packed key held in a scratch buffer.
+func (fi *factIndex) findSlotBytes(key []byte) (slot uint32, idx int, ok bool) {
+	mask := uint32(len(fi.slots) - 1)
+	s := hashFactKeyBytes(key) & mask
+	for {
+		v := fi.slots[s]
+		if v == 0 {
+			return s, 0, false
+		}
+		if string(fi.keyBytes(int(v-1))) == string(key) {
+			return s, int(v - 1), true
+		}
+		s = (s + 1) & mask
+	}
+}
+
+// findSlot returns the store index of k if present, or else the empty
+// slot where it belongs. The one-writer rule guarantees nothing is
+// inserted between findSlot and the paired insert.
+func (fi *factIndex) findSlot(k FactKey) (slot uint32, idx int, ok bool) {
+	mask := uint32(len(fi.slots) - 1)
+	s := hashFactKey(k) & mask
+	for {
+		v := fi.slots[s]
+		if v == 0 {
+			return s, 0, false
+		}
+		if string(fi.keyBytes(int(v-1))) == string(k) {
+			return s, int(v - 1), true
+		}
+		s = (s + 1) & mask
+	}
+}
+
+// insertKey records k as the key of the next store index, filling the
+// slot findSlot returned and growing past 3/4 load (growth invalidates
+// outstanding slot positions).
+func (fi *factIndex) insertKey(slot uint32, k FactKey) int {
+	fi.blob = append(fi.blob, k...)
+	return fi.finishInsert(slot)
+}
+
+// insertBytes is insertKey for a key held in a scratch buffer.
+func (fi *factIndex) insertBytes(slot uint32, key []byte) int {
+	fi.blob = append(fi.blob, key...)
+	return fi.finishInsert(slot)
+}
+
+func (fi *factIndex) finishInsert(slot uint32) int {
+	idx := len(fi.ends)
+	fi.ends = append(fi.ends, uint32(len(fi.blob)))
+	fi.slots[slot] = uint32(idx + 1)
+	if 4*len(fi.ends) >= 3*len(fi.slots) {
+		fi.grow(2 * len(fi.slots))
+	}
+	return idx
+}
+
+func (fi *factIndex) grow(size int) {
+	slots := make([]uint32, size)
+	mask := uint32(size - 1)
+	for i := range fi.ends {
+		s := hashFactKeyBytes(fi.keyBytes(i)) & mask
+		for slots[s] != 0 {
+			s = (s + 1) & mask
+		}
+		slots[s] = uint32(i + 1)
+	}
+	fi.slots = slots
+}
+
+// reserve sizes the table and blob so n further inserts totalling
+// bytes key bytes never rehash or reallocate.
+func (fi *factIndex) reserve(n, bytes int) {
+	size := len(fi.slots)
+	for 4*(len(fi.ends)+n) >= 3*size {
+		size *= 2
+	}
+	if size != len(fi.slots) {
+		fi.grow(size)
+	}
+	if cap(fi.blob)-len(fi.blob) < bytes {
+		newCap := len(fi.blob) + bytes
+		if c := 2 * cap(fi.blob); c > newCap {
+			newCap = c
+		}
+		grown := make([]byte, len(fi.blob), newCap)
+		copy(grown, fi.blob)
+		fi.blob = grown
+	}
+	if cap(fi.ends)-len(fi.ends) < n {
+		newCap := len(fi.ends) + n
+		if c := 2 * cap(fi.ends); c > newCap {
+			newCap = c
+		}
+		grown := make([]uint32, len(fi.ends), newCap)
+		copy(grown, fi.ends)
+		fi.ends = grown
+	}
+}
+
+// nameMemo is the batch-local constant-name → term-id memo of AddAll:
+// an open-addressed table whose entries keep the name header and id on
+// one cache line, probed with the same miss-returns-the-slot protocol
+// as factIndex. Bulk inputs resolve every argument through it, so the
+// probe is on AddAll's critical path; a general-purpose map costs
+// roughly twice as much per probe here.
+type nameMemo struct {
+	slots   []uint32 // entry index + 1; 0 = empty
+	entries []nameEntry
+}
+
+type nameEntry struct {
+	name string
+	id   uint32
+}
+
+// newNameMemo sizes the initial table for a batch of n atoms: tiny
+// batches get a tiny table (Add routes through here per call), bulk
+// loads start at 1024 slots and grow with their vocabulary.
+func newNameMemo(n int) *nameMemo {
+	size := 16
+	for size < 4*n && size < 1024 {
+		size *= 2
+	}
+	return &nameMemo{slots: make([]uint32, size)}
+}
+
+func hashName(s string) uint32 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
+	}
+	return hashMix(h)
+}
+
+// find returns the memoized id of name, or else the empty slot where
+// its entry belongs (fill it with insert before the next find).
+func (m *nameMemo) find(name string) (slot uint32, id uint32, ok bool) {
+	mask := uint32(len(m.slots) - 1)
+	s := hashName(name) & mask
+	for {
+		v := m.slots[s]
+		if v == 0 {
+			return s, 0, false
+		}
+		if e := &m.entries[v-1]; e.name == name {
+			return s, e.id, true
+		}
+		s = (s + 1) & mask
+	}
+}
+
+func (m *nameMemo) insert(slot uint32, name string, id uint32) {
+	m.entries = append(m.entries, nameEntry{name: name, id: id})
+	m.slots[slot] = uint32(len(m.entries))
+	if 4*len(m.entries) >= 3*len(m.slots) {
+		size := 2 * len(m.slots)
+		slots := make([]uint32, size)
+		mask := uint32(size - 1)
+		for i := range m.entries {
+			s := hashName(m.entries[i].name) & mask
+			for slots[s] != 0 {
+				s = (s + 1) & mask
+			}
+			slots[s] = uint32(i + 1)
+		}
+		m.slots = slots
+	}
+}
+
+// setAt records k as the key of store index idx during a bulk rebuild
+// (snapshot flattening): the caller covers every dense index exactly
+// once, in any order, then calls rebuild to construct the table.
+func (fi *factIndex) setAt(k FactKey, idx int) {
+	for len(fi.stage) <= idx {
+		fi.stage = append(fi.stage, "")
+	}
+	fi.stage[idx] = k
+}
+
+// rebuild packs the staged keys and reconstructs the slot table.
+func (fi *factIndex) rebuild() {
+	total := 0
+	for _, k := range fi.stage {
+		total += len(k)
+	}
+	fi.blob = make([]byte, 0, total)
+	fi.ends = make([]uint32, 0, len(fi.stage))
+	for _, k := range fi.stage {
+		fi.blob = append(fi.blob, k...)
+		fi.ends = append(fi.ends, uint32(len(fi.blob)))
+	}
+	fi.stage = nil
+	size := factIndexMinSlots
+	for 4*len(fi.ends) >= 3*size {
+		size *= 2
+	}
+	fi.grow(size)
+}
+
+// argTable is the posting-list index of memStorage: argID → ascending
+// store indices, open-addressed like factIndex. The three-word key
+// hashes with plain integer mixing, and bulk construction probes each
+// distinct list exactly once — both several times cheaper than a
+// general-purpose map keyed by a struct.
+type argTable struct {
+	slots []uint32 // entry index + 1; 0 = empty
+	ids   []argID
+	lists [][]uint32
+}
+
+func hashArgID(id argID) uint32 {
+	h := hashWord(14695981039346656037, uint64(id.pred))
+	h = hashWord(h, uint64(uint32(id.pos)))
+	return hashMix(hashWord(h, uint64(id.term)))
+}
+
+func (at *argTable) get(id argID) []uint32 {
+	if at.slots == nil {
+		return nil
+	}
+	_, i, ok := at.findSlot(id)
+	if !ok {
+		return nil
+	}
+	return at.lists[i]
+}
+
+// findSlot returns the entry index of id if present, or else the empty
+// slot where it belongs (fill it with setList before the next call).
+func (at *argTable) findSlot(id argID) (slot uint32, idx int, ok bool) {
+	mask := uint32(len(at.slots) - 1)
+	s := hashArgID(id) & mask
+	for {
+		v := at.slots[s]
+		if v == 0 {
+			return s, 0, false
+		}
+		if at.ids[v-1] == id {
+			return s, int(v - 1), true
+		}
+		s = (s + 1) & mask
+	}
+}
+
+// setList records list as the postings of a new id, filling the slot
+// findSlot returned (growth invalidates outstanding slots).
+func (at *argTable) setList(slot uint32, id argID, list []uint32) {
+	at.ids = append(at.ids, id)
+	at.lists = append(at.lists, list)
+	at.slots[slot] = uint32(len(at.ids))
+	if 4*len(at.ids) >= 3*len(at.slots) {
+		at.grow(2 * len(at.slots))
+	}
+}
+
+func (at *argTable) grow(size int) {
+	slots := make([]uint32, size)
+	mask := uint32(size - 1)
+	for i := range at.ids {
+		s := hashArgID(at.ids[i]) & mask
+		for slots[s] != 0 {
+			s = (s + 1) & mask
+		}
+		slots[s] = uint32(i + 1)
+	}
+	at.slots = slots
+}
+
+// reserve sizes the table so n further inserts never rehash.
+func (at *argTable) reserve(n int) {
+	size := len(at.slots)
+	for 4*(len(at.ids)+n) >= 3*size {
+		size *= 2
+	}
+	if size != len(at.slots) {
+		at.grow(size)
+	}
+}
+
+// appendTo appends w to the postings of id, creating the entry if
+// needed (the created list copies w).
+func (at *argTable) appendTo(id argID, w ...uint32) {
+	slot, i, ok := at.findSlot(id)
+	if ok {
+		at.lists[i] = append(at.lists[i], w...)
+		return
+	}
+	at.setList(slot, id, append([]uint32(nil), w...))
+}
+
+// domTable maps a constant/null term id to the store index that
+// introduced it (first-wins), open-addressed like factIndex.
+type domTable struct {
+	slots []uint32 // entry index + 1; 0 = empty
+	terms []uint32
+	idxs  []int32
+}
+
+func (dt *domTable) find(term uint32) (int, bool) {
+	_, i, ok := dt.findSlot(term)
+	if !ok {
+		return 0, false
+	}
+	return int(dt.idxs[i]), true
+}
+
+func (dt *domTable) findSlot(term uint32) (slot uint32, idx int, ok bool) {
+	mask := uint32(len(dt.slots) - 1)
+	s := hashMix(hashWord(14695981039346656037, uint64(term))) & mask
+	for {
+		v := dt.slots[s]
+		if v == 0 {
+			return s, 0, false
+		}
+		if dt.terms[v-1] == term {
+			return s, int(v - 1), true
+		}
+		s = (s + 1) & mask
+	}
+}
+
+// setIfAbsent records idx as the introducing index of term unless one
+// is already recorded.
+func (dt *domTable) setIfAbsent(term uint32, idx int) {
+	slot, _, ok := dt.findSlot(term)
+	if ok {
+		return
+	}
+	dt.terms = append(dt.terms, term)
+	dt.idxs = append(dt.idxs, int32(idx))
+	dt.slots[slot] = uint32(len(dt.terms))
+	if 4*len(dt.terms) >= 3*len(dt.slots) {
+		dt.grow(2 * len(dt.slots))
+	}
+}
+
+func (dt *domTable) grow(size int) {
+	slots := make([]uint32, size)
+	mask := uint32(size - 1)
+	for i, t := range dt.terms {
+		s := hashMix(hashWord(14695981039346656037, uint64(t))) & mask
+		for slots[s] != 0 {
+			s = (s + 1) & mask
+		}
+		slots[s] = uint32(i + 1)
+	}
+	dt.slots = slots
+}
+
+// memStorage is the default in-memory Storage.
+type memStorage struct {
+	syms   *Symbols
+	atoms  []Atom
+	keys   factIndex
+	byPred map[uint32][]uint32
+	byArg  argTable
+	dom    domTable
+	tb     int64
+}
+
+func newMemStorage(syms *Symbols) *memStorage {
+	return &memStorage{
+		syms:   syms,
+		keys:   factIndex{slots: make([]uint32, factIndexMinSlots)},
+		byPred: make(map[uint32][]uint32),
+		byArg:  argTable{slots: make([]uint32, 64)},
+		dom:    domTable{slots: make([]uint32, 64)},
+	}
+}
+
+func (ms *memStorage) Symbols() *Symbols { return ms.syms }
+func (ms *memStorage) Len() int          { return len(ms.atoms) }
+func (ms *memStorage) TupleBytes() int64 { return ms.tb }
+func (ms *memStorage) Atoms() []Atom     { return ms.atoms }
+func (ms *memStorage) AtomAt(i int) Atom { return ms.atoms[i] }
+
+func (ms *memStorage) IndexOf(key []byte) (int, bool) {
+	return ms.keys.lookupBytes(key)
+}
+
+func (ms *memStorage) IndexOfKey(key FactKey) (int, bool) {
+	return ms.keys.lookup(key)
+}
+
+func (ms *memStorage) Postings(pred uint32, pos int, term uint32) []uint32 {
+	return ms.byArg.get(argID{pred: pred, pos: int32(pos), term: term})
+}
+
+func (ms *memStorage) PredIndices(pred uint32) []uint32 { return ms.byPred[pred] }
+
+func (ms *memStorage) DomainIndex(term uint32) (int, bool) {
+	return ms.dom.find(term)
+}
+
+// Add inserts one atom as a degenerate one-atom batch. The packed
+// store has exactly one write path — AddAll — so the index invariants
+// live in one place; a per-fact caller pays the batch setup (scratch
+// buffers, a memo, per-call map grouping) that bulk loads amortize
+// over the whole input. That overhead lands only on root stores built
+// fact by fact; the engines' per-fact writes (chase heads, search
+// branches) go to snapshot layers, which have their own incremental
+// path.
+func (ms *memStorage) Add(a Atom) (int, bool) {
+	pre := len(ms.atoms)
+	one := [1]Atom{a}
+	if ms.AddAll(one[:]) == 1 {
+		return pre, true
+	}
+	var kb [64]byte
+	key, _ := ms.syms.appendAtomKey(a, kb[:0], true)
+	_, idx, _ := ms.keys.findSlotBytes(key)
+	return idx, false
+}
+
+// AddAll interns and renders every packed key under a single interner
+// lock, deduplicates the batch against the pre-reserved key index, and
+// then constructs the posting lists by counting sort over the dense
+// term and predicate ids: grouping touches no maps at all, and each
+// distinct posting list costs exactly one (pre-sized) table insert.
+// These are the levers behind the bulk-load speedup over per-fact Add,
+// whose cost is per-call locking, batch setup, and incremental index
+// growth.
+func (ms *memStorage) AddAll(atoms []Atom) int {
+	if len(atoms) == 0 {
+		return 0
+	}
+	total := 0
+	for _, a := range atoms {
+		total += int(factKeyBytes(len(a.Args)))
+	}
+	// Reserve everything up front: no insert below ever rehashes the
+	// key index or regrows the atom slice or key blob.
+	base := len(ms.atoms)
+	ms.keys.reserve(len(atoms), total)
+	if cap(ms.atoms)-len(ms.atoms) < len(atoms) {
+		// Doubling keeps repeated small batches amortized O(1) per
+		// atom; a bulk load into a fresh store sizes exactly once.
+		newCap := len(ms.atoms) + len(atoms)
+		if c := 2 * cap(ms.atoms); c > newCap {
+			newCap = c
+		}
+		grown := make([]Atom, len(ms.atoms), newCap)
+		copy(grown, ms.atoms)
+		ms.atoms = grown
+	}
+	// Phase 1: intern everything and render every packed key into one
+	// shared buffer, holding the exclusive interner lock once for the
+	// batch. Batch-local memos resolve repeated constant/null names
+	// with one cheap probe instead of a walk of the shared interner
+	// tables — bulk inputs reuse their vocabulary heavily, so most
+	// arguments hit. Rendering and dedup stay separate loops on
+	// purpose: each is a tight pass whose cache misses the CPU can
+	// overlap across iterations, where a fused loop would serialize
+	// them.
+	keys := make([]byte, 0, total)
+	offs := make([]int32, len(atoms)+1)
+	domFlat := make([]uint32, 0, len(atoms))
+	domOffs := make([]int32, len(atoms)+1)
+	constMemo := newNameMemo(len(atoms))
+	predMemo := newNameMemo(1)
+	var nullMemo map[string]uint32
+	// Last-value caches: bulk inputs often arrive sorted (database
+	// dumps) or run-structured, so the constant at a given argument
+	// position frequently repeats the previous row's. One string
+	// comparison then replaces even the memo probe. Empty names never
+	// hit (the zero value would alias them to id 0).
+	type lastID struct {
+		name string
+		id   uint32
+	}
+	var lastArg [8]lastID
+	var lastPred lastID
+	ms.syms.mu.Lock()
+	for i, a := range atoms {
+		var pid uint32
+		if a.Pred != "" && a.Pred == lastPred.name {
+			pid = lastPred.id
+		} else {
+			slot, hit, ok := predMemo.find(a.Pred)
+			if ok {
+				pid = hit
+			} else {
+				pid = ms.syms.internPredLocked(a.Pred)
+				predMemo.insert(slot, a.Pred, pid)
+			}
+			lastPred = lastID{name: a.Pred, id: pid}
+		}
+		keys = binary.LittleEndian.AppendUint32(keys, pid)
+		for p, t := range a.Args {
+			// For a constant or null the domain id is the term id
+			// itself; only function terms need the recursive walk.
+			switch t.Kind {
+			case Const:
+				var id uint32
+				if p < len(lastArg) && t.Name != "" && t.Name == lastArg[p].name {
+					id = lastArg[p].id
+				} else {
+					slot, hit, ok := constMemo.find(t.Name)
+					if ok {
+						id = hit
+					} else {
+						id = ms.syms.internLocked(t)
+						constMemo.insert(slot, t.Name, id)
+					}
+					if p < len(lastArg) {
+						lastArg[p] = lastID{name: t.Name, id: id}
+					}
+				}
+				keys = binary.LittleEndian.AppendUint32(keys, id)
+				domFlat = append(domFlat, id)
+			case Null:
+				id, ok := nullMemo[t.Name]
+				if !ok {
+					id = ms.syms.internLocked(t)
+					if nullMemo == nil {
+						nullMemo = make(map[string]uint32, 16)
+					}
+					nullMemo[t.Name] = id
+				}
+				keys = binary.LittleEndian.AppendUint32(keys, id)
+				domFlat = append(domFlat, id)
+			default:
+				id := ms.syms.internLocked(t)
+				keys = binary.LittleEndian.AppendUint32(keys, id)
+				domFlat = ms.syms.appendDomainIDsRLocked(t, domFlat)
+			}
+		}
+		offs[i+1] = int32(len(keys))
+		domOffs[i+1] = int32(len(domFlat))
+	}
+	numTerms := len(ms.syms.terms)
+	numPreds := len(ms.syms.predNames)
+	ms.syms.mu.Unlock()
+
+	// Phase 2: dedup against the key index, assigning dense indices.
+	// Every new fact costs exactly one hash-and-probe traversal: the
+	// miss hands back the slot the insert fills, and no insert ever
+	// rehashes. srcOf maps the j-th accepted atom (store index base+j)
+	// back to its batch position, for the domain pass below.
+	srcOf := make([]int32, 0, len(atoms))
+	nPairs := 0
+	for i := range atoms {
+		k := keys[offs[i]:offs[i+1]]
+		slot, _, dup := ms.keys.findSlotBytes(k)
+		if dup {
+			continue
+		}
+		ms.keys.insertBytes(slot, k)
+		ms.atoms = append(ms.atoms, atoms[i])
+		srcOf = append(srcOf, int32(i))
+		ms.tb += factKeyBytes(len(atoms[i].Args))
+		nPairs += len(atoms[i].Args)
+	}
+
+	// The accepted atoms are exactly store indices base..base+added;
+	// their packed keys are read back, zero-copy, from the index blob.
+	added := len(ms.atoms) - base
+	key := func(j int) []byte { return ms.keys.keyBytes(base + j) }
+
+	// Phase 3: index construction. The counting arrays are O(symbol
+	// table); for a batch much smaller than the table they would dwarf
+	// the real work, so small batches take the map-grouped path
+	// instead.
+	useCounting := numTerms <= 4*nPairs+1024
+	if !useCounting {
+		ms.addAllMapIndexes(added, nPairs,
+			func(i int) int { return base + i },
+			key)
+	} else {
+		// byPred: counting sort over dense predicate ids. One backing
+		// array holds every new entry; iterating in index order keeps
+		// each list ascending.
+		predOff := make([]int32, numPreds+1)
+		for j := 0; j < added; j++ {
+			predOff[binary.LittleEndian.Uint32(key(j))+1]++
+		}
+		for p := 0; p < numPreds; p++ {
+			predOff[p+1] += predOff[p]
+		}
+		predBack := make([]uint32, added)
+		predCur := make([]int32, numPreds)
+		copy(predCur, predOff)
+		for j := 0; j < added; j++ {
+			pid := binary.LittleEndian.Uint32(key(j))
+			predBack[predCur[pid]] = uint32(base + j)
+			predCur[pid]++
+		}
+		for p := 0; p < numPreds; p++ {
+			lo, hi := predOff[p], predOff[p+1]
+			if lo == hi {
+				continue
+			}
+			pid := uint32(p)
+			ms.byPred[pid] = append(ms.byPred[pid], predBack[lo:hi]...)
+		}
+
+		// byArg: counting sort over dense term ids buckets every
+		// (pred, pos, term, idx) pair; within a bucket, stable sweeps
+		// split the few (pred, pos) groups, each becoming one ascending
+		// run of the shared output array and one map insert.
+		type pairEntry struct {
+			pred uint32
+			idx  uint32
+			pos  int32
+		}
+		bkt := make([]int32, numTerms+1)
+		for j := 0; j < added; j++ {
+			k := key(j)
+			for o := 4; o < len(k); o += 4 {
+				bkt[binary.LittleEndian.Uint32(k[o:])+1]++
+			}
+		}
+		for t := 0; t < numTerms; t++ {
+			bkt[t+1] += bkt[t]
+		}
+		entries := make([]pairEntry, nPairs)
+		cur := make([]int32, numTerms)
+		copy(cur, bkt)
+		for j := 0; j < added; j++ {
+			k := key(j)
+			pid := binary.LittleEndian.Uint32(k)
+			for p := 0; 4+4*p < len(k); p++ {
+				tid := binary.LittleEndian.Uint32(k[4+4*p:])
+				entries[cur[tid]] = pairEntry{pred: pid, idx: uint32(base + j), pos: int32(p)}
+				cur[tid]++
+			}
+		}
+		type run struct {
+			id     argID
+			lo, hi int32
+		}
+		idxOut := make([]uint32, nPairs)
+		out := int32(0)
+		runs := make([]run, 0, nPairs/4+16)
+		const consumed = ^uint32(0)
+		for t := 0; t < numTerms; t++ {
+			b := entries[bkt[t]:bkt[t+1]]
+			for i := range b {
+				if b[i].pred == consumed {
+					continue
+				}
+				pid, pos := b[i].pred, b[i].pos
+				lo := out
+				for j := i; j < len(b); j++ {
+					if b[j].pred == pid && b[j].pos == pos {
+						idxOut[out] = b[j].idx
+						out++
+						b[j].pred = consumed
+					}
+				}
+				runs = append(runs, run{id: argID{pred: pid, pos: pos, term: uint32(t)}, lo: lo, hi: out})
+			}
+		}
+		ms.byArg.reserve(len(runs))
+		for _, r := range runs {
+			seg := idxOut[r.lo:r.hi:r.hi]
+			slot, i, ok := ms.byArg.findSlot(r.id)
+			if ok {
+				old := ms.byArg.lists[i]
+				ms.byArg.lists[i] = append(append(make([]uint32, 0, len(old)+len(seg)), old...), seg...)
+				continue
+			}
+			ms.byArg.setList(slot, r.id, seg)
+		}
+	}
+
+	// Domain: first-wins inserts, iterating accepted atoms in index
+	// order. On the counting path a dense seen array short-circuits the
+	// repeats, so the map is probed once per distinct term.
+	if useCounting {
+		seen := make([]bool, numTerms)
+		for j := 0; j < added; j++ {
+			src := srcOf[j]
+			for _, d := range domFlat[domOffs[src]:domOffs[src+1]] {
+				if !seen[d] {
+					seen[d] = true
+					ms.dom.setIfAbsent(d, base+j)
+				}
+			}
+		}
+	} else {
+		for j := 0; j < added; j++ {
+			src := srcOf[j]
+			for _, d := range domFlat[domOffs[src]:domOffs[src+1]] {
+				ms.dom.setIfAbsent(d, base+j)
+			}
+		}
+	}
+	return added
+}
+
+// addAllMapIndexes is the index-construction fallback for batches much
+// smaller than the symbol table, where the counting arrays would cost
+// more than the batch: count posting-list growth per key in small maps,
+// carve each list from a shared backing array, and fill in index order.
+// idxOf and key report the assigned store index and packed key of the
+// i-th accepted atom, 0 <= i < n.
+func (ms *memStorage) addAllMapIndexes(n, nPairs int, idxOf func(i int) int, key func(i int) []byte) {
+	predCount := make(map[uint32]int)
+	argCount := make(map[argID]int, nPairs)
+	for i := 0; i < n; i++ {
+		k := key(i)
+		pid := binary.LittleEndian.Uint32(k)
+		predCount[pid]++
+		for p := 0; 4+4*p < len(k); p++ {
+			argCount[argID{pred: pid, pos: int32(p), term: binary.LittleEndian.Uint32(k[4+4*p:])}]++
+		}
+	}
+	carve(ms.byPred, predCount)
+	// Extend or create each touched posting list once, with exact
+	// capacity, so the fill loop's appends never reallocate.
+	ms.byArg.reserve(len(argCount))
+	for ak, c := range argCount {
+		slot, i, ok := ms.byArg.findSlot(ak)
+		if ok {
+			old := ms.byArg.lists[i]
+			if cap(old)-len(old) >= c {
+				continue
+			}
+			newCap := len(old) + c
+			if d := 2 * cap(old); d > newCap {
+				newCap = d
+			}
+			grown := make([]uint32, len(old), newCap)
+			copy(grown, old)
+			ms.byArg.lists[i] = grown
+		} else {
+			ms.byArg.setList(slot, ak, make([]uint32, 0, c))
+		}
+	}
+	for i := 0; i < n; i++ {
+		k := key(i)
+		pid := binary.LittleEndian.Uint32(k)
+		ms.byPred[pid] = append(ms.byPred[pid], uint32(idxOf(i)))
+		for p := 0; 4+4*p < len(k); p++ {
+			ak := argID{pred: pid, pos: int32(p), term: binary.LittleEndian.Uint32(k[4+4*p:])}
+			_, li, _ := ms.byArg.findSlot(ak)
+			ms.byArg.lists[li] = append(ms.byArg.lists[li], uint32(idxOf(i)))
+		}
+	}
+}
+
+// carve re-slices every list that grow will touch onto one shared
+// backing array with exactly the needed capacity, so the fill loop's
+// appends never reallocate and small lists don't each hold a
+// power-of-two spare.
+func carve[K comparable](m map[K][]uint32, grow map[K]int) {
+	total := 0
+	for k, c := range grow {
+		if cur := m[k]; cap(cur)-len(cur) < c {
+			// Regrown lists at least double, so repeated small batches
+			// extending the same list stay amortized O(1) per entry.
+			need := len(cur) + c
+			if d := 2 * cap(cur); d > need {
+				need = d
+			}
+			total += need
+		}
+	}
+	back := make([]uint32, 0, total)
+	for k, c := range grow {
+		cur := m[k]
+		if cap(cur)-len(cur) >= c {
+			continue
+		}
+		need := len(cur) + c
+		if d := 2 * cap(cur); d > need {
+			need = d
+		}
+		off := len(back)
+		back = append(back, cur...)
+		m[k] = back[off : off+len(cur) : off+need]
+		back = back[:off+need]
+	}
+}
+
+func (ms *memStorage) EachFact(fn func(key FactKey, idx int) bool) bool {
+	for idx := range ms.keys.ends {
+		if !fn(FactKey(ms.keys.keyBytes(idx)), idx) {
+			return false
+		}
+	}
+	return true
+}
+
+func (ms *memStorage) EachPred(fn func(pred uint32, idxs []uint32) bool) bool {
+	for p, idxs := range ms.byPred {
+		if !fn(p, idxs) {
+			return false
+		}
+	}
+	return true
+}
+
+func (ms *memStorage) EachPosting(fn func(id argID, idxs []uint32) bool) bool {
+	for i := range ms.byArg.ids {
+		if !fn(ms.byArg.ids[i], ms.byArg.lists[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (ms *memStorage) EachDomain(fn func(term uint32, idx int) bool) bool {
+	for i := range ms.dom.terms {
+		if !fn(ms.dom.terms[i], int(ms.dom.idxs[i])) {
+			return false
+		}
+	}
+	return true
+}

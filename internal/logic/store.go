@@ -17,6 +17,14 @@ import (
 // as index windows. The zero value is not ready to use; call
 // NewFactStore.
 //
+// Ground terms and predicates are interned into a Symbols table shared
+// by the whole snapshot chain, facts are addressed by packed FactKey
+// tuples, and the posting lists are []uint32 of store indices. The root
+// of every chain is a Storage implementation (see storage.go) — the
+// default in-memory one, or whatever the caller plugged in — while
+// snapshot layers keep their own additions in layer-local id-based
+// maps.
+//
 // A store may be a copy-on-write snapshot layer (see Snapshot): it then
 // holds a pointer to its parent chain plus only its own additions, and
 // every read merges the layers transparently. Store indices are global
@@ -25,19 +33,25 @@ import (
 //
 // Concurrency. A FactStore is not synchronized; what makes concurrent
 // use of snapshot chains safe is a freeze discipline, not locks. Every
-// read path (Has/HasKey, the posting lists behind FindHoms, Domain,
-// Atoms, Len, Snapshot, Clone, CanonicalString, ...) is mutation-free,
-// so any number of goroutines may read through a chain concurrently
-// provided no layer of that chain is being written. Add may only be
-// called by the single goroutine owning the topmost layer, and only
-// while no other goroutine is reading through that layer. The parallel
-// stable-model search satisfies this structurally: a search node's
-// layer stops growing before its branch children are snapshotted, each
-// child layer has exactly one owning worker, and handing a child to a
-// worker (a goroutine spawn or channel send) establishes the
-// happens-before edge covering the parent chain's earlier writes.
+// read path (Has/HasFactKey, the posting lists behind FindHoms, Domain,
+// Atoms, Len, Snapshot, Clone, CanonicalString, ...) is mutation-free
+// (the shared Symbols table has its own lock), so any number of
+// goroutines may read through a chain concurrently provided no layer of
+// that chain is being written. Add may only be called by the single
+// goroutine owning the topmost layer, and only while no other goroutine
+// is reading through that layer. The parallel stable-model search
+// satisfies this structurally: a search node's layer stops growing
+// before its branch children are snapshotted, each child layer has
+// exactly one owning worker, and handing a child to a worker (a
+// goroutine spawn or channel send) establishes the happens-before edge
+// covering the parent chain's earlier writes.
 // TestSnapshotConcurrentBranchReaders pins the discipline under -race.
 type FactStore struct {
+	syms *Symbols
+	// storage backs a root store (parent == nil); nil on snapshot
+	// layers, whose additions live in the layer-local fields below.
+	storage Storage
+
 	// parent is the layer below in a copy-on-write snapshot chain; nil
 	// for a root store. This layer sees exactly the first base atoms of
 	// the parent chain (the parent's length when Snapshot was taken),
@@ -48,27 +62,14 @@ type FactStore struct {
 	base   int // number of ancestor atoms visible to this layer
 	depth  int // number of ancestors, bounded by maxSnapshotDepth
 
-	byKey  map[string]int   // atom key -> store index (this layer's atoms only)
-	byPred map[string][]int // this layer's indices per predicate, ascending
-	byArg  map[argKey][]int // posting lists, ascending store indices
-	dom    map[string]domEntry
-	atoms  []Atom // this layer's atoms; local offset i has store index base+i
-}
+	byKey  map[FactKey]int     // packed key -> store index (this layer's atoms only)
+	byPred map[uint32][]uint32 // this layer's indices per predicate id, ascending
+	byArg  map[argID][]uint32  // posting lists, ascending store indices
+	dom    map[uint32]int      // domain term id -> index of introducing atom
+	atoms  []Atom              // this layer's atoms; local offset i has store index base+i
+	tb     int64               // packed bytes of this layer's atoms
 
-// argKey addresses one posting list: all atoms with predicate pred
-// whose argument at 0-based position pos has canonical term key term.
-type argKey struct {
-	pred string
-	pos  int
-	term string
-}
-
-// domEntry records one constant or null of the store's domain together
-// with the store index of the atom that introduced it, so a snapshot
-// layer can decide whether an ancestor's entry falls inside its view.
-type domEntry struct {
-	term Term
-	idx  int
+	domBuf []uint32 // Add scratch; safe under the one-writer rule
 }
 
 // maxSnapshotDepth bounds the length of a snapshot chain: Snapshot
@@ -77,23 +78,37 @@ type domEntry struct {
 // search) still share almost all layers.
 const maxSnapshotDepth = 32
 
-// NewFactStore returns an empty root store.
+// NewFactStore returns an empty root store backed by the default
+// in-memory Storage with a fresh Symbols table.
 func NewFactStore() *FactStore {
-	return &FactStore{
-		byKey:  make(map[string]int),
-		byPred: make(map[string][]int),
-		byArg:  make(map[argKey][]int),
-		dom:    make(map[string]domEntry),
-	}
+	ms := newMemStorage(NewSymbols())
+	return &FactStore{syms: ms.syms, storage: ms}
+}
+
+// NewFactStoreOn returns a root store backed by the given Storage,
+// which may already contain facts. The store shares the storage's
+// Symbols table.
+func NewFactStoreOn(st Storage) *FactStore {
+	return &FactStore{syms: st.Symbols(), storage: st}
 }
 
 // StoreOf returns a store containing the given atoms.
 func StoreOf(atoms ...Atom) *FactStore {
 	s := NewFactStore()
-	for _, a := range atoms {
-		s.Add(a)
-	}
+	s.AddAll(atoms)
 	return s
+}
+
+// Symbols returns the interner shared by this store's snapshot chain.
+func (s *FactStore) Symbols() *Symbols { return s.syms }
+
+// Storage returns the Storage backing the chain's root.
+func (s *FactStore) Storage() Storage {
+	st := s
+	for st.parent != nil {
+		st = st.parent
+	}
+	return st.storage
 }
 
 // Snapshot returns a copy-on-write child of s: the child sees every
@@ -121,17 +136,20 @@ func (s *FactStore) Snapshot() *FactStore {
 	}
 	// Index maps are materialized lazily on the first Add, so snapshots
 	// that never write (e.g. deferral branches) cost one struct.
-	return &FactStore{parent: parent, base: base, depth: parent.depth + 1}
+	return &FactStore{syms: s.syms, parent: parent, base: base, depth: parent.depth + 1}
 }
 
 // flatten deep-copies the first bound atoms of the chain into a fresh
-// root store by merging the layers' already-materialized indices —
-// global indices carry over unchanged, so no atom or term key is ever
-// re-rendered.
+// root store (sharing the chain's Symbols table) by merging the layers'
+// already-materialized indices — global indices and packed keys carry
+// over unchanged, so no atom or term is ever re-interned.
 func (s *FactStore) flatten(bound int) *FactStore {
 	failpoint.Inject(failpoint.StoreFlatten)
-	c := NewFactStore()
-	c.atoms = s.appendAtomsBelow(bound, make([]Atom, 0, bound))
+	ms := newMemStorage(s.syms)
+	ms.atoms = s.appendAtomsBelow(bound, make([]Atom, 0, bound))
+	for _, a := range ms.atoms {
+		ms.tb += factKeyBytes(len(a.Args))
+	}
 	var layers []*FactStore
 	var bounds []int
 	s.forEachLayer(bound, func(st *FactStore, b int) bool {
@@ -142,30 +160,56 @@ func (s *FactStore) flatten(bound int) *FactStore {
 	// Bottom-up (root first) so merged posting lists stay ascending.
 	for i := len(layers) - 1; i >= 0; i-- {
 		st, b := layers[i], bounds[i]
+		if st.parent == nil {
+			st.storage.EachFact(func(k FactKey, idx int) bool {
+				if idx < b {
+					ms.keys.setAt(k, idx)
+				}
+				return true
+			})
+			st.storage.EachPred(func(p uint32, idxs []uint32) bool {
+				if w := clipWindowU32(idxs, 0, b); len(w) > 0 {
+					ms.byPred[p] = append(ms.byPred[p], w...)
+				}
+				return true
+			})
+			st.storage.EachPosting(func(id argID, idxs []uint32) bool {
+				if w := clipWindowU32(idxs, 0, b); len(w) > 0 {
+					ms.byArg.appendTo(id, w...)
+				}
+				return true
+			})
+			st.storage.EachDomain(func(t uint32, idx int) bool {
+				if idx < b {
+					ms.dom.setIfAbsent(t, idx)
+				}
+				return true
+			})
+			continue
+		}
 		for k, idx := range st.byKey {
 			if idx < b {
-				c.byKey[k] = idx
+				ms.keys.setAt(k, idx)
 			}
 		}
 		for p, idxs := range st.byPred {
-			if w := clipWindow(idxs, 0, b); len(w) > 0 {
-				c.byPred[p] = append(c.byPred[p], w...)
+			if w := clipWindowU32(idxs, 0, b); len(w) > 0 {
+				ms.byPred[p] = append(ms.byPred[p], w...)
 			}
 		}
 		for k, idxs := range st.byArg {
-			if w := clipWindow(idxs, 0, b); len(w) > 0 {
-				c.byArg[k] = append(c.byArg[k], w...)
+			if w := clipWindowU32(idxs, 0, b); len(w) > 0 {
+				ms.byArg.appendTo(k, w...)
 			}
 		}
-		for k, e := range st.dom {
-			if e.idx < b {
-				if _, ok := c.dom[k]; !ok {
-					c.dom[k] = e
-				}
+		for t, idx := range st.dom {
+			if idx < b {
+				ms.dom.setIfAbsent(t, idx)
 			}
 		}
 	}
-	return c
+	ms.keys.rebuild()
+	return &FactStore{syms: s.syms, storage: ms}
 }
 
 // forEachLayer walks the snapshot chain from this layer toward the
@@ -188,25 +232,33 @@ func (s *FactStore) forEachLayer(bound int, fn func(st *FactStore, bound int) bo
 
 // Add inserts the atom, reporting whether it was new.
 func (s *FactStore) Add(a Atom) bool {
-	k := a.Key()
-	if _, ok := s.lookupKey(k); ok {
+	if s.parent == nil {
+		_, added := s.storage.Add(a)
+		return added
+	}
+	var kb [64]byte
+	key, _ := s.syms.appendAtomKey(a, kb[:0], true)
+	if _, ok := s.lookupPacked(key); ok {
 		return false
 	}
 	if s.byKey == nil {
-		s.byKey = make(map[string]int)
-		s.byPred = make(map[string][]int)
-		s.byArg = make(map[argKey][]int)
-		s.dom = make(map[string]domEntry)
+		s.byKey = make(map[FactKey]int)
+		s.byPred = make(map[uint32][]uint32)
+		s.byArg = make(map[argID][]uint32)
+		s.dom = make(map[uint32]int)
 	}
 	idx := s.Len()
+	k := FactKey(key) // retained: one allocation
 	s.atoms = append(s.atoms, a)
 	s.byKey[k] = idx
-	s.byPred[a.Pred] = append(s.byPred[a.Pred], idx)
+	pid := k.Pred()
+	s.byPred[pid] = append(s.byPred[pid], uint32(idx))
 	for i, t := range a.Args {
-		ak := argKey{pred: a.Pred, pos: i, term: t.Key()}
-		s.byArg[ak] = append(s.byArg[ak], idx)
+		ak := argID{pred: pid, pos: int32(i), term: k.Arg(i)}
+		s.byArg[ak] = append(s.byArg[ak], uint32(idx))
 		s.addDomainTerms(t, idx)
 	}
+	s.tb += factKeyBytes(len(a.Args))
 	return true
 }
 
@@ -214,23 +266,25 @@ func (s *FactStore) Add(a Atom) bool {
 // function terms) that are not yet visible in the store's domain,
 // keeping Domain incremental instead of re-walking all atoms per call.
 func (s *FactStore) addDomainTerms(t Term, idx int) {
-	switch t.Kind {
-	case Const, Null:
-		k := t.Key()
-		if !s.hasDomainKey(k) {
-			s.dom[k] = domEntry{term: t, idx: idx}
-		}
-	case Func:
-		for _, a := range t.Args {
-			s.addDomainTerms(a, idx)
+	s.domBuf = s.syms.appendDomainIDs(t, s.domBuf[:0])
+	for _, d := range s.domBuf {
+		if !s.hasDomainID(d) {
+			s.dom[d] = idx
 		}
 	}
 }
 
-func (s *FactStore) hasDomainKey(key string) bool {
+func (s *FactStore) hasDomainID(id uint32) bool {
 	found := false
 	s.forEachLayer(math.MaxInt, func(st *FactStore, bound int) bool {
-		if e, ok := st.dom[key]; ok && e.idx < bound {
+		var idx int
+		var ok bool
+		if st.parent == nil {
+			idx, ok = st.storage.DomainIndex(id)
+		} else {
+			idx, ok = st.dom[id]
+		}
+		if ok && idx < bound {
 			found = true
 			return false
 		}
@@ -241,10 +295,21 @@ func (s *FactStore) hasDomainKey(key string) bool {
 
 // HasDomainTerm reports whether the ground term occurs in the store's
 // domain (see Domain), in O(chain) map probes.
-func (s *FactStore) HasDomainTerm(t Term) bool { return s.hasDomainKey(t.Key()) }
+func (s *FactStore) HasDomainTerm(t Term) bool {
+	id, ok := s.syms.Lookup(t)
+	if !ok {
+		return false
+	}
+	return s.hasDomainID(id)
+}
 
-// AddAll inserts every atom, returning the number that were new.
+// AddAll inserts every atom, returning the number that were new. On a
+// root store with no prior additions this is the bulk-load path: the
+// backing Storage builds its indexes in one pass.
 func (s *FactStore) AddAll(atoms []Atom) int {
+	if s.parent == nil {
+		return s.storage.AddAll(atoms)
+	}
 	n := 0
 	for _, a := range atoms {
 		if s.Add(a) {
@@ -254,56 +319,140 @@ func (s *FactStore) AddAll(atoms []Atom) int {
 	return n
 }
 
-// lookupKey resolves an atom key through the snapshot chain: each
-// layer's own entries are consulted under the visibility bound imposed
-// by the layers above it.
-func (s *FactStore) lookupKey(key string) (int, bool) {
-	found, foundIdx := false, 0
-	s.forEachLayer(math.MaxInt, func(st *FactStore, bound int) bool {
-		if idx, ok := st.byKey[key]; ok && idx < bound {
-			found, foundIdx = true, idx
-			return false
+// lookupPacked resolves a packed fact key (in a scratch buffer) through
+// the snapshot chain: each layer's own entries are consulted under the
+// visibility bound imposed by the layers above it.
+func (s *FactStore) lookupPacked(key []byte) (int, bool) {
+	bound := math.MaxInt
+	for st := s; st != nil; st = st.parent {
+		var idx int
+		var ok bool
+		if st.parent == nil {
+			idx, ok = st.storage.IndexOf(key)
+		} else {
+			idx, ok = st.byKey[FactKey(key)]
 		}
-		return true
-	})
-	return foundIdx, found
+		if ok && idx < bound {
+			return idx, true
+		}
+		if st.base < bound {
+			bound = st.base
+		}
+	}
+	return 0, false
+}
+
+// lookupFactKey is lookupPacked for a stored FactKey.
+func (s *FactStore) lookupFactKey(key FactKey) (int, bool) {
+	bound := math.MaxInt
+	for st := s; st != nil; st = st.parent {
+		var idx int
+		var ok bool
+		if st.parent == nil {
+			idx, ok = st.storage.IndexOfKey(key)
+		} else {
+			idx, ok = st.byKey[key]
+		}
+		if ok && idx < bound {
+			return idx, true
+		}
+		if st.base < bound {
+			bound = st.base
+		}
+	}
+	return 0, false
+}
+
+// lookupAtom resolves the atom's packed key (without interning) and
+// looks it up through the chain; a symbol miss means the atom cannot be
+// present.
+func (s *FactStore) lookupAtom(a Atom) (int, bool) {
+	var kb [64]byte
+	key, ok := s.syms.appendAtomKey(a, kb[:0], false)
+	if !ok {
+		return 0, false
+	}
+	return s.lookupPacked(key)
 }
 
 // Has reports whether the atom is in the store.
 func (s *FactStore) Has(a Atom) bool {
-	_, ok := s.lookupKey(a.Key())
+	_, ok := s.lookupAtom(a)
 	return ok
 }
 
-// HasKey reports whether an atom with the given canonical key is in the
-// store.
-func (s *FactStore) HasKey(key string) bool {
-	_, ok := s.lookupKey(key)
+// InternKey interns the ground atom's symbols and returns its packed
+// key — the retained-key companion of LookupKey for callers that store
+// keys in long-lived maps (the search's must-in/must-out ledgers, the
+// stability sessions' negative-literal keys).
+func (s *FactStore) InternKey(a Atom) FactKey {
+	var kb [64]byte
+	key, _ := s.syms.appendAtomKey(a, kb[:0], true)
+	return FactKey(key)
+}
+
+// LookupKey returns the atom's packed key if every symbol of the atom
+// is already interned; ok == false means the atom is in no store
+// sharing this chain's Symbols table.
+func (s *FactStore) LookupKey(a Atom) (FactKey, bool) {
+	var kb [64]byte
+	key, ok := s.syms.appendAtomKey(a, kb[:0], false)
+	if !ok {
+		return "", false
+	}
+	return FactKey(key), true
+}
+
+// HasFactKey reports whether an atom with the given packed key is in
+// the store — the allocation-free probe for callers that hold an
+// interned key.
+func (s *FactStore) HasFactKey(key FactKey) bool {
+	_, ok := s.lookupFactKey(key)
 	return ok
 }
 
-// indexOfKey returns the store index of the atom with the given
-// canonical key, if present.
-func (s *FactStore) indexOfKey(key string) (int, bool) {
-	return s.lookupKey(key)
+// IndexOfFactKey returns the global store index of the atom with the
+// given packed key, if present.
+func (s *FactStore) IndexOfFactKey(key FactKey) (int, bool) {
+	return s.lookupFactKey(key)
 }
 
-// IndexOfKey returns the global store index of the atom with the given
-// canonical key, if present — the allocation-free probe for callers
-// that hold a pre-rendered key.
-func (s *FactStore) IndexOfKey(key string) (int, bool) {
-	return s.lookupKey(key)
+// IndexOfAtom returns the global store index of the atom, if present.
+func (s *FactStore) IndexOfAtom(a Atom) (int, bool) {
+	return s.lookupAtom(a)
 }
 
 // Len returns the number of atoms.
-func (s *FactStore) Len() int { return s.base + len(s.atoms) }
+func (s *FactStore) Len() int {
+	if s.parent == nil {
+		return s.storage.Len()
+	}
+	return s.base + len(s.atoms)
+}
+
+// TupleBytes returns the total packed size (4 bytes per predicate or
+// argument id) of the tuples retained by this chain — the unit the
+// engine's MaxMemory watermark charges against. Layers frozen below a
+// snapshot are included in full, so deltas taken on a growing top layer
+// are exact.
+func (s *FactStore) TupleBytes() int64 {
+	var n int64
+	for st := s; st != nil; st = st.parent {
+		if st.parent == nil {
+			n += st.storage.TupleBytes()
+		} else {
+			n += st.tb
+		}
+	}
+	return n
+}
 
 // Atoms returns the atoms in insertion order. For a root store the
 // returned slice is shared with the store and must not be modified; a
 // snapshot layer materializes a fresh slice.
 func (s *FactStore) Atoms() []Atom {
 	if s.parent == nil {
-		return s.atoms
+		return s.storage.Atoms()
 	}
 	return s.appendAtomsBelow(s.Len(), make([]Atom, 0, s.Len()))
 }
@@ -311,13 +460,18 @@ func (s *FactStore) Atoms() []Atom {
 // appendAtomsBelow appends the atoms with store index < bound onto buf,
 // in index order.
 func (s *FactStore) appendAtomsBelow(bound int, buf []Atom) []Atom {
-	if s.parent != nil {
-		pb := bound
-		if s.base < pb {
-			pb = s.base
+	if s.parent == nil {
+		all := s.storage.Atoms()
+		if bound > len(all) {
+			bound = len(all)
 		}
-		buf = s.parent.appendAtomsBelow(pb, buf)
+		return append(buf, all[:bound]...)
 	}
+	pb := bound
+	if s.base < pb {
+		pb = s.base
+	}
+	buf = s.parent.appendAtomsBelow(pb, buf)
 	if n := bound - s.base; n > 0 {
 		if n > len(s.atoms) {
 			n = len(s.atoms)
@@ -342,14 +496,21 @@ func (s *FactStore) EachAtomIn(lo, hi int, fn func(idx int, a Atom) bool) bool {
 	if lo >= hi {
 		return true
 	}
-	if s.parent != nil {
-		ph := hi
-		if s.base < ph {
-			ph = s.base
+	if s.parent == nil {
+		atoms := s.storage.Atoms()
+		for i := lo; i < hi; i++ {
+			if !fn(i, atoms[i]) {
+				return false
+			}
 		}
-		if !s.parent.EachAtomIn(lo, ph, fn) {
-			return false
-		}
+		return true
+	}
+	ph := hi
+	if s.base < ph {
+		ph = s.base
+	}
+	if !s.parent.EachAtomIn(lo, ph, fn) {
+		return false
 	}
 	start := lo - s.base
 	if start < 0 {
@@ -366,39 +527,54 @@ func (s *FactStore) EachAtomIn(lo, hi int, fn func(idx int, a Atom) bool) bool {
 // ByPred returns the atoms with the given predicate, in insertion
 // order.
 func (s *FactStore) ByPred(pred string) []Atom {
+	pid, ok := s.syms.LookupPred(pred)
+	if !ok {
+		return nil
+	}
 	if s.parent == nil {
-		idxs := s.byPred[pred]
+		idxs := s.storage.PredIndices(pid)
+		atoms := s.storage.Atoms()
 		out := make([]Atom, len(idxs))
 		for i, idx := range idxs {
-			out[i] = s.atoms[idx]
+			out[i] = atoms[idx]
 		}
 		return out
 	}
-	idxs := s.appendPredIndices(pred, 0, s.Len(), nil)
+	idxs := s.appendPredIndices(pid, 0, s.Len(), nil)
 	out := make([]Atom, len(idxs))
 	for i, idx := range idxs {
-		out[i] = s.atomAt(idx)
+		out[i] = s.atomAt(int(idx))
 	}
 	return out
 }
 
 // CountPred returns the number of atoms with the given predicate.
 func (s *FactStore) CountPred(pred string) int {
-	if s.parent == nil {
-		return len(s.byPred[pred])
+	pid, ok := s.syms.LookupPred(pred)
+	if !ok {
+		return 0
 	}
-	return s.countPredWindow(pred, 0, s.Len())
+	if s.parent == nil {
+		return len(s.storage.PredIndices(pid))
+	}
+	return s.countPredWindow(pid, 0, s.Len())
 }
 
 // countPredWindow returns the number of atoms with the given predicate
-// whose store index lies in [lo, hi).
-func (s *FactStore) countPredWindow(pred string, lo, hi int) int {
+// id whose store index lies in [lo, hi).
+func (s *FactStore) countPredWindow(pid uint32, lo, hi int) int {
 	n := 0
 	s.forEachLayer(hi, func(st *FactStore, bound int) bool {
 		if bound <= lo {
 			return false
 		}
-		n += len(clipWindow(st.byPred[pred], lo, bound))
+		var idxs []uint32
+		if st.parent == nil {
+			idxs = st.storage.PredIndices(pid)
+		} else {
+			idxs = st.byPred[pid]
+		}
+		n += len(clipWindowU32(idxs, lo, bound))
 		return true
 	})
 	return n
@@ -412,62 +588,74 @@ func (s *FactStore) atomAt(i int) Atom {
 	for i < st.base {
 		st = st.parent
 	}
+	if st.parent == nil {
+		return st.storage.AtomAt(i)
+	}
 	return st.atoms[i-st.base]
 }
 
 // predIndices returns the store indices of atoms with the given
-// predicate, ascending. Shared with the store: callers must not modify.
-// Valid only for root stores; snapshot layers use appendPredIndices.
-func (s *FactStore) predIndices(pred string) []int { return s.byPred[pred] }
+// predicate id, ascending. Shared with the store: callers must not
+// modify. Valid only for root stores; snapshot layers use
+// appendPredIndices.
+func (s *FactStore) predIndices(pid uint32) []uint32 { return s.storage.PredIndices(pid) }
 
 // appendPredIndices appends the store indices of atoms with the given
-// predicate in [lo, hi) onto buf, ascending.
-func (s *FactStore) appendPredIndices(pred string, lo, hi int, buf []int) []int {
-	if s.parent != nil {
-		ph := hi
-		if s.base < ph {
-			ph = s.base
-		}
-		buf = s.parent.appendPredIndices(pred, lo, ph, buf)
+// predicate id in [lo, hi) onto buf, ascending.
+func (s *FactStore) appendPredIndices(pid uint32, lo, hi int, buf []uint32) []uint32 {
+	if s.parent == nil {
+		return append(buf, clipWindowU32(s.storage.PredIndices(pid), lo, hi)...)
 	}
-	return append(buf, clipWindow(s.byPred[pred], lo, hi)...)
+	ph := hi
+	if s.base < ph {
+		ph = s.base
+	}
+	buf = s.parent.appendPredIndices(pid, lo, ph, buf)
+	return append(buf, clipWindowU32(s.byPred[pid], lo, hi)...)
 }
 
-// postings returns the store indices of atoms with predicate pred whose
-// argument at 0-based position pos equals the term with the given
-// canonical key, ascending. For a root store the result is shared with
-// the store and must not be modified (a nil result means no atom
-// matches); a snapshot layer materializes the merged list.
-func (s *FactStore) postings(pred string, pos int, termKey string) []int {
+// postings returns the store indices of atoms with predicate id pid
+// whose argument at 0-based position pos is the interned term tid,
+// ascending. For a root store the result is shared with the store and
+// must not be modified (a nil result means no atom matches); a snapshot
+// layer materializes the merged list.
+func (s *FactStore) postings(pid uint32, pos int, tid uint32) []uint32 {
 	if s.parent == nil {
-		return s.byArg[argKey{pred: pred, pos: pos, term: termKey}]
+		return s.storage.Postings(pid, pos, tid)
 	}
-	return s.appendPostings(pred, pos, termKey, 0, s.Len(), nil)
+	return s.appendPostings(pid, pos, tid, 0, s.Len(), nil)
 }
 
 // appendPostings appends the posting-list entries in [lo, hi) onto buf,
 // ascending across the snapshot chain (ancestor indices always precede
 // this layer's own).
-func (s *FactStore) appendPostings(pred string, pos int, termKey string, lo, hi int, buf []int) []int {
-	if s.parent != nil {
-		ph := hi
-		if s.base < ph {
-			ph = s.base
-		}
-		buf = s.parent.appendPostings(pred, pos, termKey, lo, ph, buf)
+func (s *FactStore) appendPostings(pid uint32, pos int, tid uint32, lo, hi int, buf []uint32) []uint32 {
+	if s.parent == nil {
+		return append(buf, clipWindowU32(s.storage.Postings(pid, pos, tid), lo, hi)...)
 	}
-	return append(buf, clipWindow(s.byArg[argKey{pred: pred, pos: pos, term: termKey}], lo, hi)...)
+	ph := hi
+	if s.base < ph {
+		ph = s.base
+	}
+	buf = s.parent.appendPostings(pid, pos, tid, lo, ph, buf)
+	return append(buf, clipWindowU32(s.byArg[argID{pred: pid, pos: int32(pos), term: tid}], lo, hi)...)
 }
 
 // postingsCount returns the number of posting-list entries for
-// (pred, pos, termKey) with store index in [lo, hi).
-func (s *FactStore) postingsCount(pred string, pos int, termKey string, lo, hi int) int {
+// (pid, pos, tid) with store index in [lo, hi).
+func (s *FactStore) postingsCount(pid uint32, pos int, tid uint32, lo, hi int) int {
 	n := 0
 	s.forEachLayer(hi, func(st *FactStore, bound int) bool {
 		if bound <= lo {
 			return false
 		}
-		n += len(clipWindow(st.byArg[argKey{pred: pred, pos: pos, term: termKey}], lo, bound))
+		var idxs []uint32
+		if st.parent == nil {
+			idxs = st.storage.Postings(pid, pos, tid)
+		} else {
+			idxs = st.byArg[argID{pred: pid, pos: int32(pos), term: tid}]
+		}
+		n += len(clipWindowU32(idxs, lo, bound))
 		return true
 	})
 	return n
@@ -475,59 +663,38 @@ func (s *FactStore) postingsCount(pred string, pos int, termKey string, lo, hi i
 
 // Preds returns the sorted list of predicates occurring in the store.
 func (s *FactStore) Preds() []string {
-	if s.parent == nil {
-		out := make([]string, 0, len(s.byPred))
-		for p := range s.byPred {
-			out = append(out, p)
-		}
-		sort.Strings(out)
-		return out
-	}
-	set := make(map[string]bool)
+	set := make(map[uint32]bool)
 	s.forEachLayer(s.Len(), func(st *FactStore, bound int) bool {
-		for p, idxs := range st.byPred {
-			if !set[p] && len(clipWindow(idxs, 0, bound)) > 0 {
+		mark := func(p uint32, idxs []uint32) bool {
+			if !set[p] && len(clipWindowU32(idxs, 0, bound)) > 0 {
 				set[p] = true
+			}
+			return true
+		}
+		if st.parent == nil {
+			st.storage.EachPred(mark)
+		} else {
+			for p, idxs := range st.byPred {
+				mark(p, idxs)
 			}
 		}
 		return true
 	})
 	out := make([]string, 0, len(set))
 	for p := range set {
-		out = append(out, p)
+		out = append(out, s.syms.PredName(p))
 	}
 	sort.Strings(out)
 	return out
 }
 
 // Clone returns a deep, independent copy (atoms are immutable and
-// shared). The copy is always a root store, even when s is a snapshot
-// layer; use Snapshot for an O(1) copy-on-write child instead.
+// shared, as is the chain's append-only Symbols table). The copy is
+// always a root store backed by a fresh in-memory Storage, even when s
+// is a snapshot layer; use Snapshot for an O(1) copy-on-write child
+// instead.
 func (s *FactStore) Clone() *FactStore {
-	if s.parent != nil {
-		return s.flatten(s.Len())
-	}
-	c := &FactStore{
-		byKey:  make(map[string]int, len(s.byKey)),
-		byPred: make(map[string][]int, len(s.byPred)),
-		byArg:  make(map[argKey][]int, len(s.byArg)),
-		dom:    make(map[string]domEntry, len(s.dom)),
-		atoms:  make([]Atom, len(s.atoms)),
-	}
-	copy(c.atoms, s.atoms)
-	for k, v := range s.byKey {
-		c.byKey[k] = v
-	}
-	for p, idxs := range s.byPred {
-		c.byPred[p] = append([]int(nil), idxs...)
-	}
-	for k, idxs := range s.byArg {
-		c.byArg[k] = append([]int(nil), idxs...)
-	}
-	for k, e := range s.dom {
-		c.dom[k] = e
-	}
-	return c
+	return s.flatten(s.Len())
 }
 
 // Domain returns the set of constants and nulls occurring in the store
@@ -539,19 +706,27 @@ func (s *FactStore) Domain() []Term {
 		key  string
 		term Term
 	}
-	seen := make(map[string]bool)
+	seen := make(map[uint32]bool)
 	var entries []entry
 	s.forEachLayer(s.Len(), func(st *FactStore, bound int) bool {
-		for k, e := range st.dom {
-			if e.idx < bound && !seen[k] {
-				seen[k] = true
-				entries = append(entries, entry{key: k, term: e.term})
+		collect := func(id uint32, idx int) bool {
+			if idx < bound && !seen[id] {
+				seen[id] = true
+				entries = append(entries, entry{key: s.syms.TermKey(id), term: s.syms.TermOf(id)})
+			}
+			return true
+		}
+		if st.parent == nil {
+			st.storage.EachDomain(collect)
+		} else {
+			for id, idx := range st.dom {
+				collect(id, idx)
 			}
 		}
 		return true
 	})
-	// The map keys are already the canonical term keys: sorting by them
-	// avoids re-rendering every term per comparison.
+	// The interner caches each term's canonical key: sorting by the
+	// cached keys avoids re-rendering every term per comparison.
 	sort.Slice(entries, func(i, j int) bool { return entries[i].key < entries[j].key })
 	out := make([]Term, len(entries))
 	for i, e := range entries {
@@ -572,28 +747,14 @@ func (s *FactStore) CanonicalString() string {
 	return strings.Join(keys, ", ")
 }
 
-// eachKey invokes fn for every visible atom key; fn returning false
-// stops the walk (and makes eachKey return false).
-func (s *FactStore) eachKey(fn func(key string) bool) bool {
-	ok := true
-	s.forEachLayer(s.Len(), func(st *FactStore, bound int) bool {
-		for k, idx := range st.byKey {
-			if idx < bound && !fn(k) {
-				ok = false
-				return false
-			}
-		}
-		return true
-	})
-	return ok
-}
-
-// Equal reports whether two stores contain exactly the same atoms.
+// Equal reports whether two stores contain exactly the same atoms. The
+// stores need not share a Symbols table: atoms are compared
+// structurally via key lookups in o's own table.
 func (s *FactStore) Equal(o *FactStore) bool {
 	if s.Len() != o.Len() {
 		return false
 	}
-	return s.eachKey(o.HasKey)
+	return s.EachAtomIn(0, s.Len(), func(_ int, a Atom) bool { return o.Has(a) })
 }
 
 // SubsetOf reports whether every atom of s is in o.
@@ -601,7 +762,7 @@ func (s *FactStore) SubsetOf(o *FactStore) bool {
 	if s.Len() > o.Len() {
 		return false
 	}
-	return s.eachKey(o.HasKey)
+	return s.EachAtomIn(0, s.Len(), func(_ int, a Atom) bool { return o.Has(a) })
 }
 
 // Sorted returns the atoms sorted by canonical key (a fresh slice).

@@ -9,6 +9,50 @@ import (
 // Unit tests for the (predicate, position, term) posting lists
 // maintained incrementally by Add/AddAll.
 
+// The helpers below resolve predicate names and terms through the
+// store's interner, mirroring the pre-interning string-addressed API so
+// the tests read in terms of predicates and terms rather than raw ids.
+
+func postingsOf(s *FactStore, pred string, pos int, term Term) []uint32 {
+	pid, ok := s.syms.LookupPred(pred)
+	if !ok {
+		return nil
+	}
+	tid, ok := s.syms.Lookup(term)
+	if !ok {
+		return nil
+	}
+	return s.postings(pid, pos, tid)
+}
+
+func postingsCountOf(s *FactStore, pred string, pos int, term Term, lo, hi int) int {
+	pid, ok := s.syms.LookupPred(pred)
+	if !ok {
+		return 0
+	}
+	tid, ok := s.syms.Lookup(term)
+	if !ok {
+		return 0
+	}
+	return s.postingsCount(pid, pos, tid, lo, hi)
+}
+
+func predIndicesOf(s *FactStore, pred string, lo, hi int) []uint32 {
+	pid, ok := s.syms.LookupPred(pred)
+	if !ok {
+		return nil
+	}
+	return s.appendPredIndices(pid, lo, hi, nil)
+}
+
+func countPredWindowOf(s *FactStore, pred string, lo, hi int) int {
+	pid, ok := s.syms.LookupPred(pred)
+	if !ok {
+		return 0
+	}
+	return s.countPredWindow(pid, lo, hi)
+}
+
 func TestPostingsMaintainedByAdd(t *testing.T) {
 	s := NewFactStore()
 	s.Add(A("q", C("a"), C("b"))) // idx 0
@@ -16,16 +60,16 @@ func TestPostingsMaintainedByAdd(t *testing.T) {
 	s.Add(A("q", C("b"), C("a"))) // idx 2
 	s.Add(A("q", C("a"), C("b"))) // duplicate: no index growth
 
-	if got := s.postings("q", 0, C("a").Key()); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+	if got := postingsOf(s, "q", 0, C("a")); len(got) != 2 || got[0] != 0 || got[1] != 1 {
 		t.Fatalf("postings(q,0,a) = %v, want [0 1]", got)
 	}
-	if got := s.postings("q", 1, C("b").Key()); len(got) != 1 || got[0] != 0 {
+	if got := postingsOf(s, "q", 1, C("b")); len(got) != 1 || got[0] != 0 {
 		t.Fatalf("postings(q,1,b) = %v, want [0]", got)
 	}
-	if got := s.postings("q", 0, C("z").Key()); got != nil {
+	if got := postingsOf(s, "q", 0, C("z")); got != nil {
 		t.Fatalf("postings for absent term = %v, want nil", got)
 	}
-	if got := s.postings("zzz", 0, C("a").Key()); got != nil {
+	if got := postingsOf(s, "zzz", 0, C("a")); got != nil {
 		t.Fatalf("postings for absent pred = %v, want nil", got)
 	}
 }
@@ -34,15 +78,15 @@ func TestPostingsCoverNullsAndFunctionTerms(t *testing.T) {
 	s := NewFactStore()
 	s.Add(A("p", N("n1")))        // idx 0
 	s.Add(A("p", F("f", C("a")))) // idx 1
-	if got := s.postings("p", 0, N("n1").Key()); len(got) != 1 || got[0] != 0 {
+	if got := postingsOf(s, "p", 0, N("n1")); len(got) != 1 || got[0] != 0 {
 		t.Fatalf("null posting = %v", got)
 	}
-	if got := s.postings("p", 0, F("f", C("a")).Key()); len(got) != 1 || got[0] != 1 {
+	if got := postingsOf(s, "p", 0, F("f", C("a"))); len(got) != 1 || got[0] != 1 {
 		t.Fatalf("func-term posting = %v", got)
 	}
-	// Term keys are kind-discriminated: the constant "n1" is distinct
+	// Term ids are kind-discriminated: the constant "n1" is distinct
 	// from the null n1.
-	if got := s.postings("p", 0, C("n1").Key()); got != nil {
+	if got := postingsOf(s, "p", 0, C("n1")); got != nil {
 		t.Fatalf("constant n1 should have no posting, got %v", got)
 	}
 }
@@ -54,15 +98,15 @@ func TestPostingsAddAllAndCloneIndependence(t *testing.T) {
 		A("q", C("a"), C("b")), // dup
 		A("q", C("c"), C("b")),
 	})
-	if got := s.postings("q", 1, C("b").Key()); len(got) != 2 {
+	if got := postingsOf(s, "q", 1, C("b")); len(got) != 2 {
 		t.Fatalf("AddAll postings = %v, want 2 entries", got)
 	}
 	c := s.Clone()
 	c.Add(A("q", C("d"), C("b")))
-	if got := s.postings("q", 1, C("b").Key()); len(got) != 2 {
+	if got := postingsOf(s, "q", 1, C("b")); len(got) != 2 {
 		t.Fatalf("clone mutation leaked into original: %v", got)
 	}
-	if got := c.postings("q", 1, C("b").Key()); len(got) != 3 {
+	if got := postingsOf(c, "q", 1, C("b")); len(got) != 3 {
 		t.Fatalf("clone postings = %v, want 3 entries", got)
 	}
 }
@@ -77,26 +121,33 @@ func TestPostingsInvariantRandomized(t *testing.T) {
 		s.Add(randGroundAtom(rng))
 	}
 	// Reconstruct the expected index from the atom list.
-	want := map[argKey][]int{}
+	type postKey struct {
+		pred string
+		pos  int
+		term string
+	}
+	want := map[postKey][]int{}
+	terms := map[postKey]Term{}
 	for i, a := range s.Atoms() {
 		for pos, term := range a.Args {
-			k := argKey{pred: a.Pred, pos: pos, term: term.Key()}
+			k := postKey{pred: a.Pred, pos: pos, term: term.Key()}
 			want[k] = append(want[k], i)
+			terms[k] = term
 		}
 	}
-	if len(want) != len(s.byArg) {
-		t.Fatalf("index has %d posting lists, want %d", len(s.byArg), len(want))
+	if n := len(s.Storage().(*memStorage).byArg.ids); len(want) != n {
+		t.Fatalf("index has %d posting lists, want %d", n, len(want))
 	}
 	for k, idxs := range want {
-		got := s.postings(k.pred, k.pos, k.term)
-		if !sort.IntsAreSorted(got) {
+		got := postingsOf(s, k.pred, k.pos, terms[k])
+		if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
 			t.Fatalf("posting list %v not ascending: %v", k, got)
 		}
 		if len(got) != len(idxs) {
 			t.Fatalf("posting %v: got %v want %v", k, got, idxs)
 		}
 		for i := range got {
-			if got[i] != idxs[i] {
+			if int(got[i]) != idxs[i] {
 				t.Fatalf("posting %v: got %v want %v", k, got, idxs)
 			}
 		}

@@ -24,7 +24,7 @@ func TestSnapshotChildWritesInvisibleToParent(t *testing.T) {
 	if child.Len() != 3 || !child.Has(A("p", C("b"))) || !child.Has(A("p", C("a"))) {
 		t.Fatalf("child view wrong: len=%d", child.Len())
 	}
-	if idx, ok := child.indexOfKey(A("p", C("b")).Key()); !ok || idx != 2 {
+	if idx, ok := child.IndexOfAtom(A("p", C("b"))); !ok || idx != 2 {
 		t.Fatalf("child atom index = %d, %v; want global index 2", idx, ok)
 	}
 	if got := child.AtomAt(2); !got.Equal(A("p", C("b"))) {
@@ -98,19 +98,19 @@ func TestSnapshotThreeLayerViews(t *testing.T) {
 		t.Fatalf("Domain: %s vs %s", got, want)
 	}
 	// Posting lists must merge across layers in ascending index order.
-	if got := l3.postings("e", 0, C("a").Key()); fmt.Sprint(got) != fmt.Sprint([]int{0, 3, 6}) {
+	if got := postingsOf(l3, "e", 0, C("a")); fmt.Sprint(got) != fmt.Sprint([]int{0, 3, 6}) {
 		t.Fatalf("postings(e,0,a) = %v, want [0 3 6]", got)
 	}
-	if got := l3.postings("e", 1, C("b").Key()); fmt.Sprint(got) != fmt.Sprint([]int{0, 5}) {
+	if got := postingsOf(l3, "e", 1, C("b")); fmt.Sprint(got) != fmt.Sprint([]int{0, 5}) {
 		t.Fatalf("postings(e,1,b) = %v, want [0 5]", got)
 	}
-	if got := l3.postingsCount("e", 0, C("a").Key(), 1, 7); got != 2 {
+	if got := postingsCountOf(l3, "e", 0, C("a"), 1, 7); got != 2 {
 		t.Fatalf("postingsCount(e,0,a,[1,7)) = %d, want 2", got)
 	}
-	if got := l3.appendPredIndices("e", 0, l3.Len(), nil); fmt.Sprint(got) != fmt.Sprint([]int{0, 1, 3, 5, 6}) {
+	if got := predIndicesOf(l3, "e", 0, l3.Len()); fmt.Sprint(got) != fmt.Sprint([]int{0, 1, 3, 5, 6}) {
 		t.Fatalf("pred indices for e = %v", got)
 	}
-	if got := l3.countPredWindow("e", 2, 6); got != 2 {
+	if got := countPredWindowOf(l3, "e", 2, 6); got != 2 {
 		t.Fatalf("countPredWindow(e,[2,6)) = %d, want 2", got)
 	}
 	// ByPred materializes in insertion order.
@@ -122,7 +122,7 @@ func TestSnapshotThreeLayerViews(t *testing.T) {
 	if l1.Len() != 5 || l1.Has(A("v", C("d"))) {
 		t.Fatalf("middle layer contaminated: len=%d", l1.Len())
 	}
-	if got := l1.postings("e", 0, C("a").Key()); fmt.Sprint(got) != fmt.Sprint([]int{0, 3}) {
+	if got := postingsOf(l1, "e", 0, C("a")); fmt.Sprint(got) != fmt.Sprint([]int{0, 3}) {
 		t.Fatalf("l1 postings(e,0,a) = %v, want [0 3]", got)
 	}
 	// Clone flattens into an independent root.

@@ -5,6 +5,10 @@
 //
 //	200 OK                    success (entire request completed)
 //	400 Bad Request           parse/validation/usage errors
+//	404 Not Found             unknown db handle: the referenced fact
+//	                          base was never uploaded to /v1/db or has
+//	                          been evicted from the LRU-bounded db
+//	                          cache — re-upload and retry
 //	422 Unprocessable Entity  search budget exhausted (nodes, atoms,
 //	                          or the wall-clock budget — ntgdctl 3)
 //	429 Too Many Requests     admission refused: the concurrent-run
@@ -43,6 +47,16 @@ type Request struct {
 	Program string `json:"program"`
 	// Semantics selects the semantics: "so" (default), "lp", or "op".
 	Semantics string `json:"semantics,omitempty"`
+	// DB references a fact base previously uploaded via POST /v1/db by
+	// its content-addressed handle. The uploaded facts become the
+	// compiled program's root database (with Program's own facts, if
+	// any, layered on top), so a large extensional database crosses the
+	// wire and is loaded once, however many requests query it. An
+	// unknown or evicted handle answers 404/not_found.
+	DB string `json:"db,omitempty"`
+	// Facts is the fact source for POST /v1/db: facts only, no rules
+	// or queries. Other endpoints ignore it.
+	Facts string `json:"facts,omitempty"`
 	// Query is the query in surface syntax ("?- p(X), not q(X)."),
 	// required by /v1/entails and /v1/answers.
 	Query string `json:"query,omitempty"`
@@ -132,6 +146,16 @@ type ConsistentResponse struct {
 	Consistent bool `json:"consistent"`
 }
 
+// DBResponse is the /v1/db success body. Handle is the
+// content-addressed name of the canonicalized fact set (sorted,
+// deduplicated): uploading the same facts again — in any order, with
+// any formatting — yields the same handle.
+type DBResponse struct {
+	Handle string `json:"handle"`
+	// Facts is the number of distinct facts loaded.
+	Facts int `json:"facts"`
+}
+
 // BatchResponse is the /v1/batch success body. The batch succeeds as a
 // whole (200) even when individual items hit taxonomy errors; each
 // item records its own outcome.
@@ -163,8 +187,9 @@ type BatchResult struct {
 // ErrorResponse is the body of every non-2xx response.
 type ErrorResponse struct {
 	Error string `json:"error"`
-	// Class is the taxonomy class: "bad_request", "budget", "timeout",
-	// "memory", "admission", "internal", "draining", or "error".
+	// Class is the taxonomy class: "bad_request", "not_found",
+	// "budget", "timeout", "memory", "admission", "internal",
+	// "draining", or "error".
 	Class string `json:"class"`
 	// Stats is the partial effort the run accumulated before stopping
 	// (zero for errors raised before the engine ran).
@@ -177,6 +202,7 @@ type ErrorResponse struct {
 // Taxonomy class names used in Class fields.
 const (
 	ClassBadRequest = "bad_request"
+	ClassNotFound   = "not_found"
 	ClassBudget     = "budget"
 	ClassTimeout    = "timeout"
 	ClassMemory     = "memory"

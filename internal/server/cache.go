@@ -68,10 +68,15 @@ func dedupBy[T any](in []T, key func(T) string) []T {
 	return out
 }
 
-// cacheKey hashes the canonical source under one semantics.
-func cacheKey(sem ntgd.Semantics, canonical string) string {
+// cacheKey hashes the canonical source under one semantics and one
+// fact-base handle ("" = no attached fact base). The handle is part of
+// the key because the same rules over different uploaded databases
+// compile to different solvers.
+func cacheKey(sem ntgd.Semantics, canonical, db string) string {
 	h := sha256.New()
 	h.Write([]byte(sem.String()))
+	h.Write([]byte{0})
+	h.Write([]byte(db))
 	h.Write([]byte{0})
 	h.Write([]byte(canonical))
 	return hex.EncodeToString(h.Sum(nil))
@@ -94,7 +99,7 @@ type CacheStats struct {
 // never cached, so a transient condition cannot poison the key.
 type progCache struct {
 	cap     int
-	compile func(*ntgd.Program, ntgd.Semantics) (*ntgd.Solver, error)
+	compile func(*ntgd.Program, ntgd.Semantics, *ntgd.Database) (*ntgd.Solver, error)
 
 	mu      sync.Mutex
 	entries map[string]*cacheEntry
@@ -119,7 +124,7 @@ type cacheEntry struct {
 	err    error
 }
 
-func newProgCache(capacity int, compile func(*ntgd.Program, ntgd.Semantics) (*ntgd.Solver, error)) *progCache {
+func newProgCache(capacity int, compile func(*ntgd.Program, ntgd.Semantics, *ntgd.Database) (*ntgd.Solver, error)) *progCache {
 	if capacity <= 0 {
 		capacity = 128
 	}
@@ -135,11 +140,19 @@ func newProgCache(capacity int, compile func(*ntgd.Program, ntgd.Semantics) (*nt
 // it at most once however many requests race on the same key. The
 // returned program is the canonical form the solver was compiled from.
 func (c *progCache) get(ctx context.Context, src string, sem ntgd.Semantics) (*ntgd.Solver, *ntgd.Program, error) {
+	return c.getDB(ctx, src, sem, "", nil)
+}
+
+// getDB is get with an attached uploaded fact base: the handle extends
+// the cache key and the Database reaches Compile, whose snapshot-based
+// root sharing makes the per-compile cost independent of the base's
+// size.
+func (c *progCache) getDB(ctx context.Context, src string, sem ntgd.Semantics, dbHandle string, db *ntgd.Database) (*ntgd.Solver, *ntgd.Program, error) {
 	prog, canonical, err := Canonicalize(src)
 	if err != nil {
 		return nil, nil, err
 	}
-	key := cacheKey(sem, canonical)
+	key := cacheKey(sem, canonical, dbHandle)
 
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
@@ -163,7 +176,7 @@ func (c *progCache) get(ctx context.Context, src string, sem ntgd.Semantics) (*n
 	c.compiles++
 	c.mu.Unlock()
 
-	solver, cerr := c.compile(prog, sem)
+	solver, cerr := c.compile(prog, sem, db)
 
 	c.mu.Lock()
 	if cerr != nil {

@@ -13,7 +13,7 @@ import (
 
 // realCompile is the injectable compile function tests use when they
 // need genuine solvers but want to count or gate the calls.
-func realCompile(p *ntgd.Program, sem ntgd.Semantics) (*ntgd.Solver, error) {
+func realCompile(p *ntgd.Program, sem ntgd.Semantics, _ *ntgd.Database) (*ntgd.Solver, error) {
 	return ntgd.Compile(p, ntgd.CompileOptions{Semantics: sem})
 }
 
@@ -47,7 +47,7 @@ func TestCanonicalizeEquivalence(t *testing.T) {
 		if got != want {
 			t.Errorf("variant %d canonicalizes to\n%q\nwant\n%q", i, got, want)
 		}
-		if cacheKey(ntgd.SO, got) != cacheKey(ntgd.SO, want) {
+		if cacheKey(ntgd.SO, got, "") != cacheKey(ntgd.SO, want, "") {
 			t.Errorf("variant %d: key differs", i)
 		}
 	}
@@ -60,7 +60,7 @@ func TestCanonicalizeEquivalence(t *testing.T) {
 		t.Error("a different program canonicalized to the same source")
 	}
 	// Same program, different semantics: distinct keys.
-	if cacheKey(ntgd.SO, want) == cacheKey(ntgd.LP, want) {
+	if cacheKey(ntgd.SO, want, "") == cacheKey(ntgd.LP, want, "") {
 		t.Error("semantics does not separate cache keys")
 	}
 }
@@ -74,10 +74,10 @@ func TestCacheSingleFlight(t *testing.T) {
 	const contenders = 16
 	var compiles atomic.Int64
 	arrived := make(chan struct{})
-	c := newProgCache(8, func(p *ntgd.Program, sem ntgd.Semantics) (*ntgd.Solver, error) {
+	c := newProgCache(8, func(p *ntgd.Program, sem ntgd.Semantics, _ *ntgd.Database) (*ntgd.Solver, error) {
 		compiles.Add(1)
 		<-arrived // hold the compile until every contender has queued
-		return realCompile(p, sem)
+		return realCompile(p, sem, nil)
 	})
 
 	var wg sync.WaitGroup
@@ -174,9 +174,9 @@ func TestCacheLRUEviction(t *testing.T) {
 // flood of concurrent hits shares the entry without recompiling.
 func TestCacheHitFastPath(t *testing.T) {
 	var compiles atomic.Int64
-	c := newProgCache(8, func(p *ntgd.Program, sem ntgd.Semantics) (*ntgd.Solver, error) {
+	c := newProgCache(8, func(p *ntgd.Program, sem ntgd.Semantics, _ *ntgd.Database) (*ntgd.Solver, error) {
 		compiles.Add(1)
-		return realCompile(p, sem)
+		return realCompile(p, sem, nil)
 	})
 	if _, _, err := c.get(context.Background(), subsetSrc, ntgd.SO); err != nil {
 		t.Fatal(err)
@@ -207,11 +207,11 @@ func TestCacheHitFastPath(t *testing.T) {
 func TestCacheFailedCompileNotCached(t *testing.T) {
 	fail := errors.New("transient")
 	var calls atomic.Int64
-	c := newProgCache(8, func(p *ntgd.Program, sem ntgd.Semantics) (*ntgd.Solver, error) {
+	c := newProgCache(8, func(p *ntgd.Program, sem ntgd.Semantics, _ *ntgd.Database) (*ntgd.Solver, error) {
 		if calls.Add(1) == 1 {
 			return nil, fail
 		}
-		return realCompile(p, sem)
+		return realCompile(p, sem, nil)
 	})
 	if _, _, err := c.get(context.Background(), subsetSrc, ntgd.SO); !errors.Is(err, fail) {
 		t.Fatalf("first get err = %v, want the compile failure", err)
@@ -233,10 +233,10 @@ func TestCacheFailedCompileNotCached(t *testing.T) {
 func TestCacheWaiterCancellation(t *testing.T) {
 	hold := make(chan struct{})
 	compiling := make(chan struct{})
-	c := newProgCache(8, func(p *ntgd.Program, sem ntgd.Semantics) (*ntgd.Solver, error) {
+	c := newProgCache(8, func(p *ntgd.Program, sem ntgd.Semantics, _ *ntgd.Database) (*ntgd.Solver, error) {
 		close(compiling)
 		<-hold
-		return realCompile(p, sem)
+		return realCompile(p, sem, nil)
 	})
 	winnerDone := make(chan error, 1)
 	go func() {

@@ -20,6 +20,8 @@
 //	POST /v1/answers     answer one n-ary query
 //	POST /v1/consistent  consistency check
 //	POST /v1/batch       many queries against one compiled program
+//	POST /v1/db          upload a fact base once; solve/batch requests
+//	                     reference it by content-addressed handle
 //	GET  /healthz        liveness (503 while draining)
 //	GET  /statz          cumulative solver/cache/request statistics
 package server
@@ -45,6 +47,11 @@ type Config struct {
 	// CacheSize bounds the compiled-program cache (entries; default
 	// 128). Least-recently-used programs are evicted past the cap.
 	CacheSize int
+	// DBCacheSize bounds the uploaded fact-base cache behind POST
+	// /v1/db (entries; default 64). Least-recently-used bases are
+	// evicted past the cap; referencing an evicted handle answers 404
+	// and the client re-uploads.
+	DBCacheSize int
 	// MaxConcurrentRuns bounds engine runs across the whole daemon via
 	// one shared admission gate (0 = unlimited). A request that cannot
 	// be admitted before its deadline is refused with 429.
@@ -74,6 +81,7 @@ type Server struct {
 	cfg   Config
 	gate  *ntgd.Gate
 	cache *progCache
+	dbs   *dbCache
 	start time.Time
 
 	draining atomic.Bool
@@ -93,11 +101,12 @@ func New(cfg Config) *Server {
 		requests: make(map[string]int64),
 		errors:   make(map[string]int64),
 	}
-	s.cache = newProgCache(cfg.CacheSize, func(p *ntgd.Program, sem ntgd.Semantics) (*ntgd.Solver, error) {
+	s.cache = newProgCache(cfg.CacheSize, func(p *ntgd.Program, sem ntgd.Semantics, db *ntgd.Database) (*ntgd.Solver, error) {
 		opt := cfg.Options
 		opt.MaxConcurrentRuns = 0 // the shared gate governs admission
-		return ntgd.Compile(p, ntgd.CompileOptions{Semantics: sem, Options: opt, Gate: s.gate})
+		return ntgd.Compile(p, ntgd.CompileOptions{Semantics: sem, Options: opt, Gate: s.gate, Database: db})
 	})
+	s.dbs = newDBCache(cfg.DBCacheSize)
 	return s
 }
 
@@ -109,6 +118,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/answers", s.handle("answers", s.doAnswers))
 	mux.HandleFunc("/v1/consistent", s.handle("consistent", s.doConsistent))
 	mux.HandleFunc("/v1/batch", s.handle("batch", s.doBatch))
+	mux.HandleFunc("/v1/db", s.handle("db", s.doDB))
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/statz", s.handleStatz)
 	return mux
@@ -133,6 +143,14 @@ var errBadRequest = errors.New("bad request")
 
 func badReqf(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", errBadRequest, fmt.Sprintf(format, args...))
+}
+
+// errNotFound tags unknown-reference errors (a db handle that was never
+// uploaded or has been evicted) so the handler answers 404/not_found.
+var errNotFound = errors.New("not found")
+
+func notFoundf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", errNotFound, fmt.Sprintf(format, args...))
 }
 
 // runResult is what an endpoint implementation hands back to the shared
@@ -179,7 +197,9 @@ func (s *Server) handle(name string, fn func(ctx context.Context, req *Request) 
 
 		if err != nil {
 			status, class := http.StatusBadRequest, ClassBadRequest
-			if !errors.Is(err, errBadRequest) {
+			if errors.Is(err, errNotFound) {
+				status, class = http.StatusNotFound, ClassNotFound
+			} else if !errors.Is(err, errBadRequest) {
 				status, class = statusFor(err)
 			}
 			s.count(s.errors, class)
@@ -254,9 +274,10 @@ func (s *Server) count(m map[string]int64, key string) {
 }
 
 // program resolves the request's program through the compiled-program
-// cache. Context errors (a deadline expiring while waiting on a
-// single-flight compile) pass through; everything else — parse or
-// validation failures — is a bad request.
+// cache, attaching the uploaded fact base when the request references
+// one by handle. Context errors (a deadline expiring while waiting on
+// a single-flight compile) pass through; an unknown db handle is 404;
+// everything else — parse or validation failures — is a bad request.
 func (s *Server) program(ctx context.Context, req *Request) (*ntgd.Solver, error) {
 	if strings.TrimSpace(req.Program) == "" {
 		return nil, badReqf("missing program")
@@ -265,7 +286,13 @@ func (s *Server) program(ctx context.Context, req *Request) (*ntgd.Solver, error
 	if err != nil {
 		return nil, err
 	}
-	solver, _, err := s.cache.get(ctx, req.Program, sem)
+	var db *ntgd.Database
+	if req.DB != "" {
+		if db = s.dbs.get(req.DB); db == nil {
+			return nil, notFoundf("unknown db handle %q (never uploaded, or evicted — re-upload via POST /v1/db)", req.DB)
+		}
+	}
+	solver, _, err := s.cache.getDB(ctx, req.Program, sem, req.DB, db)
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 			return nil, err
@@ -525,6 +552,7 @@ type Statz struct {
 	Requests map[string]int64 `json:"requests"`
 	Errors   map[string]int64 `json:"errors"`
 	Cache    CacheStats       `json:"cache"`
+	DBCache  CacheStats       `json:"db_cache"`
 	Engine   Stats            `json:"engine"`
 }
 
@@ -546,6 +574,7 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 		Requests: reqs,
 		Errors:   errs,
 		Cache:    s.cache.stats(),
+		DBCache:  s.dbs.stats(),
 		Engine:   statsJSON(s.cache.engineStats()),
 	})
 }

@@ -30,6 +30,16 @@ type (
 	Query = logic.Query
 	// FactStore is a set of ground atoms (databases, models).
 	FactStore = logic.FactStore
+	// Storage is the pluggable backend behind a root FactStore: interned
+	// packed tuples, posting lists, and the bulk loader (see
+	// CompileOptions.Store and the package doc's Storage section).
+	Storage = logic.Storage
+	// Symbols is the per-program term interner every Storage carries;
+	// stores layered over one Storage share its table.
+	Symbols = logic.Symbols
+	// FactKey is a packed ground tuple: the interned predicate id
+	// followed by the interned argument ids, 4 bytes each.
+	FactKey = logic.FactKey
 	// Options configures the stable model search (budget, witness
 	// policy, extra constants).
 	Options = core.Options
@@ -60,8 +70,9 @@ var (
 	// a budget: errors.Is(ErrWallClock, ErrBudget) holds.
 	ErrWallClock = engine.ErrWallClock
 	// ErrMemory is reported when Options.MaxMemory tripped: the run's
-	// retained-allocation proxy (facts added across all branches plus
-	// stability-clause literals) grew past the watermark.
+	// retained-allocation watermark — bytes of packed tuples added
+	// across all branches plus stability-clause literals — grew past
+	// the cap.
 	ErrMemory = engine.ErrMemory
 	// ErrAdmission is reported when Options.MaxConcurrentRuns kept a
 	// run queued until its context ended. The context cause is wrapped:
@@ -85,6 +96,10 @@ var (
 	A = logic.A
 	// StoreOf builds a fact store from atoms.
 	StoreOf = logic.StoreOf
+	// NewStorage builds the default in-memory Storage backend.
+	NewStorage = logic.NewStorage
+	// NewFactStoreOn builds a root fact store over a Storage backend.
+	NewFactStoreOn = logic.NewFactStoreOn
 )
 
 // Parse parses a program in the surface syntax (see package doc).

@@ -17,11 +17,13 @@ benchtime="${BENCH_TIME:-300ms}"
 
 # The gate set: the branch-heavy search (sequential and parallel), the
 # incremental stability sessions (PR 5), the Solver-session
-# amortization, the assumption-based SAT solving primitive, and the
-# store branching primitive, and the adversarial join-order body
-# pinning the PR 6 planner. Names must stay unique across packages —
-# cmd/benchdiff and benchstat aggregate on the bare benchmark name.
-pattern='StableSearchChoiceWide|ParallelSearch|StabilitySession|SolveAssumptions|SolverReuse|StoreBranch|JoinOrderAdversarial'
+# amortization, the assumption-based SAT solving primitive, the store
+# branching primitive, the adversarial join-order body pinning the
+# PR 6 planner, and the PR 9 packed-store levers — the 10⁶-fact bulk
+# load (AddAll vs per-fact Add) and point probes against that base.
+# Names must stay unique across packages — cmd/benchdiff and benchstat
+# aggregate on the bare benchmark name.
+pattern='StableSearchChoiceWide|ParallelSearch|StabilitySession|SolveAssumptions|SolverReuse|StoreBranch|JoinOrderAdversarial|BulkLoad|StoreProbe'
 
 go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -count "$count" \
   ./ ./internal/core/ ./internal/logic/ ./internal/sat/ | tee "$out"

@@ -35,6 +35,21 @@ type CompileOptions struct {
 	// private gate is derived from Options.MaxConcurrentRuns (0 = no
 	// gate). Refusal surfaces as ErrAdmission either way.
 	Gate *Gate
+	// Database, when non-nil, supplies a pre-loaded fact base: the
+	// compiled program's root database becomes a copy-on-write snapshot
+	// of the (frozen) Database, with the program's own facts added on
+	// the snapshot layer. Compiling many programs against one Database
+	// shares the interned, packed, indexed root across all of them
+	// instead of rebuilding it per Compile. An unfrozen Database is
+	// frozen by Compile. Mutually exclusive with Store.
+	Database *Database
+	// Store, when non-nil, supplies the storage backend for the root
+	// database: the program's facts are added on a snapshot layered
+	// over whatever the Storage already holds. This is the seam for
+	// alternative root implementations (see Storage and NewStorage);
+	// the backend must not be written concurrently with Compile.
+	// Mutually exclusive with Database.
+	Store Storage
 }
 
 // Gate is a counting admission semaphore bounding concurrent
@@ -93,9 +108,11 @@ func Compile(p *Program, opt CompileOptions) (*Solver, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	db := p.Database()
+	db, err := rootDatabase(p, opt)
+	if err != nil {
+		return nil, err
+	}
 	var eng engine.Engine
-	var err error
 	switch opt.Semantics {
 	case SO:
 		eng, err = core.Compile(db, p.Rules, opt.Options)
