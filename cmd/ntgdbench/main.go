@@ -95,8 +95,17 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	maxRuns := fs.Int("max-runs", 0, "in-process daemon: max concurrent engine runs (0 = unlimited)")
 	workers := fs.Int("workers", 1, "in-process daemon: engine worker pool size per run")
 	cache := fs.Int("cache", 128, "in-process daemon: compiled-program cache capacity")
+	overload := fs.Bool("overload", false, "run the shed-vs-park overload experiment instead of the grid (see overload.go)")
+	overloadDur := fs.Duration("overload-duration", 3*time.Second, "open-loop duration per overload point")
 	if err := fs.Parse(argv); err != nil {
 		return 2
+	}
+	if *overload {
+		slots := *maxRuns
+		if slots <= 0 {
+			slots = 4
+		}
+		return runOverload(stdout, stderr, slots, *overloadDur)
 	}
 
 	grid := defaultGrid

@@ -31,6 +31,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime/metrics"
 	"syscall"
 	"time"
 
@@ -50,6 +51,11 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	addr := fs.String("addr", "127.0.0.1:8377", "listen address (host:port; port 0 picks a free port)")
 	cacheSize := fs.Int("cache", 128, "compiled-program cache capacity (entries)")
 	maxRuns := fs.Int("max-runs", 0, "max concurrent engine runs across the daemon (0 = unlimited)")
+	maxQueued := fs.Int("max-queued", 0, "max runs parked waiting for a slot before shedding with 429 (0 = unbounded queue, -1 = no queue; needs -max-runs)")
+	writeTimeout := fs.Duration("write-timeout", 30*time.Second, "per-response write deadline, started after the solve completes (0 = none)")
+	memSoft := fs.Int64("mem-soft", 0, "soft heap watermark in live bytes: evict caches and halve the admission queue (0 = off)")
+	memHard := fs.Int64("mem-hard", 0, "hard heap watermark in live bytes: refuse new API work with 503 until below (0 = off)")
+	memInterval := fs.Duration("mem-interval", time.Second, "heap sampling interval for the brownout watchdog")
 	workers := fs.Int("workers", 1, "search worker pool size per run (1 = sequential, 0 = GOMAXPROCS)")
 	defTimeout := fs.Duration("default-timeout", 30*time.Second, "deadline for requests that carry no timeout_ms (0 = none)")
 	maxTimeout := fs.Duration("max-timeout", 5*time.Minute, "clamp on per-request deadlines (0 = none)")
@@ -65,12 +71,25 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	if *memSoft < 0 || *memHard < 0 {
+		fmt.Fprintln(stderr, "ntgdd: -mem-soft and -mem-hard must be non-negative")
+		return 2
+	}
+	if *memSoft > 0 && *memHard > 0 && *memHard < *memSoft {
+		fmt.Fprintln(stderr, "ntgdd: -mem-hard must be >= -mem-soft")
+		return 2
+	}
+
 	srv := server.New(server.Config{
 		CacheSize:         *cacheSize,
 		MaxConcurrentRuns: *maxRuns,
+		MaxQueuedRuns:     *maxQueued,
 		DefaultTimeout:    *defTimeout,
 		MaxTimeout:        *maxTimeout,
 		MaxModels:         *maxModels,
+		WriteTimeout:      *writeTimeout,
+		MemSoftBytes:      uint64(*memSoft),
+		MemHardBytes:      uint64(*memHard),
 		Options: ntgd.Options{
 			Workers:      *workers,
 			MaxMemory:    *maxMem,
@@ -85,15 +104,22 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "ntgdd: listening on http://%s\n", ln.Addr())
 
+	// No http.Server.WriteTimeout on purpose: a fixed write deadline
+	// starting at the request header would kill every solve longer than
+	// it. Slow-client protection comes from the per-response deadline
+	// the server applies after the solve (-write-timeout) plus
+	// IdleTimeout reaping keep-alive connections between requests.
 	hs := &http.Server{
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
 	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
+	go srv.MemoryWatchdog(ctx, *memInterval, heapLive)
 	select {
 	case err := <-serveErr:
 		fmt.Fprintln(stderr, "ntgdd:", err)
@@ -118,4 +144,17 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintln(stderr, "ntgdd: drained, exiting")
 	return 0
+}
+
+// heapLive samples the live heap (bytes surviving the last GC plus
+// bytes allocated since) via runtime/metrics — the watchdog's view of
+// memory pressure. Reading one known metric is cheap enough for a
+// per-second tick.
+func heapLive() uint64 {
+	samples := []metrics.Sample{{Name: "/gc/heap/live:bytes"}}
+	metrics.Read(samples)
+	if samples[0].Value.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	return samples[0].Value.Uint64()
 }

@@ -142,6 +142,42 @@
 // p50/p95/p99 latency and models/sec into the BENCH_*.json trajectory;
 // see examples/server for a runnable quickstart.
 //
+// # Overload
+//
+// Under sustained overload the daemon sheds load instead of queueing
+// it. The admission Gate (ntgd.NewGateQueue) bounds not just the
+// in-flight runs but the waiting line behind them, and refuses — in
+// microseconds, not after a deadline expires — any request that
+// arrives to a full queue or whose estimated wait (queue length ×
+// an exponentially-weighted moving average of recent run times)
+// already exceeds its deadline. Shedding is an opt-in of the bounded
+// queue (cmd/ntgdd -max-queued): an unbounded gate keeps the
+// historical parking behavior exactly. A refusal is an *ntgd.AdmissionError
+// carrying the shed reason (ShedQueueFull, ShedDeadlineHopeless,
+// ShedQueuedExpired) and a RetryAfter hint; the server surfaces it as
+// 429 with a Retry-After header and retry_after_ms in the body —
+// every 429/503 the daemon emits carries that guidance. Oversized
+// request bodies are a distinct non-retryable class: 413
+// request_too_large. A memory watchdog (-mem-soft/-mem-hard) samples
+// the live heap and browns the daemon out under pressure: past the
+// soft watermark it evicts the program and database caches and halves
+// the admission queue; past the hard watermark it refuses API work
+// outright with 503 + Retry-After until the heap recedes. /statz
+// reports the gate's queue depth, per-reason shed counters, the run
+// time EWMA, and the current pressure level.
+//
+// The ntgdclient package is the matching client: it retries exactly
+// the transient statuses (429, 503, 504, and transport errors) with
+// capped exponential backoff and full jitter, never sleeping less
+// than the server's Retry-After hint and never exceeding a per-call
+// retry budget; deterministic failures (400, 404, 413, 422, 500, 507)
+// surface immediately as *ntgdclient.APIError. ntgdbench -overload
+// measures the policy end to end — open-loop load at 1x/2x/4x
+// measured capacity against a shedding and a parking daemon —
+// recording in BENCH_*.json that shedding preserves goodput where
+// parking collapses; see examples/ntgdclient for a runnable
+// quickstart.
+//
 // # Storage
 //
 // Fact stores are interned and packed (internal/logic). Every

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
+	"sync"
 	"time"
 
 	"ntgd/internal/logic"
@@ -65,57 +66,278 @@ func (e *InternalError) Error() string {
 // Is makes errors.Is(err, ErrInternal) match.
 func (e *InternalError) Is(target error) bool { return target == ErrInternal }
 
-// admissionError wraps the context cause of a refused admission so both
-// errors.Is(err, ErrAdmission) and errors.Is(err, context.Canceled) (or
-// DeadlineExceeded) hold.
-type admissionError struct{ cause error }
+// Shed reasons recorded on AdmissionError.Reason and counted per
+// reason in GateStats: why the gate refused a run.
+const (
+	// ShedQueueFull: the gate's waiter queue was at its bound, so the
+	// request was refused immediately instead of parking.
+	ShedQueueFull = "queue_full"
+	// ShedDeadline: the request's deadline would provably expire before
+	// a slot could free (estimated wait ≥ time-to-deadline), so parking
+	// it could only produce wasted work.
+	ShedDeadline = "deadline_hopeless"
+	// ShedExpired: the request parked in the queue and its context
+	// ended before a slot freed.
+	ShedExpired = "queued_expired"
+)
 
-func (e *admissionError) Error() string {
-	return fmt.Sprintf("%v (%v)", ErrAdmission, e.cause)
+// AdmissionError is the concrete refusal error of a Gate. It matches
+// errors.Is(err, ErrAdmission); when the refusal was caused by the
+// caller's context ending while queued (ShedExpired), the context
+// cause is wrapped so errors.Is(err, context.DeadlineExceeded) (or
+// Canceled) also holds. RetryAfter is the gate's machine-readable
+// backoff hint: the estimated time until a retried request could be
+// admitted (zero when the gate has no run-time estimate yet). Hosts
+// surface it to clients (the ntgdd daemon's Retry-After header).
+type AdmissionError struct {
+	// Reason is one of ShedQueueFull, ShedDeadline, ShedExpired.
+	Reason string
+	// RetryAfter estimates when a retry could be admitted (0 = no
+	// estimate).
+	RetryAfter time.Duration
+	cause      error
 }
 
-func (e *admissionError) Is(target error) bool { return target == ErrAdmission }
+func (e *AdmissionError) Error() string {
+	if e.cause != nil {
+		return fmt.Sprintf("%v (%s: %v)", ErrAdmission, e.Reason, e.cause)
+	}
+	return fmt.Sprintf("%v (%s)", ErrAdmission, e.Reason)
+}
 
-func (e *admissionError) Unwrap() error { return e.cause }
+func (e *AdmissionError) Is(target error) bool { return target == ErrAdmission }
+
+func (e *AdmissionError) Unwrap() error { return e.cause }
+
+// GateStats is a point-in-time view of a Gate: occupancy, queue depth,
+// the run-time estimate driving deadline-aware shedding, and the shed
+// counters by reason. Hosts surface it for observability (the ntgdd
+// daemon's /statz).
+type GateStats struct {
+	// Slots is the configured concurrency bound.
+	Slots int
+	// InFlight is the number of admitted runs currently holding a slot.
+	InFlight int
+	// Waiters is the current queue depth (admission requests parked
+	// waiting for a slot).
+	Waiters int
+	// QueueBound is the effective waiter-queue bound: -1 when the
+	// queue is unbounded (every excess request parks), otherwise the
+	// maximum number of parked waiters before queue-full shedding.
+	QueueBound int
+	// EWMARunTime is the exponentially-weighted moving average of
+	// completed run times (0 until the first timed release).
+	EWMARunTime time.Duration
+	// Admitted counts runs that acquired a slot.
+	Admitted int64
+	// ShedQueueFull / ShedDeadline / ShedExpired count refusals by
+	// reason (see the Shed* constants).
+	ShedQueueFull int64
+	ShedDeadline  int64
+	ShedExpired   int64
+}
+
+// ewmaAlpha is the smoothing factor of the gate's run-time average:
+// heavy enough that a shift in workload cost shows up within a few
+// runs, light enough that one outlier does not dominate the estimate.
+const ewmaAlpha = 0.2
 
 // Gate is a counting admission semaphore bounding how many enumerations
-// run concurrently against one compiled engine. A full gate queues
-// callers instead of oversubscribing the worker pool; a queued caller
-// whose context ends is refused with an ErrAdmission-matching error.
-type Gate struct{ ch chan struct{} }
+// run concurrently against one compiled engine, extended with bounded,
+// deadline-aware admission:
+//
+//   - A full gate queues callers up to the configured queue bound; a
+//     queued caller whose context ends is refused with an
+//     ErrAdmission-matching *AdmissionError wrapping the context cause.
+//   - When the queue is at its bound, excess callers are refused
+//     immediately (ShedQueueFull) instead of parking — under sustained
+//     overload the gate says "back off" in O(1) rather than absorbing
+//     an unbounded backlog of doomed work.
+//   - When the queue is bounded, the caller carries a deadline, and
+//     the gate has a run-time estimate (EWMA of timed releases), a
+//     caller whose estimated wait (waiters+1) × EWMA / slots reaches
+//     its time-to-deadline is refused immediately (ShedDeadline):
+//     parking it could only burn a slot on a run that must expire
+//     before finishing.
+//
+// Both shed rules are part of the bounded-admission opt-in: an
+// unbounded gate (NewGate) keeps the historical
+// park-until-the-context-ends behavior exactly — it never refuses up
+// front. NewGateQueue bounds the queue. Every refusal carries a
+// RetryAfter hint.
+type Gate struct {
+	ch chan struct{}
 
-// NewGate returns a gate admitting up to n concurrent runs, or nil
-// (admit everything) when n <= 0.
-func NewGate(n int) *Gate {
-	if n <= 0 {
-		return nil
-	}
-	return &Gate{ch: make(chan struct{}, n)}
+	mu                                                 sync.Mutex
+	bound                                              int // effective queue bound; -1 = unbounded
+	waiters                                            int
+	ewmaNS                                             float64
+	admitted, shedQueueFull, shedDeadline, shedExpired int64
 }
 
-// Acquire blocks until a slot is free or ctx ends. A nil gate admits
-// immediately.
+// NewGate returns a gate admitting up to n concurrent runs with an
+// unbounded waiter queue (every excess request parks until its context
+// ends), or nil (admit everything) when n <= 0.
+func NewGate(n int) *Gate { return NewGateQueue(n, -1) }
+
+// NewGateQueue returns a gate admitting up to slots concurrent runs
+// with at most maxQueue parked waiters: a request arriving with the
+// queue at its bound is refused immediately (ShedQueueFull). maxQueue
+// < 0 leaves the queue unbounded, 0 refuses whenever every slot is
+// busy. A nil gate (slots <= 0) admits everything.
+func NewGateQueue(slots, maxQueue int) *Gate {
+	if slots <= 0 {
+		return nil
+	}
+	if maxQueue < 0 {
+		maxQueue = -1
+	}
+	return &Gate{ch: make(chan struct{}, slots), bound: maxQueue}
+}
+
+// Acquire blocks until a slot is free or ctx ends, refusing immediately
+// when the queue is full or the caller's deadline is provably hopeless.
+// A nil gate admits immediately. Every refusal is an ErrAdmission-
+// matching *AdmissionError carrying the shed reason and a RetryAfter
+// hint.
 func (g *Gate) Acquire(ctx context.Context) error {
 	if g == nil {
 		return nil
 	}
 	select {
 	case g.ch <- struct{}{}:
+		g.mu.Lock()
+		g.admitted++
+		g.mu.Unlock()
 		return nil
 	default:
 	}
+
+	g.mu.Lock()
+	if g.bound >= 0 && g.waiters >= g.bound {
+		g.shedQueueFull++
+		hint := g.estWaitLocked(g.waiters)
+		g.mu.Unlock()
+		return &AdmissionError{Reason: ShedQueueFull, RetryAfter: hint}
+	}
+	// The deadline-hopeless test: with this caller parked behind the
+	// current waiters, a slot is expected to reach it only after
+	// (waiters+1) × EWMA / slots — if that is not sooner than its
+	// deadline, admitting it later could only produce a run that must
+	// expire before completing. An unbounded gate (the historical
+	// NewGate contract), no estimate yet (EWMA 0), or no deadline
+	// means never shedding on this rule.
+	if dl, ok := ctx.Deadline(); g.bound >= 0 && ok {
+		if est := g.estWaitLocked(g.waiters + 1); est > 0 && est >= time.Until(dl) {
+			g.shedDeadline++
+			g.mu.Unlock()
+			return &AdmissionError{Reason: ShedDeadline, RetryAfter: est}
+		}
+	}
+	g.waiters++
+	g.mu.Unlock()
+
 	select {
 	case g.ch <- struct{}{}:
+		g.mu.Lock()
+		g.waiters--
+		g.admitted++
+		g.mu.Unlock()
 		return nil
 	case <-ctx.Done():
-		return &admissionError{cause: context.Cause(ctx)}
+		g.mu.Lock()
+		g.waiters--
+		hint := g.estWaitLocked(g.waiters + 1)
+		g.shedExpired++
+		g.mu.Unlock()
+		return &AdmissionError{Reason: ShedExpired, RetryAfter: hint, cause: context.Cause(ctx)}
 	}
 }
 
-// Release frees a slot acquired by Acquire. A nil gate is a no-op.
+// estWaitLocked estimates how long a caller queued behind `queued`
+// requests waits for a slot: queued × EWMA, spread across the slots
+// draining the queue in parallel. Zero when no run has completed yet.
+func (g *Gate) estWaitLocked(queued int) time.Duration {
+	if g.ewmaNS <= 0 || queued <= 0 {
+		return 0
+	}
+	return time.Duration(g.ewmaNS * float64(queued) / float64(cap(g.ch)))
+}
+
+// Release frees a slot acquired by Acquire without feeding the
+// run-time estimate. A nil gate is a no-op. Prefer ReleaseTimed where
+// the run duration is known.
 func (g *Gate) Release() {
 	if g != nil {
 		<-g.ch
+	}
+}
+
+// ReleaseTimed frees a slot and folds the run's duration into the
+// gate's EWMA run-time estimate, which drives deadline-aware shedding
+// and RetryAfter hints. A nil gate is a no-op.
+func (g *Gate) ReleaseTimed(elapsed time.Duration) {
+	if g == nil {
+		return
+	}
+	<-g.ch
+	if elapsed <= 0 {
+		return
+	}
+	g.mu.Lock()
+	if g.ewmaNS <= 0 {
+		g.ewmaNS = float64(elapsed)
+	} else {
+		g.ewmaNS += ewmaAlpha * (float64(elapsed) - g.ewmaNS)
+	}
+	g.mu.Unlock()
+}
+
+// SetQueueBound adjusts the effective waiter-queue bound at runtime
+// (n < 0 = unbounded). The memory-pressure brownout uses this to
+// shrink admission under load and restore it on recovery; already
+// parked waiters are never evicted by a shrink. A nil gate is a no-op.
+func (g *Gate) SetQueueBound(n int) {
+	if g == nil {
+		return
+	}
+	if n < 0 {
+		n = -1
+	}
+	g.mu.Lock()
+	g.bound = n
+	g.mu.Unlock()
+}
+
+// QueueBound reports the effective waiter-queue bound (-1 =
+// unbounded). A nil gate reports -1.
+func (g *Gate) QueueBound() int {
+	if g == nil {
+		return -1
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.bound
+}
+
+// Snapshot returns the gate's current occupancy, queue depth, run-time
+// estimate, and shed counters. A nil gate returns the zero GateStats.
+func (g *Gate) Snapshot() GateStats {
+	if g == nil {
+		return GateStats{QueueBound: -1}
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return GateStats{
+		Slots:         cap(g.ch),
+		InFlight:      len(g.ch),
+		Waiters:       g.waiters,
+		QueueBound:    g.bound,
+		EWMARunTime:   time.Duration(g.ewmaNS),
+		Admitted:      g.admitted,
+		ShedQueueFull: g.shedQueueFull,
+		ShedDeadline:  g.shedDeadline,
+		ShedExpired:   g.shedExpired,
 	}
 }
 
@@ -157,7 +379,12 @@ func (g *guarded) Enumerate(ctx context.Context, p Params, visit func(*logic.Fac
 	if aerr := g.cfg.Gate.Acquire(ctx); aerr != nil {
 		return Stats{}, true, aerr
 	}
-	defer g.cfg.Gate.Release()
+	// The timed release feeds the gate's EWMA run-time estimate, the
+	// signal behind deadline-aware shedding and RetryAfter hints. Runs
+	// cut short by a deadline still count: they held the slot exactly
+	// that long.
+	runStart := time.Now()
+	defer func() { g.cfg.Gate.ReleaseTimed(time.Since(runStart)) }()
 
 	runCtx := ctx
 	if g.cfg.WallClock > 0 {

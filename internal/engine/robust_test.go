@@ -121,6 +121,156 @@ func TestGateAdmissionQueueAndRefusal(t *testing.T) {
 	nilGate.Release()
 }
 
+// TestGateQueueFullShed pins bounded admission: with the queue at its
+// bound, the next caller is refused immediately — no parking, reason
+// queue_full — while a queued caller still parks and is refused with
+// the context cause once its deadline expires.
+func TestGateQueueFullShed(t *testing.T) {
+	gate := NewGateQueue(1, 1)
+	if err := gate.Acquire(context.Background()); err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	// Park one waiter (fills the queue).
+	parked := make(chan error, 1)
+	waiterCtx, waiterCancel := context.WithCancel(context.Background())
+	defer waiterCancel()
+	go func() { parked <- gate.Acquire(waiterCtx) }()
+	for gate.Snapshot().Waiters != 1 {
+		time.Sleep(time.Millisecond)
+	}
+
+	// The queue is full: this refusal must be immediate.
+	start := time.Now()
+	err := gate.Acquire(context.Background())
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("queue-full refusal parked for %v, want immediate", elapsed)
+	}
+	var ae *AdmissionError
+	if !errors.Is(err, ErrAdmission) || !errors.As(err, &ae) || ae.Reason != ShedQueueFull {
+		t.Fatalf("err = %v, want AdmissionError{queue_full}", err)
+	}
+	if st := gate.Snapshot(); st.ShedQueueFull != 1 || st.Waiters != 1 || st.InFlight != 1 {
+		t.Fatalf("snapshot = %+v, want 1 shed, 1 waiter, 1 in flight", st)
+	}
+
+	// The parked waiter is refused with the wrapped context cause.
+	waiterCancel()
+	werr := <-parked
+	if !errors.As(werr, &ae) || ae.Reason != ShedExpired || !errors.Is(werr, context.Canceled) {
+		t.Fatalf("parked waiter err = %v, want ShedExpired wrapping Canceled", werr)
+	}
+	if st := gate.Snapshot(); st.ShedExpired != 1 || st.Waiters != 0 {
+		t.Fatalf("snapshot after expiry = %+v", st)
+	}
+	gate.Release()
+}
+
+// TestGateDeadlineHopelessShed pins deadline-aware admission: once the
+// EWMA says the caller's deadline must expire before a slot frees, the
+// caller is refused immediately with a RetryAfter hint, while a caller
+// with a comfortable deadline still parks.
+func TestGateDeadlineHopelessShed(t *testing.T) {
+	gate := NewGateQueue(1, 8)
+	if err := gate.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	gate.ReleaseTimed(time.Second) // EWMA estimate: runs take ~1s
+	if err := gate.Acquire(context.Background()); err != nil {
+		t.Fatal(err) // hold the only slot again
+	}
+
+	// Time-to-deadline 50ms << estimated wait 1s: hopeless, shed now.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := gate.Acquire(ctx)
+	if elapsed := time.Since(start); elapsed >= 50*time.Millisecond {
+		t.Fatalf("hopeless refusal took %v, want immediate (before the deadline)", elapsed)
+	}
+	var ae *AdmissionError
+	if !errors.As(err, &ae) || ae.Reason != ShedDeadline {
+		t.Fatalf("err = %v, want AdmissionError{deadline_hopeless}", err)
+	}
+	if ae.RetryAfter <= 0 {
+		t.Fatalf("RetryAfter = %v, want a positive hint", ae.RetryAfter)
+	}
+
+	// A deadline far beyond the estimate parks instead of shedding.
+	longCtx, longCancel := context.WithTimeout(context.Background(), time.Hour)
+	defer longCancel()
+	admitted := make(chan error, 1)
+	go func() { admitted <- gate.Acquire(longCtx) }()
+	for gate.Snapshot().Waiters != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	gate.Release()
+	if err := <-admitted; err != nil {
+		t.Fatalf("comfortable-deadline acquire: %v", err)
+	}
+	gate.Release()
+	if st := gate.Snapshot(); st.ShedDeadline != 1 {
+		t.Fatalf("snapshot = %+v, want ShedDeadline 1", st)
+	}
+}
+
+// TestGateSetQueueBound pins the brownout hook: shrinking the bound
+// sheds new arrivals at the smaller depth, restoring re-admits them.
+func TestGateSetQueueBound(t *testing.T) {
+	gate := NewGateQueue(1, 4)
+	if err := gate.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	gate.SetQueueBound(0)
+	err := gate.Acquire(context.Background())
+	var ae *AdmissionError
+	if !errors.As(err, &ae) || ae.Reason != ShedQueueFull {
+		t.Fatalf("bound 0: err = %v, want queue_full", err)
+	}
+	if got := gate.QueueBound(); got != 0 {
+		t.Fatalf("QueueBound = %d, want 0", got)
+	}
+	gate.SetQueueBound(4)
+	done := make(chan error, 1)
+	go func() { done <- gate.Acquire(context.Background()) }()
+	for gate.Snapshot().Waiters != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	gate.Release()
+	if err := <-done; err != nil {
+		t.Fatalf("restored bound must park and admit: %v", err)
+	}
+	gate.Release()
+}
+
+// TestGateEWMA pins the estimate: the first timed release seeds it,
+// later ones move it by the smoothing factor, and untimed Release
+// leaves it alone.
+func TestGateEWMA(t *testing.T) {
+	gate := NewGate(2)
+	ctx := context.Background()
+	if err := gate.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	gate.ReleaseTimed(100 * time.Millisecond)
+	if got := gate.Snapshot().EWMARunTime; got != 100*time.Millisecond {
+		t.Fatalf("seed EWMA = %v, want 100ms", got)
+	}
+	if err := gate.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	gate.ReleaseTimed(200 * time.Millisecond)
+	if got := gate.Snapshot().EWMARunTime; got != 120*time.Millisecond {
+		t.Fatalf("EWMA after 200ms sample = %v, want 120ms (alpha 0.2)", got)
+	}
+	if err := gate.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	gate.Release()
+	if got := gate.Snapshot().EWMARunTime; got != 120*time.Millisecond {
+		t.Fatalf("untimed Release moved the EWMA to %v", got)
+	}
+}
+
 func TestGuardGateRefusalBeforeRun(t *testing.T) {
 	gate := NewGate(1)
 	if err := gate.Acquire(context.Background()); err != nil {

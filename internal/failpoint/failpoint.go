@@ -51,6 +51,13 @@ const (
 	// server's own chaos suite covers it, and the Solver-level
 	// site-by-site suite skips it.
 	ServerHandler = "server/handler"
+	// ServerShed fires on the ntgdd shed path — while writing a 429 or
+	// 503 refusal (queue-full, deadline-hopeless, draining, or
+	// memory-pressure brownout) — before any byte of the response is
+	// written. A fault here must still answer a typed error: the shed
+	// path is exactly what runs when the daemon is already in trouble.
+	// Like ServerHandler it is only reachable through internal/server.
+	ServerShed = "server/shed"
 )
 
 // Sites lists every canonical injection site; the chaos suite iterates
@@ -65,6 +72,7 @@ func Sites() []string {
 		StoreSnapshot,
 		StoreFlatten,
 		ServerHandler,
+		ServerShed,
 	}
 }
 

@@ -107,7 +107,7 @@ func TestSitesListsEveryConstant(t *testing.T) {
 	want := map[string]bool{
 		CoreFork: true, CoreSink: true, CoreStability: true,
 		SatPropagate: true, ChaseRound: true, StoreSnapshot: true, StoreFlatten: true,
-		ServerHandler: true,
+		ServerHandler: true, ServerShed: true,
 	}
 	got := Sites()
 	if len(got) != len(want) {

@@ -9,14 +9,26 @@
 //	                          base was never uploaded to /v1/db or has
 //	                          been evicted from the LRU-bounded db
 //	                          cache — re-upload and retry
+//	413 Content Too Large     the request body exceeded the server's
+//	                          MaxBodyBytes cap (class
+//	                          "request_too_large"); unlike 400 this is
+//	                          a distinct class so clients can split or
+//	                          shrink the payload instead of treating it
+//	                          as a syntax error — it is never retried
+//	                          as-is
 //	422 Unprocessable Entity  search budget exhausted (nodes, atoms,
 //	                          or the wall-clock budget — ntgdctl 3)
-//	429 Too Many Requests     admission refused: the concurrent-run
-//	                          gate stayed full until the request's
+//	429 Too Many Requests     admission refused: the queue was at its
+//	                          bound (shed immediately), the deadline
+//	                          was provably hopeless (shed immediately),
+//	                          or the run stayed queued until its
 //	                          context ended (ErrAdmission)
 //	500 Internal Server Error recovered engine panic or handler fault
 //	                          (ErrInternal — ntgdctl 6)
-//	503 Service Unavailable   the daemon is draining (SIGTERM received)
+//	503 Service Unavailable   the daemon is draining (SIGTERM received,
+//	                          class "draining") or refusing new work
+//	                          under hard memory pressure (class
+//	                          "overloaded")
 //	504 Gateway Timeout       the per-request deadline expired or the
 //	                          client disconnected (ntgdctl 4)
 //	507 Insufficient Storage  memory watermark exceeded (ErrMemory —
@@ -24,6 +36,14 @@
 //
 // Every taxonomy-mapped error body still carries the partial Stats the
 // run accumulated before it stopped.
+//
+// Retry guidance: every 429 and 503 carries a Retry-After header
+// (integer seconds, rounded up, at least 1) and a retry_after_ms field
+// in the error body — the machine-readable backoff hint clients (the
+// ntgdclient package) honor before retrying. 429, 503, and 504 are the
+// retryable statuses; 400, 404, 413, 422, 500, and 507 are
+// deterministic for a given request (responses are a pure function of
+// the canonical program) and must not be retried unchanged.
 package server
 
 import (
@@ -188,8 +208,8 @@ type BatchResult struct {
 type ErrorResponse struct {
 	Error string `json:"error"`
 	// Class is the taxonomy class: "bad_request", "not_found",
-	// "budget", "timeout", "memory", "admission", "internal",
-	// "draining", or "error".
+	// "request_too_large", "budget", "timeout", "memory", "admission",
+	// "internal", "draining", "overloaded", or "error".
 	Class string `json:"class"`
 	// Stats is the partial effort the run accumulated before stopping
 	// (zero for errors raised before the engine ran).
@@ -197,20 +217,58 @@ type ErrorResponse struct {
 	// Exhausted mirrors the Solver's flag: the run stopped before the
 	// enumeration was provably complete.
 	Exhausted bool `json:"exhausted"`
+	// RetryAfterMS is the server's backoff hint in milliseconds,
+	// present exactly on the retryable refusals (429 and 503) and
+	// mirrored — rounded up to whole seconds — by the Retry-After
+	// header. Zero on every other error.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
 }
 
 // Taxonomy class names used in Class fields.
 const (
-	ClassBadRequest = "bad_request"
-	ClassNotFound   = "not_found"
-	ClassBudget     = "budget"
-	ClassTimeout    = "timeout"
-	ClassMemory     = "memory"
-	ClassAdmission  = "admission"
-	ClassInternal   = "internal"
-	ClassDraining   = "draining"
-	ClassError      = "error"
+	ClassBadRequest      = "bad_request"
+	ClassNotFound        = "not_found"
+	ClassRequestTooLarge = "request_too_large"
+	ClassBudget          = "budget"
+	ClassTimeout         = "timeout"
+	ClassMemory          = "memory"
+	ClassAdmission       = "admission"
+	ClassInternal        = "internal"
+	ClassDraining        = "draining"
+	ClassOverloaded      = "overloaded"
+	ClassError           = "error"
 )
+
+// GateStatz is the /statz view of the daemon-wide admission gate: the
+// live queue (in-flight runs, parked waiters, the effective queue
+// bound — which the memory-pressure brownout halves under load), the
+// EWMA of recent run times feeding the deadline-hopeless estimate, and
+// the monotonic admission/shed counters split by reason.
+type GateStatz struct {
+	Slots         int     `json:"slots"`
+	InFlight      int     `json:"in_flight"`
+	Waiters       int     `json:"waiters"`
+	QueueBound    int     `json:"queue_bound"`
+	EWMARunTimeMS float64 `json:"ewma_run_time_ms"`
+	Admitted      int64   `json:"admitted"`
+	ShedQueueFull int64   `json:"shed_queue_full"`
+	ShedDeadline  int64   `json:"shed_deadline_hopeless"`
+	ShedExpired   int64   `json:"shed_queued_expired"`
+}
+
+func gateStatsJSON(st ntgd.GateStats) GateStatz {
+	return GateStatz{
+		Slots:         st.Slots,
+		InFlight:      st.InFlight,
+		Waiters:       st.Waiters,
+		QueueBound:    st.QueueBound,
+		EWMARunTimeMS: float64(st.EWMARunTime) / 1e6,
+		Admitted:      st.Admitted,
+		ShedQueueFull: st.ShedQueueFull,
+		ShedDeadline:  st.ShedDeadline,
+		ShedExpired:   st.ShedExpired,
+	}
+}
 
 // statusFor maps a terminal run error onto its HTTP status and taxonomy
 // class. The order is load-bearing: ErrInternal wins over everything

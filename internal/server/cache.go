@@ -212,6 +212,30 @@ func (c *progCache) evictLocked() {
 	}
 }
 
+// purge evicts every completed entry — the memory-pressure brownout's
+// soft response — folding final stats into the retired accumulator.
+// Entries still compiling are skipped (their waiters hold them; the
+// winner closes ready regardless) and fall to a later purge or the LRU.
+// Returns the number of entries evicted.
+func (c *progCache) purge() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for elem := c.lru.Back(); elem != nil; {
+		prev := elem.Prev()
+		e := elem.Value.(*cacheEntry)
+		if e.solver != nil {
+			c.retired.Add(e.solver.Stats())
+			c.lru.Remove(elem)
+			delete(c.entries, e.key)
+			c.evictions++
+			n++
+		}
+		elem = prev
+	}
+	return n
+}
+
 // stats snapshots the cache counters.
 func (c *progCache) stats() CacheStats {
 	c.mu.Lock()

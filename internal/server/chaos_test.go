@@ -3,6 +3,7 @@
 package server
 
 import (
+	"context"
 	"net/http"
 	"runtime"
 	"testing"
@@ -61,6 +62,52 @@ func TestChaosServerHandler(t *testing.T) {
 	var ok SolveResponse
 	if code := post(t, hs.URL, "/v1/solve", req, &ok); code != http.StatusOK || ok.Count != warm.Count {
 		t.Fatalf("post-fault solve = (%d, %d models), want (200, %d)", code, ok.Count, warm.Count)
+	}
+	awaitGoroutines(t, baseline)
+}
+
+// TestChaosServerShed pins the PR 10 shed-path boundary: a fault while
+// writing a refusal — the moment the daemon is already overloaded —
+// still answers a typed 500/internal, leaks nothing, and the daemon
+// recovers to shedding correctly (with retry guidance) and then to
+// full service.
+func TestChaosServerShed(t *testing.T) {
+	defer failpoint.Reset()
+	srv, hs := newTestServer(t, Config{MaxConcurrentRuns: 1, MaxQueuedRuns: -1})
+	req := Request{Program: subsetSrc, Query: "?- in(i0).", Mode: "brave", TimeoutMS: 10_000}
+
+	var warm EntailsResponse
+	if code := post(t, hs.URL, "/v1/entails", req, &warm); code != http.StatusOK {
+		t.Fatalf("warmup entails: %d", code)
+	}
+	baseline := runtime.NumGoroutine()
+
+	// Hold the only slot so every request takes the shed path.
+	if err := srv.gate.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	failpoint.Arm(failpoint.ServerShed, 1)
+	resp, errRes := postFull(t, hs.URL, "/v1/entails", req)
+	if resp.StatusCode != http.StatusInternalServerError || errRes.Class != ClassInternal {
+		t.Fatalf("faulted shed = %d/%q, want 500/internal", resp.StatusCode, errRes.Class)
+	}
+	if failpoint.Fired(failpoint.ServerShed) != 1 {
+		t.Fatal("server/shed failpoint did not fire")
+	}
+	failpoint.Disarm(failpoint.ServerShed)
+
+	// Disarmed but still overloaded: the shed path works again, with
+	// the full retry-guidance contract.
+	resp, errRes = postFull(t, hs.URL, "/v1/entails", req)
+	if resp.StatusCode != http.StatusTooManyRequests || errRes.Class != ClassAdmission {
+		t.Fatalf("post-fault shed = %d/%q, want 429/admission", resp.StatusCode, errRes.Class)
+	}
+	requireRetryGuidance(t, resp, errRes)
+
+	srv.gate.Release()
+	var ok EntailsResponse
+	if code := post(t, hs.URL, "/v1/entails", req, &ok); code != http.StatusOK || !ok.Entailed {
+		t.Fatalf("post-release entails = (%d, %v), want (200, true)", code, ok.Entailed)
 	}
 	awaitGoroutines(t, baseline)
 }

@@ -147,6 +147,19 @@ func (c *dbCache) get(handle string) *ntgd.Database {
 	return e.db
 }
 
+// purge evicts every cached fact base (the memory-pressure brownout's
+// soft response). Clients holding evicted handles see 404 and
+// re-upload once pressure subsides. Returns the number evicted.
+func (c *dbCache) purge() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := len(c.entries)
+	c.evictions += int64(n)
+	c.entries = make(map[string]*dbEntry)
+	c.lru.Init()
+	return n
+}
+
 // stats snapshots the fact-base cache counters (Compiles counts
 // uploads, including idempotent re-uploads).
 func (c *dbCache) stats() CacheStats {

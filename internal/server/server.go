@@ -13,6 +13,15 @@
 // codes mirroring the ntgdctl exit-code contract (see api.go), always
 // carrying the partial Stats of the interrupted run.
 //
+// Under overload the daemon sheds rather than parks (PR 10): the gate's
+// waiter queue is bounded (MaxQueuedRuns), requests whose deadline is
+// provably hopeless given the queue and the EWMA of recent run times
+// are refused immediately, and every 429/503 refusal carries machine-
+// readable retry guidance (Retry-After header, retry_after_ms body
+// field). A memory-pressure brownout (see brownout.go) additionally
+// evicts caches and halves the queue bound at the soft watermark and
+// refuses new API work at the hard one.
+//
 // Endpoints:
 //
 //	POST /v1/solve       enumerate stable models
@@ -32,6 +41,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -56,6 +66,26 @@ type Config struct {
 	// one shared admission gate (0 = unlimited). A request that cannot
 	// be admitted before its deadline is refused with 429.
 	MaxConcurrentRuns int
+	// MaxQueuedRuns bounds the gate's waiter queue, only meaningful
+	// with MaxConcurrentRuns > 0. 0 keeps the historical unbounded
+	// parking queue; > 0 sheds immediately (429 + Retry-After) once
+	// that many runs are already waiting; < 0 disables queuing
+	// entirely — a run is admitted only if a slot is free right now.
+	// Independent of the bound, a waiter whose deadline provably
+	// expires before a slot can free (queue length × EWMA run time) is
+	// shed immediately instead of parking to certain death.
+	MaxQueuedRuns int
+	// WriteTimeout bounds each response write (a per-request deadline
+	// applied via http.ResponseController just before the body is
+	// encoded; 0 = none). Unlike http.Server.WriteTimeout it does not
+	// start ticking until the handler is done solving, so slow clients
+	// cannot wedge response goroutines while long solves stay legal.
+	WriteTimeout time.Duration
+	// MemSoftBytes and MemHardBytes are the brownout watermarks over
+	// live heap bytes (0 = disabled); see brownout.go for the state
+	// machine they drive.
+	MemSoftBytes uint64
+	MemHardBytes uint64
 	// DefaultTimeout applies when a request carries no timeout_ms
 	// (0 = no default deadline).
 	DefaultTimeout time.Duration
@@ -87,6 +117,12 @@ type Server struct {
 	draining atomic.Bool
 	inFlight atomic.Int64
 
+	// pressure is the brownout level (see brownout.go); pressureMu
+	// serializes level transitions so purge/bound side effects of one
+	// transition complete before the next is observed.
+	pressure   atomic.Int32
+	pressureMu sync.Mutex
+
 	mu       sync.Mutex
 	requests map[string]int64
 	errors   map[string]int64
@@ -96,7 +132,7 @@ type Server struct {
 func New(cfg Config) *Server {
 	s := &Server{
 		cfg:      cfg,
-		gate:     ntgd.NewGate(cfg.MaxConcurrentRuns),
+		gate:     ntgd.NewGateQueue(cfg.MaxConcurrentRuns, queueBound(cfg.MaxQueuedRuns)),
 		start:    time.Now(),
 		requests: make(map[string]int64),
 		errors:   make(map[string]int64),
@@ -108,6 +144,20 @@ func New(cfg Config) *Server {
 	})
 	s.dbs = newDBCache(cfg.DBCacheSize)
 	return s
+}
+
+// queueBound translates the Config.MaxQueuedRuns convention (0 =
+// unbounded, < 0 = no queue) into the gate's (-1 = unbounded, 0 = no
+// queue).
+func queueBound(maxQueued int) int {
+	switch {
+	case maxQueued == 0:
+		return -1
+	case maxQueued < 0:
+		return 0
+	default:
+		return maxQueued
+	}
 }
 
 // Handler returns the daemon's HTTP handler.
@@ -165,14 +215,23 @@ type runResult struct {
 func (s *Server) handle(name string, fn func(ctx context.Context, req *Request) (runResult, error)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if s.draining.Load() {
-			writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{
+			s.count(s.errors, ClassDraining)
+			s.shed(w, http.StatusServiceUnavailable, ErrorResponse{
 				Error: "ntgdd: draining", Class: ClassDraining,
+			})
+			return
+		}
+		if s.Pressure() >= PressureHard {
+			s.count(s.errors, ClassOverloaded)
+			s.shed(w, http.StatusServiceUnavailable, ErrorResponse{
+				Error: "ntgdd: refusing new work under hard memory pressure",
+				Class: ClassOverloaded,
 			})
 			return
 		}
 		if r.Method != http.MethodPost {
 			w.Header().Set("Allow", http.MethodPost)
-			writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{
+			s.writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{
 				Error: "use POST", Class: ClassBadRequest,
 			})
 			return
@@ -181,8 +240,17 @@ func (s *Server) handle(name string, fn func(ctx context.Context, req *Request) 
 		var req Request
 		body := http.MaxBytesReader(w, r.Body, s.maxBody())
 		if err := json.NewDecoder(body).Decode(&req); err != nil {
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				s.count(s.errors, ClassRequestTooLarge)
+				s.writeJSON(w, http.StatusRequestEntityTooLarge, ErrorResponse{
+					Error: fmt.Sprintf("request body exceeds the %d-byte cap; split the program or raise the server's MaxBodyBytes", mbe.Limit),
+					Class: ClassRequestTooLarge,
+				})
+				return
+			}
 			s.count(s.errors, ClassBadRequest)
-			writeJSON(w, http.StatusBadRequest, ErrorResponse{
+			s.writeJSON(w, http.StatusBadRequest, ErrorResponse{
 				Error: "decoding request body: " + err.Error(), Class: ClassBadRequest,
 			})
 			return
@@ -203,16 +271,55 @@ func (s *Server) handle(name string, fn func(ctx context.Context, req *Request) 
 				status, class = statusFor(err)
 			}
 			s.count(s.errors, class)
-			writeJSON(w, status, ErrorResponse{
+			resp := ErrorResponse{
 				Error:     err.Error(),
 				Class:     class,
 				Stats:     statsJSON(res.stats),
 				Exhausted: res.exhausted,
-			})
+			}
+			if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+				var ae *ntgd.AdmissionError
+				if errors.As(err, &ae) {
+					resp.RetryAfterMS = ae.RetryAfter.Milliseconds()
+				}
+				s.shed(w, status, resp)
+				return
+			}
+			s.writeJSON(w, status, resp)
 			return
 		}
-		writeJSON(w, http.StatusOK, res.payload)
+		s.writeJSON(w, http.StatusOK, res.payload)
 	}
+}
+
+// defaultRetryAfterMS is the retry hint a refusal carries when the gate
+// has no better estimate (an idle EWMA, or a non-gate refusal such as
+// draining or brownout).
+const defaultRetryAfterMS = 1000
+
+// shed writes a load-shedding refusal (429 or 503): it guarantees the
+// response carries retry guidance — a positive retry_after_ms and the
+// matching Retry-After header (whole seconds, rounded up, at least 1) —
+// and runs under its own panic boundary. The shed path executes exactly
+// when the daemon is already in trouble, so a fault here (the
+// server/shed failpoint in the chaos suite) must still answer a typed
+// error rather than an empty reply.
+func (s *Server) shed(w http.ResponseWriter, status int, resp ErrorResponse) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.count(s.errors, ClassInternal)
+			s.writeJSON(w, http.StatusInternalServerError, ErrorResponse{
+				Error: fmt.Sprintf("ntgdd: shed-path fault: %v", r),
+				Class: ClassInternal,
+			})
+		}
+	}()
+	failpoint.Inject(failpoint.ServerShed)
+	if resp.RetryAfterMS <= 0 {
+		resp.RetryAfterMS = defaultRetryAfterMS
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt((resp.RetryAfterMS+999)/1000, 10))
+	s.writeJSON(w, status, resp)
 }
 
 // run executes one endpoint body under the handler's panic boundary: a
@@ -535,10 +642,10 @@ func statsBack(w Stats) ntgd.Stats {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 // Statz is the /statz body: cumulative request counters, error counts
@@ -549,8 +656,10 @@ type Statz struct {
 	UptimeMS int64            `json:"uptime_ms"`
 	InFlight int64            `json:"in_flight"`
 	Draining bool             `json:"draining"`
+	Pressure string           `json:"pressure"`
 	Requests map[string]int64 `json:"requests"`
 	Errors   map[string]int64 `json:"errors"`
+	Gate     GateStatz        `json:"gate"`
 	Cache    CacheStats       `json:"cache"`
 	DBCache  CacheStats       `json:"db_cache"`
 	Engine   Stats            `json:"engine"`
@@ -567,16 +676,32 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 		errs[k] = v
 	}
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, Statz{
+	s.writeJSON(w, http.StatusOK, Statz{
 		UptimeMS: time.Since(s.start).Milliseconds(),
 		InFlight: s.inFlight.Load(),
 		Draining: s.draining.Load(),
+		Pressure: s.Pressure().String(),
 		Requests: reqs,
 		Errors:   errs,
+		Gate:     gateStatsJSON(s.gate.Snapshot()),
 		Cache:    s.cache.stats(),
 		DBCache:  s.dbs.stats(),
 		Engine:   statsJSON(s.cache.engineStats()),
 	})
+}
+
+// writeJSON encodes one response body under the configured per-request
+// write deadline: the clock starts here — after the solve — so a slow
+// or stalled client cannot pin the response goroutine, while arbitrarily
+// long solves stay unaffected (a fixed http.Server.WriteTimeout would
+// start at the request header and kill them). SetWriteDeadline errors
+// are ignored: httptest recorders and other non-Controller writers
+// simply skip the deadline.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	if d := s.cfg.WriteTimeout; d > 0 {
+		_ = http.NewResponseController(w).SetWriteDeadline(time.Now().Add(d))
+	}
+	writeJSON(w, status, v)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

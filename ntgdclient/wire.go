@@ -1,0 +1,115 @@
+// Wire types of the ntgdd /v1 API, client edition. They mirror the
+// daemon's types (internal/server/api.go) field for field; the copy
+// exists because the server package is internal on purpose — its
+// handler plumbing is not API — while clients need nameable request
+// and response types. The JSON tags are the contract; the chaos and
+// round-trip tests in the server package pin both sides against the
+// same fixtures.
+package ntgdclient
+
+// Request is the JSON body shared by the POST endpoints; endpoints
+// ignore fields they do not use. See the internal/server package
+// documentation for per-field semantics.
+type Request struct {
+	// Program is the program source in the surface syntax (required by
+	// every endpoint except /v1/db).
+	Program string `json:"program,omitempty"`
+	// Semantics selects "so" (default), "lp", or "op".
+	Semantics string `json:"semantics,omitempty"`
+	// DB references a previously uploaded fact base by handle.
+	DB string `json:"db,omitempty"`
+	// Facts is the fact source for UploadDB.
+	Facts string `json:"facts,omitempty"`
+	// Query is the query in surface syntax ("?- p(X), not q(X).").
+	Query string `json:"query,omitempty"`
+	// Mode is "cautious" (default) or "brave".
+	Mode string `json:"mode,omitempty"`
+	// MaxModels bounds the models a solve returns (0 = server cap).
+	MaxModels int `json:"max_models,omitempty"`
+	// TimeoutMS is the per-request deadline in milliseconds (0 =
+	// server default; the server clamps to its maximum).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Queries is the batch payload.
+	Queries []BatchItem `json:"queries,omitempty"`
+}
+
+// BatchItem is one query of a Batch request.
+type BatchItem struct {
+	Query string `json:"query"`
+	Mode  string `json:"mode,omitempty"`
+}
+
+// Stats is the engine-effort block attached to every response.
+type Stats struct {
+	Nodes           int64 `json:"nodes"`
+	Branches        int64 `json:"branches"`
+	Deterministic   int64 `json:"deterministic"`
+	Completed       int64 `json:"completed"`
+	StabilityChecks int64 `json:"stability_checks"`
+	StabilityFailed int64 `json:"stability_failed"`
+	ModelsEmitted   int64 `json:"models_emitted"`
+	Conflicts       int64 `json:"conflicts"`
+}
+
+// SolveResponse is the /v1/solve success body.
+type SolveResponse struct {
+	Models    []string `json:"models"`
+	Count     int      `json:"count"`
+	Exhausted bool     `json:"exhausted"`
+	Stats     Stats    `json:"stats"`
+}
+
+// EntailsResponse is the /v1/entails success body.
+type EntailsResponse struct {
+	Entailed  bool   `json:"entailed"`
+	Witness   string `json:"witness,omitempty"`
+	NoModels  bool   `json:"no_models"`
+	Exhausted bool   `json:"exhausted"`
+	Stats     Stats  `json:"stats"`
+}
+
+// AnswersResponse is the /v1/answers success body.
+type AnswersResponse struct {
+	Tuples   [][]string `json:"tuples"`
+	Complete bool       `json:"complete"`
+	Stats    Stats      `json:"stats"`
+}
+
+// ConsistentResponse is the /v1/consistent success body.
+type ConsistentResponse struct {
+	Consistent bool `json:"consistent"`
+}
+
+// DBResponse is the /v1/db success body.
+type DBResponse struct {
+	Handle string `json:"handle"`
+	Facts  int    `json:"facts"`
+}
+
+// BatchResponse is the /v1/batch success body.
+type BatchResponse struct {
+	Results []BatchResult `json:"results"`
+	Stats   Stats         `json:"stats"`
+}
+
+// BatchResult is the outcome of one batch item (Error empty = success).
+type BatchResult struct {
+	Error    string     `json:"error,omitempty"`
+	Class    string     `json:"class,omitempty"`
+	Entailed bool       `json:"entailed,omitempty"`
+	Witness  string     `json:"witness,omitempty"`
+	NoModels bool       `json:"no_models,omitempty"`
+	Tuples   [][]string `json:"tuples,omitempty"`
+	Complete bool       `json:"complete,omitempty"`
+	Stats    Stats      `json:"stats"`
+}
+
+// errorResponse is the body of every non-2xx daemon response; it is
+// surfaced to callers as *APIError, not directly.
+type errorResponse struct {
+	Error        string `json:"error"`
+	Class        string `json:"class"`
+	Stats        Stats  `json:"stats"`
+	Exhausted    bool   `json:"exhausted"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+}

@@ -21,6 +21,10 @@
 #       point: {"name":"SrvSolveSubset/c=4","ns_op":<p50 latency>,
 #       "p50_ns":...,"p95_ns":...,"p99_ns":...,"rps":...,
 #       "models_per_sec":...,"workers":<client concurrency>,...}
+#       ...plus one entry per ntgdbench -overload point:
+#       {"name":"SrvOverload/shed/x4","ns_op":<p50 latency>,
+#       "policy":"shed|park","offered_x":...,"offered_rps":...,
+#       "goodput_rps":...,"shed_rate":...,...}
 #     ],
 #     "benchmarks": [                  one entry per `go test -bench` run
 #       {"name":"StabilitySession/deep-pad/workers=1",
@@ -66,6 +70,14 @@ go run ./cmd/ntgdbench >"$tmp/srv.out" 2>"$tmp/srv.err" || {
   exit 1
 }
 grep '^{' "$tmp/srv.out" >>"$tmp/sms.jsonl" || true
+
+echo "bench_record: running ntgdbench -overload..." >&2
+go run ./cmd/ntgdbench -overload >"$tmp/ovl.out" 2>"$tmp/ovl.err" || {
+  echo "ntgdbench -overload failed:" >&2
+  tail -20 "$tmp/ovl.err" >&2
+  exit 1
+}
+grep '^{' "$tmp/ovl.out" >>"$tmp/sms.jsonl" || true
 
 echo "bench_record: running go benchmarks..." >&2
 go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -count "$count" \

@@ -3,9 +3,12 @@
 # drives the HTTP contract end to end with curl — successful solve,
 # entails, and batch requests; one request that must time out (504,
 # class "timeout"); one that must be refused by admission (429, class
-# "admission" — the daemon runs with -max-runs 1 and a slow request
-# holding the only slot); then a SIGTERM, asserting the daemon drains
-# and exits 0 within the deadline. CI runs this on the default leg.
+# "admission" — the daemon runs with -max-runs 1 -max-queued 1 and a
+# slow request holding the only slot); one that must be shed
+# immediately because the queue is full (429 with a Retry-After header,
+# retry_after_ms in the body, and the refusal counted by reason in
+# /statz); then a SIGTERM, asserting the daemon drains and exits 0
+# within the deadline. CI runs this on the default leg.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -28,7 +31,7 @@ field() {
 echo "server_smoke: building ntgdd..." >&2
 go build -o "$tmp/ntgdd" ./cmd/ntgdd
 
-"$tmp/ntgdd" -addr 127.0.0.1:0 -max-runs 1 -default-timeout 10s -drain 20s \
+"$tmp/ntgdd" -addr 127.0.0.1:0 -max-runs 1 -max-queued 1 -default-timeout 10s -drain 20s \
   >"$tmp/out.log" 2>"$tmp/err.log" &
 pid=$!
 
@@ -49,9 +52,10 @@ bigprog=''
 for i in $(seq 0 23); do bigprog="${bigprog}item(i${i}). "; done
 bigprog="${bigprog}\nitem(X), not out(X) -> in(X).\nitem(X), not in(X) -> out(X).\n"
 
-# post PATH BODY — POST and echo the HTTP status; body lands in $tmp/body.
+# post PATH BODY — POST and echo the HTTP status; body lands in
+# $tmp/body, response headers in $tmp/headers.
 post() {
-  curl -s -o "$tmp/body" -w '%{http_code}' -X POST "$base$1" -d "$2"
+  curl -s -o "$tmp/body" -D "$tmp/headers" -w '%{http_code}' -X POST "$base$1" -d "$2"
 }
 
 code=$(curl -s -o "$tmp/body" -w '%{http_code}' "$base/healthz")
@@ -89,8 +93,35 @@ sleep 0.5
 code=$(post /v1/entails "{\"program\":\"$prog\",\"query\":\"?- in(i0).\",\"mode\":\"brave\",\"timeout_ms\":300}")
 [ "$code" = 429 ] || { cat "$tmp/body" >&2; fail "admission probe: status $code, want 429"; }
 [ "$(field "$tmp/body" class)" = admission ] || fail "admission probe: wrong class"
-wait "$slow"
-echo "server_smoke: admission contract ok (429/admission)" >&2
+grep -qi '^retry-after:' "$tmp/headers" || fail "admission probe: no Retry-After header"
+echo "server_smoke: admission contract ok (429/admission + Retry-After)" >&2
+
+# Queue-full shed: with the slot still busy, park a second slow request
+# as the queue's one allowed waiter, then probe with a generous
+# deadline — the probe must be shed immediately (queue full), not
+# parked until its deadline, carrying full retry guidance.
+curl -s -o "$tmp/slow2.body" -X POST "$base/v1/entails" \
+  -d "{\"program\":\"$bigprog\",\"query\":\"?- item(i0).\",\"mode\":\"cautious\",\"timeout_ms\":3000}" &
+slow2=$!
+sleep 0.5
+t0=$(date +%s)
+code=$(post /v1/entails "{\"program\":\"$prog\",\"query\":\"?- in(i0).\",\"mode\":\"brave\",\"timeout_ms\":30000}")
+t1=$(date +%s)
+[ "$code" = 429 ] || { cat "$tmp/body" >&2; fail "queue-full probe: status $code, want 429"; }
+[ "$(field "$tmp/body" class)" = admission ] || fail "queue-full probe: wrong class"
+grep -qi '^retry-after:' "$tmp/headers" || fail "queue-full probe: no Retry-After header"
+retry_ms=$(field "$tmp/body" retry_after_ms)
+[ "$retry_ms" -ge 1 ] 2>/dev/null || fail "queue-full probe: retry_after_ms=$retry_ms, want >= 1"
+[ $((t1 - t0)) -le 5 ] || fail "queue-full probe took $((t1 - t0))s; shedding must be immediate, not parked"
+wait "$slow" "$slow2" || true
+
+# The refusals are visible in /statz, counted by reason.
+curl -s -o "$tmp/statz" "$base/statz"
+shed_full=$(python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))["gate"]["shed_queue_full"])' "$tmp/statz")
+[ "$shed_full" -ge 1 ] || fail "statz: gate.shed_queue_full=$shed_full, want >= 1"
+errs_admission=$(python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))["errors"].get("admission", 0))' "$tmp/statz")
+[ "$errs_admission" -ge 2 ] || fail "statz: errors.admission=$errs_admission, want >= 2"
+echo "server_smoke: queue-full shed ok (immediate 429 + Retry-After + statz counters)" >&2
 
 # Drain: SIGTERM must end the process cleanly (exit 0) well inside the
 # drain deadline.

@@ -53,14 +53,46 @@ type CompileOptions struct {
 }
 
 // Gate is a counting admission semaphore bounding concurrent
-// enumerations. Construct one with NewGate and share it across
-// CompileOptions.Gate to bound the combined load of several Solvers.
+// enumerations, with bounded deadline-aware admission: on a
+// bounded-queue gate, a caller arriving with the waiter queue at its
+// bound, or whose deadline must expire before a slot can free
+// (estimated from the gate's EWMA of run times), is refused
+// immediately instead of parking. Construct one with NewGate
+// (unbounded queue — every excess caller parks until its context
+// ends, never refused up front) or NewGateQueue (bounded) and share
+// it across CompileOptions.Gate to bound the combined load of several
+// Solvers. Snapshot exposes occupancy, queue depth, the EWMA, and shed
+// counters by reason; SetQueueBound adjusts the queue bound at runtime
+// (the daemon's memory brownout shrinks and restores it).
 type Gate = engine.Gate
 
-// NewGate returns a gate admitting up to n concurrent runs, or nil
-// (admit everything) when n <= 0. A queued run whose context ends
-// before a slot frees is refused with an ErrAdmission-matching error.
+// GateStats is a point-in-time view of a Gate (see Gate.Snapshot).
+type GateStats = engine.GateStats
+
+// AdmissionError is the concrete refusal error of a Gate: it matches
+// errors.Is(err, ErrAdmission) and carries the shed reason and a
+// machine-readable RetryAfter hint.
+type AdmissionError = engine.AdmissionError
+
+// Shed reasons recorded on AdmissionError.Reason.
+const (
+	ShedQueueFull = engine.ShedQueueFull
+	ShedDeadline  = engine.ShedDeadline
+	ShedExpired   = engine.ShedExpired
+)
+
+// NewGate returns a gate admitting up to n concurrent runs with an
+// unbounded waiter queue, or nil (admit everything) when n <= 0. A
+// queued run whose context ends before a slot frees is refused with an
+// ErrAdmission-matching error.
 func NewGate(n int) *Gate { return engine.NewGate(n) }
+
+// NewGateQueue returns a gate admitting up to slots concurrent runs
+// with at most maxQueue parked waiters: excess arrivals are refused
+// immediately (no parking) with an *AdmissionError carrying a
+// RetryAfter hint. maxQueue < 0 leaves the queue unbounded, 0 refuses
+// whenever every slot is busy.
+func NewGateQueue(slots, maxQueue int) *Gate { return engine.NewGateQueue(slots, maxQueue) }
 
 // Solver is a compiled program under one semantics: validation,
 // syntactic classification, Skolemization and grounding artifacts (LP),
